@@ -1,0 +1,105 @@
+// Command spex infers configuration constraints for a simulated target
+// system and prints them (paper §2).
+//
+// Usage:
+//
+//	spex -system mydb [-kind range] [-param ft_min_word_len] [-v]
+//	spex -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spex/internal/constraint"
+	"spex/internal/spex"
+	"spex/internal/targets"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "", "target system to analyze (see -list)")
+		list   = flag.Bool("list", false, "list available target systems")
+		kind   = flag.String("kind", "", "only show one constraint kind: basic, semantic, range, dep, rel")
+		param  = flag.String("param", "", "only show constraints for this parameter")
+		stats  = flag.Bool("stats", false, "print per-kind counts and accuracy only")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range targets.All() {
+			fmt.Printf("%-10s %s\n", s.Name(), s.Description())
+		}
+		return
+	}
+	sys := targets.ByName(*system)
+	if sys == nil {
+		fmt.Fprintf(os.Stderr, "spex: unknown system %q (try -list)\n", *system)
+		os.Exit(2)
+	}
+	res, err := spex.InferSystem(sys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spex: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("system      : %s (%s)\n", sys.Name(), sys.Description())
+	fmt.Printf("corpus      : %d LoC, %d parameters, %d lines of annotation (%s mapping)\n",
+		res.LoC, res.Params, res.LoA, res.Convention)
+	fmt.Printf("constraints : %d\n\n", res.Set.Len())
+
+	if *stats {
+		counts := res.Set.CountByKind()
+		acc := spex.Score(res.Set, sys.GroundTruth())
+		for _, k := range []constraint.Kind{
+			constraint.KindBasicType, constraint.KindSemanticType,
+			constraint.KindRange, constraint.KindControlDep, constraint.KindValueRel,
+		} {
+			a := acc[k]
+			if a.Total == 0 {
+				fmt.Printf("%-20s %4d  accuracy N/A\n", k, counts[k])
+				continue
+			}
+			fmt.Printf("%-20s %4d  accuracy %.1f%% (%d/%d)\n", k, counts[k], 100*a.Ratio(), a.Correct, a.Total)
+		}
+		return
+	}
+
+	var filter constraint.Kind = -1
+	switch *kind {
+	case "basic":
+		filter = constraint.KindBasicType
+	case "semantic":
+		filter = constraint.KindSemanticType
+	case "range":
+		filter = constraint.KindRange
+	case "dep":
+		filter = constraint.KindControlDep
+	case "rel":
+		filter = constraint.KindValueRel
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "spex: unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+	for _, c := range res.Set.Constraints {
+		if filter >= 0 && c.Kind != filter {
+			continue
+		}
+		if *param != "" && c.Param != *param {
+			continue
+		}
+		doc := ""
+		if !c.Documented && (c.Kind == constraint.KindRange ||
+			c.Kind == constraint.KindControlDep || c.Kind == constraint.KindValueRel) {
+			doc = "  [UNDOCUMENTED]"
+		}
+		fmt.Printf("[%-18s] %s%s\n", c.Kind, c, doc)
+	}
+	if len(res.Unsafe) > 0 {
+		fmt.Printf("\nunsafe transformation APIs:\n")
+		for _, u := range res.Unsafe {
+			fmt.Printf("  %s parsed via %s\n", u.Param, u.API)
+		}
+	}
+}

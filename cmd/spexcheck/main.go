@@ -1,0 +1,62 @@
+// Command spexcheck audits a target's configuration design for error-prone
+// patterns (paper §3.2): case-sensitivity and unit inconsistencies, silent
+// overruling, unsafe parsing APIs, and undocumented constraints.
+//
+// Usage:
+//
+//	spexcheck -system proxyd
+//	spexcheck -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spex/internal/designcheck"
+	"spex/internal/sim"
+	"spex/internal/spex"
+	"spex/internal/targets"
+)
+
+func main() {
+	var (
+		system = flag.String("system", "", "target system (see spex -list)")
+		all    = flag.Bool("all", false, "audit every target")
+	)
+	flag.Parse()
+
+	var systems []sim.System
+	if *all {
+		systems = targets.All()
+	} else if sys := targets.ByName(*system); sys != nil {
+		systems = []sim.System{sys}
+	} else {
+		fmt.Fprintf(os.Stderr, "spexcheck: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	for _, sys := range systems {
+		res, err := spex.InferSystem(sys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexcheck: %v\n", err)
+			os.Exit(1)
+		}
+		a := designcheck.Run(res)
+		fmt.Printf("=== design audit: %s ===\n", sys.Name())
+		fmt.Printf("case sensitivity : %d sensitive, %d insensitive\n", a.CaseSensitive, a.CaseInsensitive)
+		fmt.Printf("size units       : %v\n", a.SizeUnits)
+		fmt.Printf("time units       : %v\n", a.TimeUnits)
+		fmt.Printf("silent overruling: %d parameters\n", a.SilentOverruling)
+		fmt.Printf("unsafe transform : %d parameters\n", a.UnsafeTransform)
+		fmt.Printf("undocumented     : %d ranges, %d dependencies, %d relationships\n",
+			a.UndocRange, a.UndocDep, a.UndocRel)
+		if len(a.Findings) > 0 {
+			fmt.Println("findings:")
+			for _, f := range a.Findings {
+				fmt.Printf("  [%s] %s\n", f.Kind, f.Message)
+			}
+		}
+		fmt.Println()
+	}
+}

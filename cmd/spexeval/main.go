@@ -1,0 +1,91 @@
+// Command spexeval regenerates the paper's evaluation: every table
+// (1-12) and figure (1-7) of §4, measured against the seven simulated
+// targets and printed next to the paper's published numbers.
+//
+// Usage:
+//
+//	spexeval               # everything
+//	spexeval -table 5      # one table
+//	spexeval -figure 7     # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spex/internal/report"
+)
+
+func main() {
+	var (
+		tableN  = flag.Int("table", 0, "render only this table (1-12)")
+		figureN = flag.Int("figure", 0, "render only this figure (1-7)")
+	)
+	flag.Parse()
+
+	results, err := report.AnalyzeAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
+		os.Exit(1)
+	}
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	tables := map[int]func() string{
+		1:  func() string { return report.Table1(results) },
+		2:  report.Table2,
+		3:  func() string { return report.Table3(results) },
+		4:  func() string { return report.Table4(results) },
+		5:  func() string { return report.Table5(results) },
+		6:  func() string { return report.Table6(results) },
+		7:  func() string { return report.Table7(results) },
+		8:  func() string { return report.Table8(results) },
+		9:  func() string { return report.Tables9and10(results) },
+		10: func() string { return report.Tables9and10(results) },
+		11: func() string { return report.Table11(results) },
+		12: func() string { return report.Table12(results) },
+	}
+	figures := map[int]func() (string, error){
+		1: report.Figure1,
+		2: report.Figure2,
+		3: func() (string, error) { return report.Figure3(results), nil },
+		4: func() (string, error) { return report.Figure4(), nil },
+		5: report.Figure5,
+		6: func() (string, error) { return report.Figure6(results), nil },
+		7: report.Figure7,
+	}
+
+	switch {
+	case *tableN != 0:
+		f, ok := tables[*tableN]
+		if !ok {
+			fail(fmt.Errorf("no table %d", *tableN))
+		}
+		fmt.Println(f())
+	case *figureN != 0:
+		f, ok := figures[*figureN]
+		if !ok {
+			fail(fmt.Errorf("no figure %d", *figureN))
+		}
+		s, err := f()
+		fail(err)
+		fmt.Println(s)
+	default:
+		for i := 1; i <= 12; i++ {
+			if i == 10 {
+				continue // rendered together with table 9
+			}
+			fmt.Println(tables[i]())
+		}
+		for i := 1; i <= 7; i++ {
+			s, err := figures[i]()
+			fail(err)
+			fmt.Println(s)
+		}
+	}
+}

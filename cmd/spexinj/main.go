@@ -1,0 +1,98 @@
+// Command spexinj runs the misconfiguration-injection campaign against a
+// simulated target system (paper §3.1): it generates errors violating every
+// inferred constraint, boots the target per misconfiguration, runs the
+// target's own test suite, classifies reactions, and prints error reports
+// for the exposed vulnerabilities.
+//
+// Usage:
+//
+//	spexinj -system proxyd [-reports] [-max 5]
+//	spexinj -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/inject"
+	"spex/internal/sim"
+	"spex/internal/spex"
+	"spex/internal/targets"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "", "target system (see spex -list)")
+		all     = flag.Bool("all", false, "run the campaign on every target")
+		reports = flag.Bool("reports", false, "print full error reports for vulnerabilities")
+		max     = flag.Int("max", 10, "maximum error reports to print")
+		noOpt   = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
+	)
+	flag.Parse()
+
+	var systems []sim.System
+	if *all {
+		systems = targets.All()
+	} else if sys := targets.ByName(*system); sys != nil {
+		systems = []sim.System{sys}
+	} else {
+		fmt.Fprintf(os.Stderr, "spexinj: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	opts := inject.DefaultOptions()
+	if *noOpt {
+		opts.StopOnFirstFailure = false
+		opts.SortTests = false
+	}
+
+	for _, sys := range systems {
+		res, err := spex.InferSystem(sys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			os.Exit(1)
+		}
+		tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			os.Exit(1)
+		}
+		ms := confgen.NewRegistry().Generate(res.Set, tmpl)
+		rep, err := inject.Run(sys, ms, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			os.Exit(1)
+		}
+		counts := rep.CountByReaction()
+		fmt.Printf("=== %s: %d misconfigurations injected ===\n", sys.Name(), len(ms))
+		order := []inject.Reaction{
+			inject.ReactionCrash, inject.ReactionEarlyTerm, inject.ReactionFuncFailure,
+			inject.ReactionSilentViolation, inject.ReactionSilentIgnorance,
+			inject.ReactionGood, inject.ReactionTolerated,
+		}
+		for _, r := range order {
+			marker := " "
+			if r.Vulnerability() {
+				marker = "!"
+			}
+			fmt.Printf("  %s %-20s %d\n", marker, r.String(), counts[r])
+		}
+		fmt.Printf("  vulnerabilities: %d at %d unique code locations; simulated cost %d units\n\n",
+			len(rep.Vulnerabilities()), rep.UniqueLocations(), rep.TotalSimCost)
+
+		if *reports {
+			printed := 0
+			for _, o := range rep.Vulnerabilities() {
+				if printed >= *max {
+					fmt.Printf("  ... (%d more vulnerabilities; raise -max)\n", len(rep.Vulnerabilities())-printed)
+					break
+				}
+				fmt.Println(inject.ErrorReport(o))
+				printed++
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Package spex is a Go reproduction of "Do Not Blame Users for
+// Misconfigurations" (Xu et al., SOSP 2013).
+//
+// The repository implements the paper's complete system:
+//
+//   - SPEX, a static analysis that infers configuration constraints
+//     (basic type, semantic type, value range, control dependency, value
+//     relationship) from annotated source code (internal/spex and its
+//     substrates: frontend, cfg, dataflow, mapping, annot, apispec).
+//   - SPEX-INJ, a misconfiguration-injection harness that violates every
+//     inferred constraint, boots the target on hermetic virtual substrates
+//     (vfs, vnet, simlog, sim), runs the target's own functional tests,
+//     and classifies the reaction (confgen, inject).
+//   - The error-prone-design detectors: case-sensitivity and unit
+//     inconsistency, silent overruling, unsafe parsing APIs, undocumented
+//     constraints (designcheck).
+//   - Seven simulated evaluation targets mirroring the paper's systems
+//     (internal/targets/...), the 18-project mapping survey
+//     (targets/minicorpus), and the historical-case study (casedb).
+//   - Renderers that regenerate every table and figure of the paper's
+//     evaluation next to the published numbers (report, cmd/spexeval).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package spex

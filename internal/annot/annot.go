@@ -1,0 +1,288 @@
+// Package annot parses SPEX annotations. Developers annotate the mapping
+// *interfaces* (not every mapping pair): the option-table structure, the
+// parser function, or the getter functions (paper §2.2.1, Figure 4). The
+// syntax mirrors the paper:
+//
+//	{ @STRUCT = configInts
+//	  @PAR = [intOption, 1]
+//	  @VAR = [intOption, 2] }
+//
+//	{ @STRUCT = coreCmds
+//	  @PAR = [command, 1]
+//	  @VAR = ([command, 2], $arg) }
+//
+//	{ @PARSER = loadServerConfig
+//	  @PAR = $key
+//	  @VAR = $value }
+//
+//	{ @GETTER = GetI32
+//	  @PAR = 1
+//	  @VAR = $RET }
+//
+// Lines starting with '#' are comments. The number of non-comment,
+// non-empty lines is the paper's "lines of annotation" (LoA, Table 4).
+package annot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the annotated mapping convention.
+type Kind int
+
+const (
+	// KindStruct is structure-based mapping: an option table maps names
+	// directly to variables (Figure 4a) or to handler functions
+	// (Figure 4b).
+	KindStruct Kind = iota
+	// KindParser is comparison-based mapping: a parser function matches
+	// parameter names with string comparisons (Figure 4c).
+	KindParser
+	// KindGetter is container-based mapping: getter functions retrieve
+	// values from a central container (Figure 4d).
+	KindGetter
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStruct:
+		return "structure"
+	case KindParser:
+		return "comparison"
+	case KindGetter:
+		return "container"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// FieldRef addresses a struct field by type name and 1-based index.
+type FieldRef struct {
+	Struct string
+	Index  int
+}
+
+// Annotation is one parsed annotation block.
+type Annotation struct {
+	Kind Kind
+	// Target is the annotated interface: the option-table variable name
+	// (KindStruct), the parser function name (KindParser), or the getter
+	// function name (KindGetter).
+	Target string
+
+	// Structure-based fields.
+	ParField FieldRef // which field holds the parameter name
+	VarField FieldRef // which field holds the variable (or handler func)
+	// HandlerArg names the handler-function argument holding the value
+	// ("" for direct variable mapping).
+	HandlerArg string
+
+	// Parser-based fields: parameter names of the parser function that
+	// hold the parameter name and value. Either $name form or $argv[i]
+	// form; the latter is stored as "argv" with the index.
+	ParName  string
+	ParIndex int // used when ParName == "argv"
+	VarName  string
+	VarIndex int
+
+	// Getter-based fields: 1-based argument index holding the parameter
+	// name. The mapped variable is the call result ($RET).
+	ParArgIndex int
+}
+
+// File is a parsed annotation file.
+type File struct {
+	Annotations []Annotation
+	// LoA is the lines-of-annotation count (Table 4).
+	LoA int
+}
+
+// Parse parses annotation text.
+func Parse(src string) (*File, error) {
+	f := &File{}
+	var cur map[string]string
+	var curOrder []string
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		a, err := buildAnnotation(cur, curOrder)
+		if err != nil {
+			return err
+		}
+		f.Annotations = append(f.Annotations, a)
+		cur = nil
+		curOrder = nil
+		return nil
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f.LoA++
+		for line != "" {
+			switch {
+			case strings.HasPrefix(line, "{"):
+				if cur != nil {
+					return nil, fmt.Errorf("annot: line %d: nested block", lineNo+1)
+				}
+				cur = make(map[string]string)
+				line = strings.TrimSpace(line[1:])
+			case strings.HasPrefix(line, "}"):
+				if cur == nil {
+					return nil, fmt.Errorf("annot: line %d: unmatched }", lineNo+1)
+				}
+				if err := flush(); err != nil {
+					return nil, fmt.Errorf("annot: line %d: %w", lineNo+1, err)
+				}
+				line = strings.TrimSpace(line[1:])
+			case strings.HasPrefix(line, "@"):
+				if cur == nil {
+					return nil, fmt.Errorf("annot: line %d: directive outside block", lineNo+1)
+				}
+				// Consume up to the next top-level '@' or '}'.
+				end := len(line)
+				depth := 0
+				for i := 1; i < len(line); i++ {
+					switch line[i] {
+					case '[', '(':
+						depth++
+					case ']', ')':
+						depth--
+					case '@', '}':
+						if depth == 0 {
+							end = i
+						}
+					}
+					if end != len(line) {
+						break
+					}
+				}
+				stmt := strings.TrimSpace(line[:end])
+				eq := strings.Index(stmt, "=")
+				if eq < 0 {
+					return nil, fmt.Errorf("annot: line %d: missing '=' in %q", lineNo+1, stmt)
+				}
+				key := strings.TrimSpace(stmt[:eq])
+				val := strings.TrimSpace(stmt[eq+1:])
+				if _, dup := cur[key]; dup {
+					return nil, fmt.Errorf("annot: line %d: duplicate %s", lineNo+1, key)
+				}
+				cur[key] = val
+				curOrder = append(curOrder, key)
+				line = strings.TrimSpace(line[end:])
+			default:
+				return nil, fmt.Errorf("annot: line %d: unexpected %q", lineNo+1, line)
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("annot: unterminated block")
+	}
+	return f, nil
+}
+
+func buildAnnotation(kv map[string]string, order []string) (Annotation, error) {
+	var a Annotation
+	switch {
+	case kv["@STRUCT"] != "":
+		a.Kind = KindStruct
+		a.Target = kv["@STRUCT"]
+		pf, err := parseFieldRef(kv["@PAR"])
+		if err != nil {
+			return a, fmt.Errorf("@PAR: %w", err)
+		}
+		a.ParField = pf
+		varSpec := kv["@VAR"]
+		if strings.HasPrefix(varSpec, "(") {
+			// ([command, 2], $arg)
+			inner := strings.TrimSuffix(strings.TrimPrefix(varSpec, "("), ")")
+			close := strings.Index(inner, "]")
+			if close < 0 {
+				return a, fmt.Errorf("@VAR: malformed handler ref %q", varSpec)
+			}
+			vf, err := parseFieldRef(inner[:close+1])
+			if err != nil {
+				return a, fmt.Errorf("@VAR: %w", err)
+			}
+			a.VarField = vf
+			rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(inner[close+1:]), ","))
+			if !strings.HasPrefix(rest, "$") {
+				return a, fmt.Errorf("@VAR: handler argument must be $name, got %q", rest)
+			}
+			a.HandlerArg = rest[1:]
+		} else {
+			vf, err := parseFieldRef(varSpec)
+			if err != nil {
+				return a, fmt.Errorf("@VAR: %w", err)
+			}
+			a.VarField = vf
+		}
+	case kv["@PARSER"] != "":
+		a.Kind = KindParser
+		a.Target = kv["@PARSER"]
+		var err error
+		a.ParName, a.ParIndex, err = parseDollar(kv["@PAR"])
+		if err != nil {
+			return a, fmt.Errorf("@PAR: %w", err)
+		}
+		a.VarName, a.VarIndex, err = parseDollar(kv["@VAR"])
+		if err != nil {
+			return a, fmt.Errorf("@VAR: %w", err)
+		}
+	case kv["@GETTER"] != "":
+		a.Kind = KindGetter
+		a.Target = kv["@GETTER"]
+		n, err := strconv.Atoi(strings.TrimSpace(kv["@PAR"]))
+		if err != nil {
+			return a, fmt.Errorf("@PAR: getter annotations take a 1-based argument index: %w", err)
+		}
+		a.ParArgIndex = n
+		if v := strings.TrimSpace(kv["@VAR"]); v != "$RET" {
+			return a, fmt.Errorf("@VAR: getter annotations require $RET, got %q", v)
+		}
+	default:
+		return a, fmt.Errorf("block needs one of @STRUCT/@PARSER/@GETTER (saw %s)", strings.Join(order, ","))
+	}
+	return a, nil
+}
+
+// parseFieldRef parses "[TypeName, index]".
+func parseFieldRef(s string) (FieldRef, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return FieldRef{}, fmt.Errorf("want [Type, index], got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	if len(parts) != 2 {
+		return FieldRef{}, fmt.Errorf("want [Type, index], got %q", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return FieldRef{}, fmt.Errorf("bad index in %q: %w", s, err)
+	}
+	return FieldRef{Struct: strings.TrimSpace(parts[0]), Index: idx}, nil
+}
+
+// parseDollar parses "$name" or "$argv[i]".
+func parseDollar(s string) (name string, index int, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return "", 0, fmt.Errorf("want $name or $argv[i], got %q", s)
+	}
+	s = s[1:]
+	if open := strings.Index(s, "["); open >= 0 {
+		if !strings.HasSuffix(s, "]") {
+			return "", 0, fmt.Errorf("malformed index in %q", s)
+		}
+		idx, err := strconv.Atoi(s[open+1 : len(s)-1])
+		if err != nil {
+			return "", 0, fmt.Errorf("bad index in %q: %w", s, err)
+		}
+		return s[:open], idx, nil
+	}
+	return s, -1, nil
+}

@@ -1,0 +1,158 @@
+package annot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStructDirect(t *testing.T) {
+	f, err := Parse(`{ @STRUCT = configInts
+  @PAR = [intOption, 1]
+  @VAR = [intOption, 2] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Annotations) != 1 {
+		t.Fatalf("annotations = %d", len(f.Annotations))
+	}
+	a := f.Annotations[0]
+	if a.Kind != KindStruct || a.Target != "configInts" {
+		t.Errorf("kind/target = %s/%s", a.Kind, a.Target)
+	}
+	if a.ParField != (FieldRef{Struct: "intOption", Index: 1}) {
+		t.Errorf("ParField = %+v", a.ParField)
+	}
+	if a.VarField != (FieldRef{Struct: "intOption", Index: 2}) {
+		t.Errorf("VarField = %+v", a.VarField)
+	}
+	if a.HandlerArg != "" {
+		t.Errorf("HandlerArg = %q, want empty", a.HandlerArg)
+	}
+	if f.LoA != 3 {
+		t.Errorf("LoA = %d, want 3", f.LoA)
+	}
+}
+
+func TestParseStructHandler(t *testing.T) {
+	f, err := Parse(`{ @STRUCT = coreCmds @PAR = [command, 1] @VAR = ([command, 2], $arg) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Annotations[0]
+	if a.HandlerArg != "arg" {
+		t.Errorf("HandlerArg = %q", a.HandlerArg)
+	}
+	if a.VarField.Index != 2 {
+		t.Errorf("VarField = %+v", a.VarField)
+	}
+	if f.LoA != 1 {
+		t.Errorf("LoA = %d, want 1 (single line)", f.LoA)
+	}
+}
+
+func TestParseParser(t *testing.T) {
+	f, err := Parse(`{ @PARSER = loadServerConfig
+  @PAR = $key  @VAR = $value }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Annotations[0]
+	if a.Kind != KindParser || a.Target != "loadServerConfig" {
+		t.Errorf("kind/target = %s/%s", a.Kind, a.Target)
+	}
+	if a.ParName != "key" || a.ParIndex != -1 {
+		t.Errorf("par = %q/%d", a.ParName, a.ParIndex)
+	}
+	if a.VarName != "value" {
+		t.Errorf("var = %q", a.VarName)
+	}
+}
+
+func TestParseParserArgvForm(t *testing.T) {
+	f, err := Parse(`{ @PARSER = load @PAR = $argv[0] @VAR = $argv[1] }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Annotations[0]
+	if a.ParName != "argv" || a.ParIndex != 0 {
+		t.Errorf("par = %q/%d", a.ParName, a.ParIndex)
+	}
+	if a.VarName != "argv" || a.VarIndex != 1 {
+		t.Errorf("var = %q/%d", a.VarName, a.VarIndex)
+	}
+}
+
+func TestParseGetter(t *testing.T) {
+	f, err := Parse(`{ @GETTER = getI32
+  @PAR = 1
+  @VAR = $RET }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Annotations[0]
+	if a.Kind != KindGetter || a.Target != "getI32" || a.ParArgIndex != 1 {
+		t.Errorf("annotation = %+v", a)
+	}
+}
+
+func TestMultipleBlocksAndComments(t *testing.T) {
+	f, err := Parse(`# three tables
+{ @STRUCT = a @PAR = [x, 1] @VAR = [x, 2] }
+# second
+{ @STRUCT = b @PAR = [y, 1] @VAR = [y, 3] }
+{ @GETTER = g @PAR = 2 @VAR = $RET }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Annotations) != 3 {
+		t.Fatalf("annotations = %d", len(f.Annotations))
+	}
+	if f.LoA != 3 {
+		t.Errorf("LoA = %d, want 3 (comments excluded)", f.LoA)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{`{ @PAR = [x, 1] }`, "needs one of"},
+		{`{ @STRUCT = t @PAR = [x 1] @VAR = [x, 2] }`, "want [Type, index]"},
+		{`{ @STRUCT = t @PAR = [x, z] @VAR = [x, 2] }`, "bad index"},
+		{`{ @PARSER = f @PAR = key @VAR = $v }`, "want $name"},
+		{`{ @GETTER = g @PAR = one @VAR = $RET }`, "1-based argument index"},
+		{`{ @GETTER = g @PAR = 1 @VAR = $OUT }`, "require $RET"},
+		{`{ @STRUCT = t @PAR = [x, 1] @VAR = [x, 2]`, "unterminated"},
+		{`} `, "unmatched"},
+		{`{ @STRUCT = a @STRUCT = b @PAR = [x,1] @VAR = [x,2] }`, "duplicate"},
+		{`{ @VAR = (bogus @STRUCT = t }`, "unterminated"},
+		{`@STRUCT = t`, "directive outside block"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindStruct.String() != "structure" || KindParser.String() != "comparison" ||
+		KindGetter.String() != "container" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	f, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Annotations) != 0 || f.LoA != 0 {
+		t.Errorf("empty input = %+v", f)
+	}
+}

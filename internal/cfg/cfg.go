@@ -1,0 +1,473 @@
+// Package cfg builds per-function control-flow graphs over Go AST
+// statements and computes dominator trees. SPEX's control-dependency
+// inference starts from the usage statements of a parameter and looks for
+// conditional branches that dominate them, bottom-up (paper §2.2.4); the
+// dominator tree provides exactly that relation.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+const (
+	// KindEntry is the synthetic function entry.
+	KindEntry NodeKind = iota
+	// KindExit is the synthetic function exit.
+	KindExit
+	// KindStmt is a plain statement.
+	KindStmt
+	// KindCond is a branch head holding a condition expression.
+	KindCond
+	// KindJoin is a synthetic merge point after a branch.
+	KindJoin
+)
+
+// Node is one CFG node.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Stmt ast.Stmt // statement for KindStmt; the If/For/Switch for KindCond
+	Cond ast.Expr // condition for KindCond
+	// ThenHead and ElseHead are the first nodes of the true and false
+	// branches of a KindCond node (-1 when the branch is empty and flows
+	// directly to the join). For switch case clauses, ThenHead is the
+	// clause body head.
+	ThenHead, ElseHead int
+	// Negated is true for KindCond nodes representing the implicit
+	// "none of the cases matched" condition of a switch default.
+	Negated bool
+	Succs   []int
+	Preds   []int
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Func  string
+	Nodes []*Node
+	Entry int
+	Exit  int
+	// stmtNode maps statements to node IDs.
+	stmtNode map[ast.Stmt]int
+	idom     []int // computed lazily
+}
+
+// builder state.
+type builder struct {
+	g *Graph
+	// loopStack tracks (continueTarget, breakTarget) for break/continue.
+	loopStack []loopCtx
+}
+
+type loopCtx struct{ contTo, breakTo int }
+
+// Build constructs the CFG of a function declaration. Functions without a
+// body yield a trivial entry->exit graph.
+func Build(decl *ast.FuncDecl) *Graph {
+	g := &Graph{Func: decl.Name.Name, stmtNode: make(map[ast.Stmt]int)}
+	b := &builder{g: g}
+	g.Entry = b.newNode(KindEntry, nil)
+	g.Exit = b.newNode(KindExit, nil)
+	if decl.Body == nil {
+		b.edge(g.Entry, g.Exit)
+		return g
+	}
+	last := b.stmts(g.Entry, decl.Body.List)
+	if last >= 0 {
+		b.edge(last, g.Exit)
+	}
+	// Ensure every node reaches something; dangling nodes (e.g. after
+	// return) are fine for dominance.
+	return g
+}
+
+func (b *builder) newNode(k NodeKind, stmt ast.Stmt) int {
+	id := len(b.g.Nodes)
+	b.g.Nodes = append(b.g.Nodes, &Node{ID: id, Kind: k, Stmt: stmt, ThenHead: -1, ElseHead: -1})
+	if stmt != nil {
+		b.g.stmtNode[stmt] = id
+	}
+	return id
+}
+
+func (b *builder) edge(from, to int) {
+	if from < 0 || to < 0 {
+		return
+	}
+	n := b.g.Nodes[from]
+	for _, s := range n.Succs {
+		if s == to {
+			return
+		}
+	}
+	n.Succs = append(n.Succs, to)
+	b.g.Nodes[to].Preds = append(b.g.Nodes[to].Preds, from)
+}
+
+// stmts wires a statement list after pred; it returns the node control
+// falls out of, or -1 if control never falls through (return/branch).
+func (b *builder) stmts(pred int, list []ast.Stmt) int {
+	cur := pred
+	for _, s := range list {
+		if cur < 0 {
+			// Unreachable code still gets nodes (SPEX scans it for
+			// patterns) hung off a fresh disconnected chain.
+			cur = b.newNode(KindJoin, nil)
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt wires one statement after pred, returning the fall-through node or
+// -1.
+func (b *builder) stmt(pred int, s ast.Stmt) int {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if st.Init != nil {
+			pred = b.stmt(pred, st.Init)
+		}
+		cond := b.newNode(KindCond, s)
+		b.g.Nodes[cond].Cond = st.Cond
+		b.edge(pred, cond)
+		join := b.newNode(KindJoin, nil)
+
+		thenHead := b.newNode(KindJoin, nil)
+		b.g.Nodes[cond].ThenHead = thenHead
+		b.edge(cond, thenHead)
+		thenEnd := b.stmts(thenHead, st.Body.List)
+		if thenEnd >= 0 {
+			b.edge(thenEnd, join)
+		}
+
+		if st.Else != nil {
+			elseHead := b.newNode(KindJoin, nil)
+			b.g.Nodes[cond].ElseHead = elseHead
+			b.edge(cond, elseHead)
+			var elseEnd int
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				elseEnd = b.stmts(elseHead, e.List)
+			default: // else-if chain
+				elseEnd = b.stmt(elseHead, st.Else)
+			}
+			if elseEnd >= 0 {
+				b.edge(elseEnd, join)
+			}
+		} else {
+			b.edge(cond, join)
+		}
+		if len(b.g.Nodes[join].Preds) == 0 {
+			return -1
+		}
+		return join
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			pred = b.stmt(pred, st.Init)
+		}
+		cond := b.newNode(KindCond, s)
+		if st.Cond != nil {
+			b.g.Nodes[cond].Cond = st.Cond
+		}
+		b.edge(pred, cond)
+		exit := b.newNode(KindJoin, nil)
+		bodyHead := b.newNode(KindJoin, nil)
+		b.g.Nodes[cond].ThenHead = bodyHead
+		b.edge(cond, bodyHead)
+		if st.Cond != nil {
+			b.edge(cond, exit)
+		}
+		b.loopStack = append(b.loopStack, loopCtx{contTo: cond, breakTo: exit})
+		bodyEnd := b.stmts(bodyHead, st.Body.List)
+		b.loopStack = b.loopStack[:len(b.loopStack)-1]
+		if bodyEnd >= 0 {
+			if st.Post != nil {
+				bodyEnd = b.stmt(bodyEnd, st.Post)
+			}
+			b.edge(bodyEnd, cond)
+		}
+		if st.Cond == nil && len(b.g.Nodes[exit].Preds) == 0 {
+			return -1 // for {} with no breaks never falls through
+		}
+		return exit
+
+	case *ast.RangeStmt:
+		cond := b.newNode(KindCond, s)
+		b.edge(pred, cond)
+		exit := b.newNode(KindJoin, nil)
+		bodyHead := b.newNode(KindJoin, nil)
+		b.g.Nodes[cond].ThenHead = bodyHead
+		b.edge(cond, bodyHead)
+		b.edge(cond, exit)
+		b.loopStack = append(b.loopStack, loopCtx{contTo: cond, breakTo: exit})
+		bodyEnd := b.stmts(bodyHead, st.Body.List)
+		b.loopStack = b.loopStack[:len(b.loopStack)-1]
+		if bodyEnd >= 0 {
+			b.edge(bodyEnd, cond)
+		}
+		return exit
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			pred = b.stmt(pred, st.Init)
+		}
+		join := b.newNode(KindJoin, nil)
+		cur := pred
+		fellThrough := false
+		hasDefault := false
+		for _, c := range st.Body.List {
+			clause := c.(*ast.CaseClause)
+			cond := b.newNode(KindCond, clause)
+			if len(clause.List) > 0 {
+				// Represent "tag == v1 || tag == v2" by keeping the
+				// switch tag and clause; consumers reconstruct.
+				b.g.Nodes[cond].Cond = st.Tag
+			} else {
+				hasDefault = true
+				b.g.Nodes[cond].Negated = true
+			}
+			b.edge(cur, cond)
+			head := b.newNode(KindJoin, nil)
+			b.g.Nodes[cond].ThenHead = head
+			b.edge(cond, head)
+			end := b.stmts(head, clause.Body)
+			if end >= 0 {
+				b.edge(end, join)
+			}
+			_ = fellThrough
+			cur = cond // next clause tested if this one does not match
+		}
+		if !hasDefault {
+			b.edge(cur, join)
+		}
+		if len(b.g.Nodes[join].Preds) == 0 {
+			return -1
+		}
+		return join
+
+	case *ast.ReturnStmt:
+		n := b.newNode(KindStmt, s)
+		b.edge(pred, n)
+		b.edge(n, b.g.Exit)
+		return -1
+
+	case *ast.BranchStmt:
+		n := b.newNode(KindStmt, s)
+		b.edge(pred, n)
+		if len(b.loopStack) > 0 {
+			top := b.loopStack[len(b.loopStack)-1]
+			switch st.Tok.String() {
+			case "break":
+				b.edge(n, top.breakTo)
+			case "continue":
+				b.edge(n, top.contTo)
+			}
+		}
+		return -1
+
+	case *ast.BlockStmt:
+		return b.stmts(pred, st.List)
+
+	case *ast.LabeledStmt:
+		return b.stmt(pred, st.Stmt)
+
+	default:
+		// Plain statements: assign, expr, decl, incdec, go, defer, ...
+		n := b.newNode(KindStmt, s)
+		b.edge(pred, n)
+		// Statements that provably do not fall through.
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && isNoReturn(call) {
+				b.edge(n, b.g.Exit)
+				return -1
+			}
+		}
+		return n
+	}
+}
+
+// isNoReturn recognizes calls that terminate the function: panic and the
+// sim.Hang()/os.Exit analogues used by the targets.
+func isNoReturn(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Hang", "Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// NodeOf returns the CFG node ID of a statement, or -1.
+func (g *Graph) NodeOf(s ast.Stmt) int {
+	if id, ok := g.stmtNode[s]; ok {
+		return id
+	}
+	return -1
+}
+
+// Idom returns the immediate-dominator array (idom[entry] == entry;
+// unreachable nodes get -1), computed with the Cooper-Harvey-Kennedy
+// iterative algorithm.
+func (g *Graph) Idom() []int {
+	if g.idom != nil {
+		return g.idom
+	}
+	n := len(g.Nodes)
+	// Reverse postorder from entry.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	var post []int
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range g.Nodes[u].Succs {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(g.Entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range order {
+		rpoNum[u] = i
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.Entry] = g.Entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, u := range order {
+			if u == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Nodes[u].Preds {
+				if rpoNum[p] < 0 || idom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom = idom
+	return idom
+}
+
+// Dominates reports whether node a dominates node b.
+func (g *Graph) Dominates(a, b int) bool {
+	idom := g.Idom()
+	if a == b {
+		return true
+	}
+	for b != g.Entry && b >= 0 {
+		b = idom[b]
+		if b == a {
+			return true
+		}
+		if b < 0 {
+			return false
+		}
+		if b == g.Entry {
+			break
+		}
+	}
+	return a == g.Entry
+}
+
+// CondSide describes a branch condition that dominates a node: which branch
+// of the condition the node lies on.
+type CondSide struct {
+	Cond *Node
+	// Then is true if the node is dominated by the condition's then
+	// branch, false for the else branch.
+	Then bool
+	// Guard marks conditions attributed through fall-through after an
+	// always-exiting then branch ("if bad { return err }; u"). Guards
+	// carry weaker dependency evidence: numeric validity checks among
+	// them are range constraints, not feature gates.
+	Guard bool
+}
+
+// DominatingConds returns, bottom-up, the branch conditions whose taken
+// side dominates node u (the paper's §2.2.4 walk).
+func (g *Graph) DominatingConds(u int) []CondSide {
+	idom := g.Idom()
+	var out []CondSide
+	if u < 0 || u >= len(g.Nodes) || idom[u] < 0 {
+		return nil
+	}
+	for v := u; v != g.Entry && v >= 0; v = idom[v] {
+		n := g.Nodes[v]
+		if n.Kind != KindCond {
+			continue
+		}
+		switch {
+		case n.ThenHead >= 0 && g.Dominates(n.ThenHead, u) && u != v:
+			out = append(out, CondSide{Cond: n, Then: true})
+		case n.ElseHead >= 0 && g.Dominates(n.ElseHead, u) && u != v:
+			out = append(out, CondSide{Cond: n, Then: false})
+		case n.ThenHead >= 0 && n.ElseHead < 0 && u != v && !g.ReachableFrom(n.ThenHead, u):
+			// Guard shape: "if cond { return/exit }; u". The then
+			// branch never reaches u, so u executes only when the
+			// condition is false.
+			out = append(out, CondSide{Cond: n, Then: false, Guard: true})
+		}
+	}
+	return out
+}
+
+// ReachableFrom reports whether node v is reachable from node u.
+func (g *Graph) ReachableFrom(u, v int) bool {
+	seen := make([]bool, len(g.Nodes))
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		stack = append(stack, g.Nodes[x].Succs...)
+	}
+	return false
+}

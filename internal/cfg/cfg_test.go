@@ -1,0 +1,280 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func buildFunc(t *testing.T, body string) (*Graph, *ast.FuncDecl) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	decl := file.Decls[0].(*ast.FuncDecl)
+	return Build(decl), decl
+}
+
+// findStmt locates the first statement of a given type in the function.
+func findStmt[T ast.Stmt](decl *ast.FuncDecl) T {
+	var out T
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if s, ok := n.(T); ok {
+			var zero T
+			if any(out) == any(zero) {
+				out = s
+			}
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func TestLinearFlow(t *testing.T) {
+	g, _ := buildFunc(t, "x := 1\ny := x\n_ = y")
+	idom := g.Idom()
+	// Every node except entry has an idom.
+	for i, n := range g.Nodes {
+		if i == g.Entry {
+			continue
+		}
+		if len(n.Preds) > 0 && idom[i] < 0 {
+			t.Errorf("node %d has no idom", i)
+		}
+	}
+	if !g.Dominates(g.Entry, g.Exit) {
+		t.Error("entry must dominate exit")
+	}
+}
+
+func TestIfDominance(t *testing.T) {
+	g, decl := buildFunc(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	x = 4`)
+	ifStmt := findStmt[*ast.IfStmt](decl)
+	condNode := g.NodeOf(ifStmt)
+	if condNode < 0 {
+		t.Fatal("if statement has no CFG node")
+	}
+	n := g.Nodes[condNode]
+	if n.Kind != KindCond || n.ThenHead < 0 || n.ElseHead < 0 {
+		t.Fatalf("cond node malformed: %+v", n)
+	}
+	// The then-head must not dominate the merge point (both sides join).
+	if g.Dominates(n.ThenHead, g.Exit) {
+		t.Error("then-branch must not dominate the exit")
+	}
+	if !g.Dominates(condNode, g.Exit) {
+		t.Error("the condition dominates everything after the if")
+	}
+}
+
+func TestDominatingCondsThenSide(t *testing.T) {
+	g, decl := buildFunc(t, `
+	x := 1
+	if x > 0 {
+		y := 2
+		_ = y
+	}`)
+	// The assignment inside the branch is dominated by the then side.
+	var assign *ast.AssignStmt
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "y" {
+				assign = a
+			}
+		}
+		return true
+	})
+	node := g.NodeOf(assign)
+	if node < 0 {
+		t.Fatal("no node for inner assignment")
+	}
+	conds := g.DominatingConds(node)
+	if len(conds) != 1 || !conds[0].Then || conds[0].Guard {
+		t.Fatalf("conds = %+v, want one then-side non-guard", conds)
+	}
+}
+
+func TestGuardFallThroughAttribution(t *testing.T) {
+	g, decl := buildFunc(t, `
+	x := 1
+	if x > 0 {
+		return
+	}
+	y := 2
+	_ = y`)
+	var assign *ast.AssignStmt
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "y" {
+				assign = a
+			}
+		}
+		return true
+	})
+	node := g.NodeOf(assign)
+	conds := g.DominatingConds(node)
+	if len(conds) != 1 {
+		t.Fatalf("conds = %+v, want the guard", conds)
+	}
+	if conds[0].Then || !conds[0].Guard {
+		t.Errorf("guard fall-through must be attributed else-side with Guard=true: %+v", conds[0])
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	g, decl := buildFunc(t, `
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+	x := 1
+	_ = x`)
+	forStmt := findStmt[*ast.ForStmt](decl)
+	node := g.NodeOf(forStmt)
+	if node < 0 || g.Nodes[node].Kind != KindCond {
+		t.Fatal("for loop condition missing")
+	}
+	// Code after the loop is reachable.
+	if !g.ReachableFrom(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestInfiniteLoopNoFallThrough(t *testing.T) {
+	g, _ := buildFunc(t, `
+	for {
+		x := 1
+		_ = x
+	}`)
+	// for{} without break: exit reachable only via... nothing.
+	reached := g.ReachableFrom(g.Entry, g.Exit)
+	if reached {
+		t.Error("exit should be unreachable past for{}")
+	}
+}
+
+func TestBreakExitsLoop(t *testing.T) {
+	g, _ := buildFunc(t, `
+	for {
+		break
+	}
+	x := 1
+	_ = x`)
+	if !g.ReachableFrom(g.Entry, g.Exit) {
+		t.Error("break must make the exit reachable")
+	}
+}
+
+func TestSwitchClauses(t *testing.T) {
+	g, decl := buildFunc(t, `
+	x := 1
+	switch x {
+	case 1:
+		x = 10
+	case 2:
+		x = 20
+	default:
+		x = 30
+	}
+	_ = x`)
+	count := 0
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond {
+			if _, ok := n.Stmt.(*ast.CaseClause); ok {
+				count++
+			}
+		}
+	}
+	if count != 3 {
+		t.Errorf("case-clause cond nodes = %d, want 3", count)
+	}
+	_ = decl
+}
+
+func TestReturnConnectsToExit(t *testing.T) {
+	g, decl := buildFunc(t, `
+	x := 1
+	if x > 0 {
+		return
+	}
+	_ = x`)
+	ret := findStmt[*ast.ReturnStmt](decl)
+	node := g.NodeOf(ret)
+	found := false
+	for _, s := range g.Nodes[node].Succs {
+		if s == g.Exit {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("return does not flow to exit")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g, _ := buildFunc(t, `
+	panic("boom")`)
+	// The panic node flows to exit; nothing after.
+	if !g.ReachableFrom(g.Entry, g.Exit) {
+		t.Error("panic should reach exit")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	g, decl := buildFunc(t, `
+	x := 1
+	if x == 0 {
+		x = 10
+	} else if x == 1 {
+		x = 11
+	} else {
+		x = 12
+	}
+	_ = x`)
+	conds := 0
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond && n.Cond != nil {
+			conds++
+		}
+	}
+	if conds != 2 {
+		t.Errorf("cond nodes = %d, want 2 (chained ifs)", conds)
+	}
+	_ = decl
+	if !g.Dominates(g.Entry, g.Exit) {
+		t.Error("entry must dominate exit")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g, _ := buildFunc(t, `
+	xs := []int{1, 2}
+	for _, v := range xs {
+		_ = v
+	}
+	y := 1
+	_ = y`)
+	if !g.ReachableFrom(g.Entry, g.Exit) {
+		t.Error("exit unreachable after range loop")
+	}
+}
+
+func TestDominatesReflexive(t *testing.T) {
+	g, _ := buildFunc(t, "x := 1\n_ = x")
+	for i := range g.Nodes {
+		if g.Idom()[i] >= 0 && !g.Dominates(i, i) {
+			t.Errorf("node %d must dominate itself", i)
+		}
+	}
+}

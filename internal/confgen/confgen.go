@@ -1,0 +1,416 @@
+// Package confgen implements SPEX-INJ's misconfiguration generation
+// (paper §3.1, Table 2): for every inferred constraint it produces
+// configuration errors that intentionally violate it. Every generation rule
+// is a plug-in registered per constraint kind, so the rule set can be
+// extended for customized (e.g. proprietary) data types.
+package confgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spex/internal/conffile"
+	"spex/internal/constraint"
+)
+
+// EnvActionKind enumerates environment manipulations that accompany an
+// injected value (e.g. occupying the port the parameter names, Figure 5c).
+type EnvActionKind int
+
+const (
+	// EnvOccupyPort binds the port in the virtual network before the
+	// target starts.
+	EnvOccupyPort EnvActionKind = iota
+	// EnvMakeDir creates a directory at the given path (to inject "a
+	// directory where a file is expected", Figure 5b).
+	EnvMakeDir
+	// EnvMakeUnreadable creates the file with no read permission.
+	EnvMakeUnreadable
+	// EnvEnsureMissing guarantees the path does not exist.
+	EnvEnsureMissing
+)
+
+// EnvAction is one pre-start environment manipulation.
+type EnvAction struct {
+	Kind EnvActionKind
+	Path string
+	Port int
+}
+
+// Misconf is one generated misconfiguration: one or several erroneous
+// parameter values violating a specific constraint.
+type Misconf struct {
+	ID     string
+	Param  string
+	Rule   string
+	Values map[string]string
+	Env    []EnvAction
+	// Violates is the constraint this misconfiguration violates.
+	Violates *constraint.Constraint
+	// Description explains the intent for error reports.
+	Description string
+}
+
+// Generator produces misconfigurations for one constraint. The template
+// provides current/default values for correlated parameters.
+type Generator func(c *constraint.Constraint, tmpl *conffile.File) []Misconf
+
+// Registry maps constraint kinds to generation plug-ins.
+type Registry struct {
+	rules map[constraint.Kind][]namedGen
+}
+
+type namedGen struct {
+	name string
+	gen  Generator
+}
+
+// NewRegistry returns a registry loaded with the standard Table 2 rules.
+func NewRegistry() *Registry {
+	r := &Registry{rules: make(map[constraint.Kind][]namedGen)}
+	r.Register(constraint.KindBasicType, "basic-type-violation", genBasicType)
+	r.Register(constraint.KindSemanticType, "semantic-type-violation", genSemanticType)
+	r.Register(constraint.KindRange, "range-violation", genRange)
+	r.Register(constraint.KindControlDep, "control-dep-violation", genControlDep)
+	r.Register(constraint.KindValueRel, "value-rel-violation", genValueRel)
+	return r
+}
+
+// Register adds a generation plug-in for a constraint kind.
+func (r *Registry) Register(k constraint.Kind, name string, g Generator) {
+	r.rules[k] = append(r.rules[k], namedGen{name: name, gen: g})
+}
+
+// RuleNames lists registered rule names per kind (Table 2 rendering).
+func (r *Registry) RuleNames() map[constraint.Kind][]string {
+	out := make(map[constraint.Kind][]string)
+	for k, gens := range r.rules {
+		for _, g := range gens {
+			out[k] = append(out[k], g.name)
+		}
+	}
+	return out
+}
+
+// Generate produces all misconfigurations for a constraint set against a
+// template configuration, deterministically ordered.
+func (r *Registry) Generate(set *constraint.Set, tmpl *conffile.File) []Misconf {
+	var out []Misconf
+	for _, c := range set.Constraints {
+		for _, ng := range r.rules[c.Kind] {
+			ms := ng.gen(c, tmpl)
+			for i := range ms {
+				if ms[i].Rule == "" {
+					ms[i].Rule = ng.name
+				}
+				if ms[i].Param == "" {
+					ms[i].Param = c.Param
+				}
+				if ms[i].Violates == nil {
+					ms[i].Violates = c
+				}
+				ms[i].ID = fmt.Sprintf("%s#%s#%d", c.Param, ms[i].Rule, i)
+				out = append(out, ms[i])
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func single(param, value, desc string) Misconf {
+	return Misconf{Param: param, Values: map[string]string{param: value}, Description: desc}
+}
+
+// --- Basic-type rule: values with invalid basic types (Figure 5a). ---
+
+func genBasicType(c *constraint.Constraint, _ *conffile.File) []Misconf {
+	var out []Misconf
+	switch {
+	case c.Basic.Numeric():
+		out = append(out, single(c.Param, "fast", "non-numeric value for a numeric parameter"))
+		if max, ok := c.Basic.MaxValue(); ok && c.Basic.Bits() <= 32 {
+			out = append(out, single(c.Param, fmt.Sprintf("%d", max+1+4294967295),
+				fmt.Sprintf("overflows the %d-bit representation", c.Basic.Bits())))
+		}
+		out = append(out, single(c.Param, "9G", "unit-suffixed number for a plain numeric parameter"))
+		if !c.Basic.Signed() {
+			out = append(out, single(c.Param, "-1", "negative value for an unsigned parameter"))
+		}
+	case c.Basic == constraint.BasicBool:
+		out = append(out, single(c.Param, "maybe", "non-boolean value for a boolean parameter"))
+	case c.Basic == constraint.BasicFloat32 || c.Basic == constraint.BasicFloat64:
+		out = append(out, single(c.Param, "fast", "non-numeric value for a float parameter"))
+	}
+	return out
+}
+
+// --- Semantic-type rule: invalid values specific to each semantic type
+// (Figure 5b/5c). ---
+
+func genSemanticType(c *constraint.Constraint, tmpl *conffile.File) []Misconf {
+	var out []Misconf
+	switch c.Semantic {
+	case constraint.SemFile:
+		out = append(out,
+			Misconf{Values: map[string]string{c.Param: "/nonexistent/spexinj.missing"},
+				Env:         []EnvAction{{Kind: EnvEnsureMissing, Path: "/nonexistent/spexinj.missing"}},
+				Description: "path that does not exist"},
+			Misconf{Values: map[string]string{c.Param: "/injected/dirpath"},
+				Env:         []EnvAction{{Kind: EnvMakeDir, Path: "/injected/dirpath"}},
+				Description: "a directory path where a file is expected"},
+			Misconf{Values: map[string]string{c.Param: "/injected/unreadable.dat"},
+				Env:         []EnvAction{{Kind: EnvMakeUnreadable, Path: "/injected/unreadable.dat"}},
+				Description: "a file without read permission"},
+		)
+	case constraint.SemDirectory:
+		out = append(out,
+			Misconf{Values: map[string]string{c.Param: "/nonexistent/spexinj.dir"},
+				Env:         []EnvAction{{Kind: EnvEnsureMissing, Path: "/nonexistent/spexinj.dir"}},
+				Description: "directory that does not exist"},
+		)
+	case constraint.SemPort:
+		port := 0
+		if def, ok := tmpl.Get(c.Param); ok {
+			fmt.Sscanf(def, "%d", &port)
+		}
+		if port == 0 {
+			port = 4101
+		}
+		out = append(out,
+			Misconf{Values: map[string]string{c.Param: fmt.Sprintf("%d", port)},
+				Env:         []EnvAction{{Kind: EnvOccupyPort, Port: port}},
+				Description: "an already-occupied port"},
+			single(c.Param, "70000", "port outside the 16-bit range"),
+			single(c.Param, "80", "privileged port for an unprivileged process"),
+		)
+	case constraint.SemIPAddr:
+		out = append(out,
+			single(c.Param, "999.1.1.1", "octet out of range"),
+			single(c.Param, "not.an.ip.addr", "not an IP address"),
+		)
+	case constraint.SemHost:
+		out = append(out, single(c.Param, "bad host!", "illegal characters in host name"))
+	case constraint.SemUser:
+		out = append(out, single(c.Param, "no_such_user_xx", "unknown user name"))
+	case constraint.SemGroup:
+		out = append(out, single(c.Param, "no_such_group_xx", "unknown group name"))
+	case constraint.SemTimeout:
+		out = append(out, single(c.Param, "-5", "negative timeout"))
+	case constraint.SemSize:
+		out = append(out, single(c.Param, "-4096", "negative size"))
+		if c.Unit != constraint.UnitNone && c.Unit != constraint.UnitByte {
+			// Unit-confusion injection: a value reasonable in bytes is
+			// pathological in KB/MB (unit-inconsistency vulnerability).
+			out = append(out, single(c.Param, "1073741824",
+				fmt.Sprintf("byte-scale value for a parameter configured in %s", c.Unit)))
+		}
+	case constraint.SemCount:
+		out = append(out, single(c.Param, "1000000", "pathologically large count"))
+	case constraint.SemPerm:
+		out = append(out, single(c.Param, "999", "invalid permission mask"))
+	case constraint.SemInitiator:
+		// The Figure 1 case: initiator names allow only lowercase.
+		out = append(out, single(c.Param, "iqn.2013-01.com.example:TARGET",
+			"uppercase letters in an initiator name"))
+	}
+	return out
+}
+
+// --- Range rule: out-of-range values, exactly covering in and out of the
+// specific range (Figure 5d). ---
+
+func genRange(c *constraint.Constraint, tmpl *conffile.File) []Misconf {
+	var out []Misconf
+	if len(c.Enum) > 0 {
+		out = append(out, single(c.Param, "spexbogus", "value outside the accepted list"))
+		// Case-flipped valid value: likely user mistake when values are
+		// case sensitive (Figure 6a).
+		for _, ev := range c.Enum {
+			if ev.Valid && ev.Value != "*" && c.CaseKnown && c.CaseSensitive {
+				flipped := flipCase(ev.Value)
+				if flipped != ev.Value {
+					out = append(out, single(c.Param, flipped, "case-flipped spelling of an accepted value"))
+					break
+				}
+			}
+		}
+		// Common boolean synonyms (the Squid silent-overruling case,
+		// Figure 6c).
+		if hasValue(c.Enum, "on") || hasValue(c.Enum, "off") {
+			out = append(out, single(c.Param, "yes", `"yes" where the parser only accepts on/off`))
+			out = append(out, single(c.Param, "enable", `"enable" where the parser only accepts on/off`))
+		}
+		return out
+	}
+	for _, iv := range c.Intervals {
+		if iv.Valid {
+			continue
+		}
+		// Inject a representative of each invalid interval.
+		v := samplePointForInjection(iv)
+		out = append(out, single(c.Param, fmt.Sprintf("%d", v),
+			fmt.Sprintf("value in the invalid range %s", iv)))
+	}
+	// Also straddle the boundaries of the valid ranges.
+	for _, iv := range c.ValidIntervals() {
+		if iv.HasMin {
+			out = append(out, single(c.Param, fmt.Sprintf("%d", iv.Min-1), "just below the valid range"))
+		}
+		if iv.HasMax {
+			out = append(out, single(c.Param, fmt.Sprintf("%d", iv.Max+1), "just above the valid range"))
+		}
+	}
+	return dedupe(out)
+}
+
+func samplePointForInjection(iv constraint.Interval) int64 {
+	switch {
+	case iv.HasMin && iv.HasMax:
+		return iv.Min + (iv.Max-iv.Min)/2
+	case iv.HasMin:
+		return iv.Min + 44 // representative deep in the open range
+	case iv.HasMax:
+		return iv.Max - 44
+	default:
+		return 0
+	}
+}
+
+func dedupe(in []Misconf) []Misconf {
+	seen := map[string]bool{}
+	var out []Misconf
+	for _, m := range in {
+		k := m.Values[m.Param]
+		if k == "" {
+			for p, v := range m.Values {
+				k += p + "=" + v + ";"
+			}
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+func hasValue(evs []constraint.EnumValue, v string) bool {
+	for _, e := range evs {
+		if e.Value == v {
+			return true
+		}
+	}
+	return false
+}
+
+func flipCase(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+			b.WriteRune(r - 32)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + 32)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// --- Control-dependency rule: generate (P ⋄ V) ∧ Q for (P,V,⋄) → Q
+// (Figure 5e): violate the condition on P while explicitly setting Q. ---
+
+func genControlDep(c *constraint.Constraint, tmpl *conffile.File) []Misconf {
+	peerDefault, _ := tmpl.Get(c.Peer)
+	pViol, ok := violateCond(c.Cond, c.Value, peerDefault)
+	if !ok {
+		return nil
+	}
+	qVal, ok := tmpl.Get(c.Param)
+	if !ok || qVal == "" {
+		qVal = "5"
+	}
+	return []Misconf{{
+		Param: c.Param,
+		Values: map[string]string{
+			c.Peer:  pViol,
+			c.Param: qVal,
+		},
+		Description: fmt.Sprintf("set %q while violating its dependency on %q", c.Param, c.Peer),
+	}}
+}
+
+// violateCond produces a value for P that makes "P cond V" false. Boolean
+// conditions are expressed in the target's configuration dialect (on/off
+// or yes/no, learned from the template's current value) regardless of the
+// source-level spelling (true/false).
+func violateCond(cond constraint.Op, value, peerDefault string) (string, bool) {
+	bTrue, bFalse := "on", "off"
+	switch peerDefault {
+	case "yes", "no":
+		bTrue, bFalse = "yes", "no"
+	case "true", "false":
+		bTrue, bFalse = "true", "false"
+	}
+	switch value {
+	case "true", "on", "1", "yes":
+		if cond == constraint.OpEQ {
+			return bFalse, true
+		}
+		return bTrue, true
+	case "false", "off", "no":
+		if cond == constraint.OpEQ {
+			return bTrue, true
+		}
+		return bFalse, true
+	}
+	var n int64
+	if _, err := fmt.Sscanf(value, "%d", &n); err == nil {
+		switch cond {
+		case constraint.OpEQ:
+			return fmt.Sprintf("%d", n+1), true
+		case constraint.OpNE:
+			return value, true
+		case constraint.OpGT, constraint.OpGE:
+			return fmt.Sprintf("%d", n-1), true
+		case constraint.OpLT, constraint.OpLE:
+			return fmt.Sprintf("%d", n+1), true
+		}
+	}
+	// String-valued condition: any different string violates equality.
+	if cond == constraint.OpEQ {
+		return value + "_other", true
+	}
+	if cond == constraint.OpNE {
+		return value, true
+	}
+	return "", false
+}
+
+// --- Value-relationship rule: invalid value relationships (Figure 5f). ---
+
+func genValueRel(c *constraint.Constraint, _ *conffile.File) []Misconf {
+	// Constraint: Param Rel Peer. Choose values violating it.
+	var pv, qv string
+	switch c.Rel {
+	case constraint.OpGT, constraint.OpGE:
+		pv, qv = "10", "25" // Param=10 not > Peer=25
+	case constraint.OpLT, constraint.OpLE:
+		pv, qv = "25", "10"
+	case constraint.OpEQ:
+		pv, qv = "10", "25"
+	case constraint.OpNE:
+		pv, qv = "10", "10"
+	default:
+		return nil
+	}
+	return []Misconf{{
+		Param:       c.Param,
+		Values:      map[string]string{c.Param: pv, c.Peer: qv},
+		Description: fmt.Sprintf("violate %q %s %q", c.Param, c.Rel, c.Peer),
+	}}
+}

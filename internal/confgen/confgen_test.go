@@ -1,0 +1,284 @@
+package confgen
+
+import (
+	"strings"
+	"testing"
+
+	"spex/internal/conffile"
+	"spex/internal/constraint"
+)
+
+func tmpl(t *testing.T, src string) *conffile.File {
+	t.Helper()
+	f, err := conffile.Parse(src, conffile.SyntaxEquals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func gen(t *testing.T, c *constraint.Constraint, cfg string) []Misconf {
+	t.Helper()
+	set := constraint.NewSet("t")
+	set.Add(c)
+	return NewRegistry().Generate(set, tmpl(t, cfg))
+}
+
+func values(ms []Misconf, param string) []string {
+	var out []string
+	for _, m := range ms {
+		if v, ok := m.Values[param]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestBasicTypeNumeric(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindBasicType, Param: "size", Basic: constraint.BasicInt32,
+	}, "size = 10\n")
+	vals := values(ms, "size")
+	wantSubstrings := []string{"fast", "9G"}
+	for _, w := range wantSubstrings {
+		found := false
+		for _, v := range vals {
+			if v == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %q injection: %v", w, vals)
+		}
+	}
+	// 32-bit overflow value present.
+	overflow := false
+	for _, v := range vals {
+		if len(v) > 9 {
+			overflow = true
+		}
+	}
+	if !overflow {
+		t.Errorf("no overflow injection for int32: %v", vals)
+	}
+}
+
+func TestBasicTypeUnsignedGetsNegative(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindBasicType, Param: "n", Basic: constraint.BasicUint16,
+	}, "n = 1\n")
+	found := false
+	for _, v := range values(ms, "n") {
+		if v == "-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unsigned parameter needs a negative injection")
+	}
+}
+
+func TestBasicTypeBool(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindBasicType, Param: "b", Basic: constraint.BasicBool,
+	}, "b = on\n")
+	if vals := values(ms, "b"); len(vals) != 1 || vals[0] != "maybe" {
+		t.Errorf("bool injections = %v", vals)
+	}
+}
+
+func TestSemanticFile(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindSemanticType, Param: "f", Semantic: constraint.SemFile,
+	}, "f = /etc/x\n")
+	if len(ms) != 3 {
+		t.Fatalf("FILE injections = %d, want 3 (missing/dir/unreadable)", len(ms))
+	}
+	kinds := map[EnvActionKind]bool{}
+	for _, m := range ms {
+		for _, a := range m.Env {
+			kinds[a.Kind] = true
+		}
+	}
+	for _, k := range []EnvActionKind{EnvEnsureMissing, EnvMakeDir, EnvMakeUnreadable} {
+		if !kinds[k] {
+			t.Errorf("env action %d missing", k)
+		}
+	}
+}
+
+func TestSemanticPortUsesTemplateDefault(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindSemanticType, Param: "port", Semantic: constraint.SemPort,
+	}, "port = 3130\n")
+	var occupied *Misconf
+	for i := range ms {
+		for _, a := range ms[i].Env {
+			if a.Kind == EnvOccupyPort {
+				occupied = &ms[i]
+				if a.Port != 3130 {
+					t.Errorf("occupied port = %d, want the template's 3130", a.Port)
+				}
+			}
+		}
+	}
+	if occupied == nil {
+		t.Fatal("no occupied-port injection")
+	}
+	vals := values(ms, "port")
+	has70000 := false
+	for _, v := range vals {
+		if v == "70000" {
+			has70000 = true
+		}
+	}
+	if !has70000 {
+		t.Errorf("no out-of-range port injection: %v", vals)
+	}
+}
+
+func TestSemanticInitiator(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindSemanticType, Param: "iname", Semantic: constraint.SemInitiator,
+	}, "iname = iqn.x\n")
+	if len(ms) != 1 || !strings.Contains(ms[0].Values["iname"], "TARGET") {
+		t.Errorf("initiator injection = %+v", ms)
+	}
+}
+
+func TestRangeNumericBoundaries(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindRange, Param: "r",
+		Intervals: []constraint.Interval{
+			{HasMax: true, Max: 3, Valid: false},
+			{HasMin: true, Min: 4, HasMax: true, Max: 255, Valid: true},
+			{HasMin: true, Min: 256, Valid: false},
+		},
+	}, "r = 10\n")
+	vals := values(ms, "r")
+	want := map[string]bool{"3": false, "256": false}
+	for _, v := range vals {
+		if _, ok := want[v]; ok {
+			want[v] = true
+		}
+	}
+	for v, seen := range want {
+		if !seen {
+			t.Errorf("boundary value %s not generated (got %v)", v, vals)
+		}
+	}
+}
+
+func TestRangeEnumInjections(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindRange, Param: "e",
+		Enum: []constraint.EnumValue{
+			{Value: "on", Valid: true}, {Value: "off", Valid: true},
+		},
+		CaseKnown: true, CaseSensitive: true,
+	}, "e = on\n")
+	vals := values(ms, "e")
+	want := []string{"spexbogus", "ON", "yes", "enable"}
+	for _, w := range want {
+		found := false
+		for _, v := range vals {
+			if v == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("enum injection %q missing: %v", w, vals)
+		}
+	}
+}
+
+func TestControlDepViolation(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindControlDep, Param: "q", Peer: "p",
+		Cond: constraint.OpEQ, Value: "true",
+	}, "p = on\nq = 7\n")
+	if len(ms) != 1 {
+		t.Fatalf("dep injections = %d", len(ms))
+	}
+	m := ms[0]
+	if m.Values["p"] != "off" {
+		t.Errorf("peer violation = %q, want off", m.Values["p"])
+	}
+	if m.Values["q"] != "7" {
+		t.Errorf("dependent kept at %q, want the template default 7", m.Values["q"])
+	}
+}
+
+func TestControlDepYesNoDialect(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindControlDep, Param: "q", Peer: "p",
+		Cond: constraint.OpEQ, Value: "true",
+	}, "p = yes\nq = 7\n")
+	if ms[0].Values["p"] != "no" {
+		t.Errorf("yes/no dialect: violation = %q, want no", ms[0].Values["p"])
+	}
+}
+
+func TestControlDepNumeric(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindControlDep, Param: "q", Peer: "p",
+		Cond: constraint.OpGT, Value: "0",
+	}, "p = 3130\nq = 1\n")
+	if ms[0].Values["p"] != "-1" {
+		t.Errorf("violating p > 0 gave %q, want -1", ms[0].Values["p"])
+	}
+}
+
+func TestValueRelViolation(t *testing.T) {
+	ms := gen(t, &constraint.Constraint{
+		Kind: constraint.KindValueRel, Param: "max", Rel: constraint.OpGT, Peer: "min",
+	}, "min = 4\nmax = 84\n")
+	if len(ms) != 1 {
+		t.Fatalf("rel injections = %d", len(ms))
+	}
+	if ms[0].Values["max"] != "10" || ms[0].Values["min"] != "25" {
+		t.Errorf("rel violation = %v", ms[0].Values)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	set := constraint.NewSet("t")
+	set.Add(&constraint.Constraint{Kind: constraint.KindBasicType, Param: "a", Basic: constraint.BasicInt64})
+	set.Add(&constraint.Constraint{Kind: constraint.KindSemanticType, Param: "f", Semantic: constraint.SemFile})
+	cfg := tmpl(t, "a = 1\nf = /x\n")
+	r := NewRegistry()
+	a := r.Generate(set, cfg)
+	b := r.Generate(set, cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+func TestCustomPlugin(t *testing.T) {
+	r := NewRegistry()
+	r.Register(constraint.KindBasicType, "custom-rule",
+		func(c *constraint.Constraint, _ *conffile.File) []Misconf {
+			return []Misconf{{Values: map[string]string{c.Param: "CUSTOM"}}}
+		})
+	set := constraint.NewSet("t")
+	set.Add(&constraint.Constraint{Kind: constraint.KindBasicType, Param: "x", Basic: constraint.BasicBool})
+	ms := r.Generate(set, tmpl(t, "x = on\n"))
+	found := false
+	for _, m := range ms {
+		if m.Rule == "custom-rule" && m.Values["x"] == "CUSTOM" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("custom plug-in did not run")
+	}
+	names := r.RuleNames()[constraint.KindBasicType]
+	if len(names) != 2 {
+		t.Errorf("rule names = %v", names)
+	}
+}

@@ -1,0 +1,211 @@
+package constraint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var allOps = []Op{OpLT, OpGT, OpEQ, OpNE, OpGE, OpLE}
+
+func TestOpNegateIsInvolution(t *testing.T) {
+	for _, op := range allOps {
+		if got := op.Negate().Negate(); got != op {
+			t.Errorf("Negate(Negate(%s)) = %s", op, got)
+		}
+	}
+}
+
+func TestOpFlipIsInvolution(t *testing.T) {
+	for _, op := range allOps {
+		if got := op.Flip().Flip(); got != op {
+			t.Errorf("Flip(Flip(%s)) = %s", op, got)
+		}
+	}
+}
+
+// Property: for all a, b: (a op b) == !(a Negate(op) b).
+func TestOpNegateComplement(t *testing.T) {
+	f := func(a, b int64) bool {
+		for _, op := range allOps {
+			if op.Holds(a, b) == op.Negate().Holds(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for all a, b: (a op b) == (b Flip(op) a).
+func TestOpFlipSwapsOperands(t *testing.T) {
+	f := func(a, b int64) bool {
+		for _, op := range allOps {
+			if op.Holds(a, b) != op.Flip().Holds(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicTypeProperties(t *testing.T) {
+	if !BasicInt32.Numeric() || !BasicInt32.Signed() || BasicInt32.Bits() != 32 {
+		t.Error("int32 misclassified")
+	}
+	if BasicUint16.Signed() {
+		t.Error("uint16 must be unsigned")
+	}
+	if BasicString.Numeric() || BasicBool.Numeric() {
+		t.Error("string/bool are not numeric")
+	}
+	if max, ok := BasicInt8.MaxValue(); !ok || max != 127 {
+		t.Errorf("int8 max = %d, want 127", max)
+	}
+	if max, ok := BasicUint16.MaxValue(); !ok || max != 65535 {
+		t.Errorf("uint16 max = %d, want 65535", max)
+	}
+	if _, ok := BasicString.MaxValue(); ok {
+		t.Error("string has no max value")
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		v    int64
+		want bool
+	}{
+		{Interval{HasMin: true, Min: 4, HasMax: true, Max: 255}, 4, true},
+		{Interval{HasMin: true, Min: 4, HasMax: true, Max: 255}, 255, true},
+		{Interval{HasMin: true, Min: 4, HasMax: true, Max: 255}, 3, false},
+		{Interval{HasMin: true, Min: 4, HasMax: true, Max: 255}, 256, false},
+		{Interval{HasMax: true, Max: 10}, -1 << 62, true},
+		{Interval{HasMin: true, Min: 10}, 1 << 62, true},
+		{Interval{}, 0, true}, // unbounded contains everything
+	}
+	for _, c := range cases {
+		if got := c.iv.Contains(c.v); got != c.want {
+			t.Errorf("%s.Contains(%d) = %v, want %v", c.iv, c.v, got, c.want)
+		}
+	}
+}
+
+// Property: an interval always contains its own finite endpoints.
+func TestIntervalContainsEndpoints(t *testing.T) {
+	f := func(min, max int64) bool {
+		if min > max {
+			min, max = max, min
+		}
+		iv := Interval{HasMin: true, Min: min, HasMax: true, Max: max}
+		return iv.Contains(min) && iv.Contains(max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitClasses(t *testing.T) {
+	for _, u := range []Unit{UnitByte, UnitKB, UnitMB, UnitGB} {
+		if !u.IsSize() || u.IsTime() {
+			t.Errorf("%s must be size-only", u)
+		}
+	}
+	for _, u := range []Unit{UnitMicrosecond, UnitMillisecond, UnitSecond, UnitMinute, UnitHour} {
+		if !u.IsTime() || u.IsSize() {
+			t.Errorf("%s must be time-only", u)
+		}
+	}
+	if UnitNone.IsSize() || UnitNone.IsTime() {
+		t.Error("UnitNone is neither")
+	}
+}
+
+func TestSetDeduplicates(t *testing.T) {
+	s := NewSet("sys")
+	a := &Constraint{Kind: KindBasicType, Param: "p", Basic: BasicInt64}
+	b := &Constraint{Kind: KindBasicType, Param: "p", Basic: BasicInt64}
+	c := &Constraint{Kind: KindBasicType, Param: "p", Basic: BasicString}
+	if got := s.Add(a); got != a {
+		t.Error("first Add should return the constraint itself")
+	}
+	if got := s.Add(b); got != a {
+		t.Error("duplicate Add should return the canonical constraint")
+	}
+	s.Add(c)
+	if s.Len() != 2 {
+		t.Errorf("set size = %d, want 2", s.Len())
+	}
+}
+
+func TestSetQueries(t *testing.T) {
+	s := NewSet("sys")
+	s.Add(&Constraint{Kind: KindBasicType, Param: "a", Basic: BasicInt64})
+	s.Add(&Constraint{Kind: KindRange, Param: "a",
+		Intervals: []Interval{{HasMin: true, Min: 1, Valid: true}}})
+	s.Add(&Constraint{Kind: KindBasicType, Param: "b", Basic: BasicBool})
+	if got := len(s.ByParam("a")); got != 2 {
+		t.Errorf("ByParam(a) = %d, want 2", got)
+	}
+	if got := len(s.ByKind(KindBasicType)); got != 2 {
+		t.Errorf("ByKind(basic) = %d, want 2", got)
+	}
+	if got := s.CountByKind()[KindRange]; got != 1 {
+		t.Errorf("CountByKind[range] = %d, want 1", got)
+	}
+	params := s.Params()
+	if len(params) != 2 || params[0] != "a" || params[1] != "b" {
+		t.Errorf("Params() = %v, want [a b]", params)
+	}
+}
+
+func TestConstraintIDStability(t *testing.T) {
+	c1 := &Constraint{Kind: KindControlDep, Param: "q", Peer: "p", Cond: OpEQ, Value: "true"}
+	c2 := &Constraint{Kind: KindControlDep, Param: "q", Peer: "p", Cond: OpEQ, Value: "true", Confidence: 0.9}
+	if c1.ID() != c2.ID() {
+		t.Error("confidence must not affect identity")
+	}
+	c3 := &Constraint{Kind: KindControlDep, Param: "q", Peer: "p", Cond: OpNE, Value: "true"}
+	if c1.ID() == c3.ID() {
+		t.Error("different operators must have different identities")
+	}
+}
+
+func TestValidInvalidIntervals(t *testing.T) {
+	c := &Constraint{Kind: KindRange, Param: "p", Intervals: []Interval{
+		{HasMax: true, Max: 3, Valid: false},
+		{HasMin: true, Min: 4, HasMax: true, Max: 255, Valid: true},
+		{HasMin: true, Min: 256, Valid: false},
+	}}
+	if got := len(c.ValidIntervals()); got != 1 {
+		t.Errorf("valid intervals = %d, want 1", got)
+	}
+	if got := len(c.InvalidIntervals()); got != 2 {
+		t.Errorf("invalid intervals = %d, want 2", got)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	cases := []struct {
+		c    Constraint
+		want string
+	}{
+		{Constraint{Kind: KindBasicType, Param: "p", Basic: BasicInt32},
+			`"p": basic type int32`},
+		{Constraint{Kind: KindSemanticType, Param: "p", Semantic: SemFile},
+			`"p": semantic type FILE`},
+		{Constraint{Kind: KindControlDep, Param: "q", Peer: "p", Cond: OpEQ, Value: "0"},
+			`("p", 0, =) -> "q"`},
+		{Constraint{Kind: KindValueRel, Param: "a", Rel: OpGT, Peer: "b"},
+			`"a" > "b"`},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,657 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"spex/internal/cfg"
+	"spex/internal/constraint"
+)
+
+// fact is a decomposed conjunct of a branch condition involving tainted
+// parameters.
+type fact struct {
+	kind   factKind
+	param  string
+	op     constraint.Op
+	num    int64
+	str    string
+	insens bool
+	hops   int
+	// Shared-intermediate comparisons: key identifies the untainted
+	// expression compared against the parameter; dir is the bound
+	// direction the parameter imposes on it.
+	interKey    string
+	lowerBound  bool // param is a lower bound of the intermediate (x >= P)
+	strictBound bool
+	// Direct param-vs-param comparison.
+	peer     string
+	peerHops int
+}
+
+type factKind int
+
+const (
+	factNum factKind = iota
+	factStr
+	factBool
+	factInter
+	factRel
+)
+
+func opOf(tok token.Token) (constraint.Op, bool) {
+	switch tok {
+	case token.LSS:
+		return constraint.OpLT, true
+	case token.GTR:
+		return constraint.OpGT, true
+	case token.EQL:
+		return constraint.OpEQ, true
+	case token.NEQ:
+		return constraint.OpNE, true
+	case token.GEQ:
+		return constraint.OpGE, true
+	case token.LEQ:
+		return constraint.OpLE, true
+	}
+	return "", false
+}
+
+// analyzeCond decomposes a branch condition into facts about tainted
+// parameters. Only && conjunctions are decomposed; || disjunctions cannot
+// be attributed to a single fact and are skipped (conservative, matching
+// the paper's pattern-directed approach).
+func (e *Engine) analyzeCond(ctx *fnCtx, cond ast.Expr, neg bool) []fact {
+	switch v := cond.(type) {
+	case *ast.ParenExpr:
+		return e.analyzeCond(ctx, v.X, neg)
+	case *ast.UnaryExpr:
+		if v.Op == token.NOT {
+			return e.analyzeCond(ctx, v.X, !neg)
+		}
+	case *ast.BinaryExpr:
+		if v.Op == token.LAND && !neg {
+			return append(e.analyzeCond(ctx, v.X, false), e.analyzeCond(ctx, v.Y, false)...)
+		}
+		if v.Op == token.LOR && neg {
+			// !(a || b) == !a && !b
+			return append(e.analyzeCond(ctx, v.X, true), e.analyzeCond(ctx, v.Y, true)...)
+		}
+		if op, ok := opOf(v.Op); ok {
+			if neg {
+				op = op.Negate()
+			}
+			return e.compareFacts(ctx, v.X, v.Y, op)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		// Bare boolean parameter: "if c.enableFsync".
+		ts := e.taintOf(ctx, cond)
+		var out []fact
+		val := "true"
+		if neg {
+			val = "false"
+		}
+		for _, p := range sortedParams(ts) {
+			out = append(out, fact{kind: factBool, param: p, op: constraint.OpEQ, str: val, hops: ts[p].Hops})
+		}
+		return out
+	case *ast.CallExpr:
+		// strings.EqualFold(x, "lit") as a condition.
+		name := e.Proj.CallName(v, ctx.scope)
+		if spec, ok := e.DB.Lookup(name); ok && spec.Compare && len(v.Args) >= 2 {
+			var out []fact
+			op := constraint.OpEQ
+			if neg {
+				op = constraint.OpNE
+			}
+			for i := 0; i < 2; i++ {
+				ts := e.taintOf(ctx, v.Args[i])
+				if len(ts) == 0 {
+					continue
+				}
+				if sv, ok := e.Proj.StrValue(v.Args[1-i]); ok {
+					for _, p := range sortedParams(ts) {
+						out = append(out, fact{
+							kind: factStr, param: p, op: op, str: sv,
+							insens: spec.CaseInsensitive, hops: ts[p].Hops,
+						})
+					}
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// compareFacts builds facts from a comparison x OP y.
+func (e *Engine) compareFacts(ctx *fnCtx, x, y ast.Expr, op constraint.Op) []fact {
+	tx, ty := e.taintOf(ctx, x), e.taintOf(ctx, y)
+	var out []fact
+
+	switch {
+	case len(tx) > 0 && len(ty) > 0:
+		// Direct param-vs-param comparison (value relationship).
+		for _, p := range sortedParams(tx) {
+			for _, q := range sortedParams(ty) {
+				if p == q {
+					continue
+				}
+				out = append(out, fact{
+					kind: factRel, param: p, peer: q, op: op,
+					hops: tx[p].Hops, peerHops: ty[q].Hops,
+				})
+			}
+		}
+	case len(tx) > 0:
+		out = append(out, e.oneSideFacts(ctx, tx, x, y, op)...)
+	case len(ty) > 0:
+		out = append(out, e.oneSideFacts(ctx, ty, y, x, op.Flip())...)
+	}
+	return out
+}
+
+// oneSideFacts handles "tainted OP other" where other is untainted.
+func (e *Engine) oneSideFacts(ctx *fnCtx, ts TaintSet, _ ast.Expr, other ast.Expr, op constraint.Op) []fact {
+	var out []fact
+	if n, ok := e.Proj.ConstValue(other); ok {
+		for _, p := range sortedParams(ts) {
+			out = append(out, fact{kind: factNum, param: p, op: op, num: n, hops: ts[p].Hops})
+		}
+		return out
+	}
+	if sv, ok := e.Proj.StrValue(other); ok {
+		for _, p := range sortedParams(ts) {
+			out = append(out, fact{kind: factStr, param: p, op: op, str: sv, hops: ts[p].Hops})
+		}
+		return out
+	}
+	// Untainted, non-constant intermediate: P OP x. Normalize to the
+	// bound P imposes: "x >= P" makes P a lower bound of x.
+	key := exprString(other)
+	for _, p := range sortedParams(ts) {
+		f := fact{kind: factInter, param: p, interKey: key, hops: ts[p].Hops}
+		switch op {
+		case constraint.OpLE: // P <= x
+			f.lowerBound, f.strictBound = true, false
+		case constraint.OpLT: // P < x
+			f.lowerBound, f.strictBound = true, true
+		case constraint.OpGE: // P >= x
+			f.lowerBound, f.strictBound = false, false
+		case constraint.OpGT: // P > x
+			f.lowerBound, f.strictBound = false, true
+		default:
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// walkIf analyzes an if statement: range comparisons, enum string
+// comparisons, value relationships, then recurses.
+func (e *Engine) walkIf(ctx *fnCtx, st *ast.IfStmt) {
+	if st.Init != nil {
+		e.walkStmt(ctx, st.Init)
+	}
+	if e.collecting {
+		e.condUsage(ctx, st.Cond)
+		facts := e.analyzeCond(ctx, st.Cond, false)
+		e.emitCondObs(ctx, st, facts)
+	}
+	e.implicitStores(ctx, st)
+	e.taintOf(ctx, st.Cond) // propagate through condition calls
+	e.walkStmts(ctx, st.Body.List)
+	if st.Else != nil {
+		e.walkStmt(ctx, st.Else)
+	}
+}
+
+// implicitStores handles enum-parse branches: when a branch tests a single
+// parameter's value against a literal and the branch body assigns a
+// constant to a field or global ("if EqualFold(arg, on) { cfg.keepAlive =
+// true }"), the destination stores the parsed parameter — control-flow
+// tainting that plain data flow misses.
+func (e *Engine) implicitStores(ctx *fnCtx, st *ast.IfStmt) {
+	facts := e.analyzeCond(ctx, st.Cond, false)
+	param := ""
+	for _, f := range facts {
+		if f.kind != factStr && f.kind != factBool {
+			return
+		}
+		if param == "" {
+			param = f.param
+		} else if param != f.param {
+			return // multiple parameters: attribution is ambiguous
+		}
+	}
+	if param == "" {
+		return
+	}
+	ts := TaintSet{param: Taint{Hops: 1, Mult: 1}}
+	seed := func(list []ast.Stmt) {
+		for _, s := range list {
+			as, ok := s.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if _, isConst := constLike(e, as.Rhs[i]); !isConst {
+					continue
+				}
+				if loc, ok := e.locRef(ctx, lhs); ok && !loc.IsLocal() {
+					e.store(ctx, loc, ts)
+				}
+			}
+		}
+	}
+	seed(st.Body.List)
+	if b, ok := st.Else.(*ast.BlockStmt); ok {
+		seed(b.List)
+	}
+}
+
+func (e *Engine) emitCondObs(ctx *fnCtx, st *ast.IfStmt, facts []fact) {
+	loc := e.Proj.Loc(st, ctx.fi.Name)
+	hasElse := st.Else != nil
+	var elseStmts []ast.Stmt
+	if b, ok := st.Else.(*ast.BlockStmt); ok {
+		elseStmts = b.List
+	}
+
+	// Pair shared-intermediate bounds into value relationships:
+	// (x >= P) && (x < Q)  =>  Q > P.
+	inter := map[string][]fact{}
+	for _, f := range facts {
+		if f.kind == factInter {
+			inter[f.interKey] = append(inter[f.interKey], f)
+		}
+	}
+	for _, fs := range inter {
+		for i := 0; i < len(fs); i++ {
+			for j := 0; j < len(fs); j++ {
+				lo, hi := fs[i], fs[j]
+				if !lo.lowerBound || hi.lowerBound || lo.param == hi.param {
+					continue
+				}
+				relOp := constraint.OpGE
+				if lo.strictBound || hi.strictBound {
+					relOp = constraint.OpGT
+				}
+				// Constraint: hi.param relOp lo.param.
+				e.obs = append(e.obs, Obs{
+					Kind: ObsRel, Param: hi.param, Peer: lo.param,
+					RelOp: relOp, Hops: hi.hops, PeerHops: lo.hops, Loc: loc,
+				})
+			}
+		}
+	}
+
+	for _, f := range facts {
+		switch f.kind {
+		case factNum:
+			thenBe := e.bodyBehavior(ctx, st.Body.List, f.param, false)
+			elseBe := BranchBehavior{Empty: true}
+			if elseStmts != nil {
+				elseBe = e.bodyBehavior(ctx, elseStmts, f.param, false)
+			}
+			e.obs = append(e.obs, Obs{
+				Kind: ObsCompareConst, Param: f.param, Op: f.op, Value: f.num,
+				ThenBe: thenBe, ElseBe: elseBe, HasElse: hasElse,
+				Hops: f.hops, Loc: loc,
+			})
+		case factStr:
+			// String-compare branches assign constants to the
+			// parameter's destination ("if v == on {x = true}"); reset
+			// detection is lenient here (paper §3.2 silent overruling).
+			thenBe := e.bodyBehavior(ctx, st.Body.List, f.param, true)
+			elseBe := BranchBehavior{Empty: true}
+			if elseStmts != nil {
+				elseBe = e.bodyBehavior(ctx, elseStmts, f.param, true)
+			}
+			e.obs = append(e.obs, Obs{
+				Kind: ObsCompareStr, Param: f.param, StrValue: f.str,
+				CaseInsensitive: f.insens, Op: f.op,
+				ThenBe: thenBe, ElseBe: elseBe, HasElse: hasElse,
+				Hops: f.hops, Loc: loc,
+			})
+		case factRel:
+			// Condition "P op Q" guards the then branch. If the branch
+			// rejects, the constraint is the negation; if it is the
+			// normal path, the constraint is the condition itself.
+			thenBe := e.bodyBehavior(ctx, st.Body.List, f.param, false)
+			relOp := f.op
+			if thenBe.Invalid() {
+				relOp = relOp.Negate()
+			}
+			e.obs = append(e.obs, Obs{
+				Kind: ObsRel, Param: f.param, Peer: f.peer, RelOp: relOp,
+				Hops: f.hops, PeerHops: f.peerHops, Loc: loc,
+			})
+		}
+	}
+}
+
+// walkSwitch analyzes switch statements over tainted expressions
+// (enumerative ranges, §2.2.3) and recurses into clause bodies.
+func (e *Engine) walkSwitch(ctx *fnCtx, st *ast.SwitchStmt) {
+	if st.Init != nil {
+		e.walkStmt(ctx, st.Init)
+	}
+	var tagTaint TaintSet
+	if st.Tag != nil {
+		tagTaint = e.taintOf(ctx, st.Tag)
+		if e.collecting && len(tagTaint) > 0 {
+			e.condUsage(ctx, st.Tag)
+		}
+	}
+	for _, c := range st.Body.List {
+		clause := c.(*ast.CaseClause)
+		if e.collecting && len(tagTaint) > 0 {
+			loc := e.Proj.Loc(clause, ctx.fi.Name)
+			for _, p := range sortedParams(tagTaint) {
+				be := e.bodyBehavior(ctx, clause.Body, p, true)
+				if len(clause.List) == 0 {
+					// default clause: invalid range end (paper §2.2.3).
+					e.obs = append(e.obs, Obs{
+						Kind: ObsCompareStr, Param: p, Detail: "default",
+						ThenBe: be, Hops: tagTaint[p].Hops, Loc: loc,
+					})
+					continue
+				}
+				for _, v := range clause.List {
+					if sv, ok := e.Proj.StrValue(v); ok {
+						e.obs = append(e.obs, Obs{
+							Kind: ObsCompareStr, Param: p, StrValue: sv,
+							Op: constraint.OpEQ, ThenBe: be,
+							Hops: tagTaint[p].Hops, Loc: loc,
+						})
+					} else if n, ok := e.Proj.ConstValue(v); ok {
+						e.obs = append(e.obs, Obs{
+							Kind: ObsCompareConst, Param: p, Op: constraint.OpEQ,
+							Value: n, ThenBe: be, Hops: tagTaint[p].Hops, Loc: loc,
+						})
+					}
+				}
+			}
+		}
+		e.walkStmts(ctx, clause.Body)
+	}
+}
+
+// bodyBehavior summarizes a branch block: exits, error returns, parameter
+// resets, logging (paper §2.2.3 validity analysis). In lenient mode any
+// constant assignment to a field or global counts as a reset — the pattern
+// of string-enum parsing where the destination variable differs from the
+// compared value ("if v == on { x = true } else { x = false }", Figure 6c).
+func (e *Engine) bodyBehavior(ctx *fnCtx, stmts []ast.Stmt, param string, lenient bool) BranchBehavior {
+	var be BranchBehavior
+	if len(stmts) == 0 {
+		be.Empty = true
+		be.Falls = true
+		return be
+	}
+	var scan func(list []ast.Stmt)
+	scan = func(list []ast.Stmt) {
+		for _, s := range list {
+			switch st := s.(type) {
+			case *ast.ReturnStmt:
+				if returnsError(st) {
+					be.Exits = true
+				} else {
+					be.Falls = true
+				}
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					switch callKind(call) {
+					case callExit:
+						be.Exits = true
+					case callLog:
+						be.LogsMessage = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) {
+						break
+					}
+					loc, ok := e.locRef(ctx, lhs)
+					if !ok {
+						continue
+					}
+					if !lenient {
+						ts := e.taint[loc]
+						if _, tainted := ts[param]; !tainted {
+							continue
+						}
+						// Overwriting the parameter's own storage inside
+						// the branch is a reset even when the new value
+						// is computed (e.g. clamping one parameter to
+						// another).
+						if v, isConst := constLike(e, st.Rhs[i]); isConst {
+							be.ResetsParam = true
+							be.ResetValue = v
+						} else {
+							be.ResetsParam = true
+						}
+						continue
+					}
+					if loc.IsLocal() {
+						continue
+					}
+					if v, isConst := constLike(e, st.Rhs[i]); isConst {
+						be.ResetsParam = true
+						be.ResetValue = v
+					}
+				}
+			case *ast.BlockStmt:
+				scan(st.List)
+			case *ast.LabeledStmt:
+				scan([]ast.Stmt{st.Stmt})
+			}
+		}
+	}
+	scan(stmts)
+	if !be.Exits && !be.ResetsParam {
+		be.Falls = true
+	}
+	return be
+}
+
+// constLike evaluates integer, string, and boolean constant expressions.
+func constLike(e *Engine, expr ast.Expr) (string, bool) {
+	if n, ok := e.Proj.ConstValue(expr); ok {
+		return strconv.FormatInt(n, 10), true
+	}
+	if sv, ok := e.Proj.StrValue(expr); ok {
+		return sv, true
+	}
+	if id, ok := expr.(*ast.Ident); ok && (id.Name == "true" || id.Name == "false") {
+		return id.Name, true
+	}
+	return "", false
+}
+
+type callClass int
+
+const (
+	callOther callClass = iota
+	callExit
+	callLog
+)
+
+func callKind(call *ast.CallExpr) callClass {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" {
+			return callExit
+		}
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Hang":
+			return callExit
+		case "Fatalf":
+			return callExit
+		case "Errorf", "Warnf", "Infof", "Debugf":
+			// Only log sinks count; fmt.Errorf as an expression is
+			// handled by returnsError.
+			if x, ok := fun.X.(*ast.Ident); ok && x.Name == "fmt" {
+				return callOther
+			}
+			return callLog
+		}
+	}
+	return callOther
+}
+
+// returnsError reports whether a return statement signals rejection: a
+// non-nil error expression, "false", or an ExitError literal. A bare
+// "return" or "return nil/true" is a silent fall-through.
+func returnsError(st *ast.ReturnStmt) bool {
+	if len(st.Results) == 0 {
+		return false
+	}
+	last := st.Results[len(st.Results)-1]
+	switch v := last.(type) {
+	case *ast.Ident:
+		switch v.Name {
+		case "err":
+			return true
+		}
+		return false
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Errorf" || sel.Sel.Name == "New" {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if cl, ok := v.X.(*ast.CompositeLit); ok {
+				if isExitErrorType(cl.Type) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isExitErrorType(t ast.Expr) bool {
+	switch v := t.(type) {
+	case *ast.Ident:
+		return v.Name == "ExitError"
+	case *ast.SelectorExpr:
+		return v.Sel.Name == "ExitError"
+	}
+	return false
+}
+
+// condUsage records branch-condition usages of tainted parameters for
+// control-dependency inference.
+func (e *Engine) condUsage(ctx *fnCtx, cond ast.Expr) {
+	if !e.collecting {
+		return
+	}
+	ts := e.taintOf(ctx, cond)
+	e.recordUsage(ctx, ts, cond)
+}
+
+// recordUsage emits an ObsUsage for each tainted parameter at the current
+// statement, with the branch conditions that dominate the statement
+// (resolved on the function's CFG, §2.2.4).
+func (e *Engine) recordUsage(ctx *fnCtx, ts TaintSet, at ast.Node) {
+	if !e.collecting || len(ts) == 0 || ctx.graph == nil || ctx.curStmt == nil {
+		return
+	}
+	node := ctx.graph.NodeOf(ctx.curStmt)
+	if node < 0 {
+		return
+	}
+	conds := ctx.graph.DominatingConds(node)
+	loc := e.Proj.Loc(at, ctx.fi.Name)
+	for _, p := range sortedParams(ts) {
+		var doms []CondRef
+		for _, cs := range conds {
+			doms = append(doms, e.depRefs(ctx, cs, p)...)
+		}
+		e.obs = append(e.obs, Obs{
+			Kind: ObsUsage, Param: p, Dominators: doms,
+			Hops: ts[p].Hops, Loc: loc,
+		})
+	}
+}
+
+// depRefs converts a dominating condition into control-dependency
+// references on parameters other than self.
+func (e *Engine) depRefs(ctx *fnCtx, cs cfg.CondSide, self string) []CondRef {
+	n := cs.Cond
+	var facts []fact
+	switch stmt := n.Stmt.(type) {
+	case *ast.CaseClause:
+		// Switch clause: tag == v for each clause value.
+		if n.Cond == nil {
+			return nil
+		}
+		tagTaint := e.taintOf(ctx, n.Cond)
+		for _, v := range stmt.List {
+			if sv, ok := e.Proj.StrValue(v); ok {
+				for _, p := range sortedParams(tagTaint) {
+					facts = append(facts, fact{kind: factStr, param: p, op: constraint.OpEQ, str: sv})
+				}
+			} else if num, ok := e.Proj.ConstValue(v); ok {
+				for _, p := range sortedParams(tagTaint) {
+					facts = append(facts, fact{kind: factNum, param: p, op: constraint.OpEQ, num: num})
+				}
+			}
+		}
+	default:
+		if n.Cond == nil {
+			return nil
+		}
+		facts = e.analyzeCond(ctx, n.Cond, false)
+	}
+	if !cs.Then {
+		// On the else side a multi-fact conjunction cannot be negated
+		// fact-wise; only single facts are usable.
+		if len(facts) != 1 {
+			return nil
+		}
+		f := facts[0]
+		f.op = f.op.Negate()
+		if f.kind == factBool {
+			if f.str == "true" {
+				f.str = "false"
+			} else {
+				f.str = "true"
+			}
+			f.op = constraint.OpEQ
+		}
+		facts = []fact{f}
+	}
+	var out []CondRef
+	for _, f := range facts {
+		if f.param == self || f.param == "" {
+			continue
+		}
+		switch f.kind {
+		case factNum:
+			// Numeric conditions on fall-through guards are validity
+			// checks (captured as range constraints), not feature
+			// gates; reporting them as dependencies would flood every
+			// parameter used after the check.
+			if cs.Guard {
+				continue
+			}
+			out = append(out, CondRef{Peer: f.param, Op: f.op, Value: strconv.FormatInt(f.num, 10)})
+		case factStr, factBool:
+			out = append(out, CondRef{Peer: f.param, Op: f.op, Value: f.str})
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spex/internal/apispec"
+	"spex/internal/constraint"
+	"spex/internal/frontend"
+)
+
+func TestLocConstructors(t *testing.T) {
+	if GlobalLoc("x") != "G:x" || FieldLoc("S", "f") != "F:S.f" ||
+		ParamLoc("fn", "p") != "P:fn.p" || LocalLoc("fn", "v") != "L:fn.v" ||
+		RetLoc("fn", 0) != "R:fn.0" {
+		t.Error("loc encoding changed")
+	}
+	if !LocalLoc("f", "v").IsLocal() || GlobalLoc("g").IsLocal() {
+		t.Error("IsLocal wrong")
+	}
+}
+
+// Property: merging a set into itself never reports a change, and merging
+// is monotone (the result contains every key of both operands).
+func TestPropertyMergeInto(t *testing.T) {
+	f := func(hops [4]uint8) bool {
+		a := TaintSet{}
+		for i, h := range hops {
+			a[string(rune('a'+i))] = Taint{Hops: int(h), Mult: 1}
+		}
+		if mergeInto(a, a.clone()) {
+			return false // idempotent
+		}
+		b := TaintSet{"z": {Hops: 1, Mult: 1}}
+		mergeInto(b, a)
+		if len(b) != len(a)+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeKeepsSmallestHops(t *testing.T) {
+	dst := TaintSet{"p": {Hops: 5, Mult: 1}}
+	mergeInto(dst, TaintSet{"p": {Hops: 2, Mult: 1}})
+	if dst["p"].Hops != 2 {
+		t.Errorf("hops = %d, want 2", dst["p"].Hops)
+	}
+	// Larger hops do not regress.
+	mergeInto(dst, TaintSet{"p": {Hops: 9, Mult: 1}})
+	if dst["p"].Hops != 2 {
+		t.Errorf("hops regressed to %d", dst["p"].Hops)
+	}
+}
+
+func TestBumpAndScale(t *testing.T) {
+	ts := TaintSet{"p": {Hops: 1, Mult: 2}}
+	b := ts.bump()
+	if b["p"].Hops != 2 || ts["p"].Hops != 1 {
+		t.Error("bump must copy")
+	}
+	s := ts.scaled(1024)
+	if s["p"].Mult != 2048 {
+		t.Errorf("mult = %d", s["p"].Mult)
+	}
+	if same := ts.scaled(1); &same == &ts {
+		_ = same // scaled(1) may return the receiver; both acceptable
+	}
+}
+
+// engine builds a tiny project and runs the tracker.
+func engine(t *testing.T, src string, seeds map[string]Loc) *Engine {
+	t.Helper()
+	proj, err := frontend.Parse("t", map[string]string{"t.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(proj, apispec.New())
+	for p, l := range seeds {
+		e.Seed(p, l)
+	}
+	return e
+}
+
+func TestTaintThroughAssignments(t *testing.T) {
+	src := `package t
+type C struct{ v int64 }
+var c = &C{}
+func f() {
+	x := c.v
+	y := x
+	_ = y
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "v")})
+	e.Run()
+	if got := e.TaintAt(LocalLoc("f", "y")); len(got) != 1 || got[0] != "p" {
+		t.Errorf("taint at y = %v", got)
+	}
+}
+
+func TestInterProceduralTaint(t *testing.T) {
+	src := `package t
+type C struct{ v int64 }
+var c = &C{}
+func sink(n int64) int64 { return n }
+func f() {
+	r := sink(c.v)
+	_ = r
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "v")})
+	e.Run()
+	if got := e.TaintAt(ParamLoc("sink", "n")); len(got) != 1 {
+		t.Errorf("callee param taint = %v", got)
+	}
+	if got := e.TaintAt(RetLoc("sink", 0)); len(got) != 1 {
+		t.Errorf("return taint = %v", got)
+	}
+	if got := e.TaintAt(LocalLoc("f", "r")); len(got) != 1 {
+		t.Errorf("call-result taint = %v", got)
+	}
+}
+
+func TestCastObservation(t *testing.T) {
+	src := `package t
+type C struct{ v string }
+var c = &C{}
+func atoi(s string) int64 { return 0 }
+func f() {
+	n := int32(atoi(c.v))
+	_ = n
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "v")})
+	obs := e.Run()
+	var explicit, api bool
+	for _, o := range obs {
+		if o.Kind == ObsType && o.Param == "p" {
+			if o.Explicit && o.Basic == constraint.BasicInt32 {
+				explicit = true
+			}
+			if !o.Explicit && o.Basic == constraint.BasicInt64 {
+				api = true
+			}
+		}
+	}
+	if !explicit || !api {
+		t.Errorf("cast observations: explicit=%v api=%v", explicit, api)
+	}
+}
+
+func TestUnsafeObservation(t *testing.T) {
+	src := `package t
+type C struct{ v string }
+var c = &C{}
+func atoi(s string) int64 { return 0 }
+func f() {
+	n := atoi(c.v)
+	_ = n
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "v")})
+	obs := e.Run()
+	found := false
+	for _, o := range obs {
+		if o.Kind == ObsUnsafe && o.Param == "p" && o.API == "atoi" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unsafe atoi not observed")
+	}
+}
+
+func TestMultiplierTracking(t *testing.T) {
+	src := `package t
+type C struct{ kb int64 }
+var c = &C{}
+func allocBuffer(n int64) {}
+func f() {
+	allocBuffer(c.kb * 1024)
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "kb")})
+	obs := e.Run()
+	for _, o := range obs {
+		if o.Kind == ObsSemantic && o.Param == "p" {
+			if o.Unit != constraint.UnitKB {
+				t.Errorf("unit = %s, want KB", o.Unit)
+			}
+			return
+		}
+	}
+	t.Error("no semantic observation")
+}
+
+func TestNoTaintThroughLen(t *testing.T) {
+	src := `package t
+type C struct{ s string }
+var c = &C{}
+func f() {
+	n := len(c.s)
+	_ = n
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "s")})
+	e.Run()
+	if got := e.TaintAt(LocalLoc("f", "n")); len(got) != 0 {
+		t.Errorf("len() result tainted: %v", got)
+	}
+}
+
+func TestErrorResultsUntainted(t *testing.T) {
+	src := `package t
+type C struct{ port int64 }
+var c = &C{}
+type Net struct{}
+func (n *Net) Bind(proto string, port int, owner string) error { return nil }
+var net = &Net{}
+func f() {
+	err := net.Bind("tcp", int(c.port), "t")
+	_ = err
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "port")})
+	e.Run()
+	if got := e.TaintAt(LocalLoc("f", "err")); len(got) != 0 {
+		t.Errorf("error result tainted: %v", got)
+	}
+}
+
+func TestResetObservation(t *testing.T) {
+	src := `package t
+type C struct{ v int64 }
+var c = &C{}
+func f() {
+	if c.v > 255 {
+		c.v = 255
+	}
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "v")})
+	obs := e.Run()
+	var cmp *Obs
+	for i := range obs {
+		if obs[i].Kind == ObsCompareConst && obs[i].Param == "p" {
+			cmp = &obs[i]
+		}
+	}
+	if cmp == nil {
+		t.Fatal("no comparison observation")
+	}
+	if !cmp.ThenBe.ResetsParam || cmp.ThenBe.ResetValue != "255" {
+		t.Errorf("then behaviour = %+v, want reset to 255", cmp.ThenBe)
+	}
+}
+
+func TestPointerAliasOneLevel(t *testing.T) {
+	src := `package t
+type C struct{ v int64 }
+var c = &C{}
+func f() {
+	pv := &c.v
+	*pv = 4
+	x := *pv
+	_ = x
+}`
+	e := engine(t, src, map[string]Loc{"p": FieldLoc("C", "v")})
+	e.Run()
+	if got := e.TaintAt(LocalLoc("f", "x")); len(got) != 1 {
+		t.Errorf("deref of alias lost taint: %v", got)
+	}
+}

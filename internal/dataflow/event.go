@@ -1,0 +1,122 @@
+package dataflow
+
+import (
+	"spex/internal/constraint"
+)
+
+// ObsKind classifies observations collected on the data-flow paths.
+type ObsKind int
+
+const (
+	// ObsType: the parameter's value was converted to (or declared with)
+	// a basic type.
+	ObsType ObsKind = iota
+	// ObsSemantic: the parameter reached a known API argument carrying a
+	// semantic type.
+	ObsSemantic
+	// ObsCompareConst: the parameter was compared with a numeric
+	// constant in a conditional branch.
+	ObsCompareConst
+	// ObsCompareStr: the parameter was compared with a string literal
+	// (enumerative ranges, case-sensitivity).
+	ObsCompareStr
+	// ObsUsage: a usage statement of the parameter (branch condition,
+	// arithmetic operand, known-call argument) with the branch
+	// conditions that dominate it — feeds control-dependency inference.
+	ObsUsage
+	// ObsRel: the parameter was compared against another parameter
+	// (directly or through one shared intermediate).
+	ObsRel
+	// ObsUnsafe: the parameter flowed through an unsafe transformation
+	// API.
+	ObsUnsafe
+	// ObsReset: the parameter's variable was overwritten with a
+	// constant inside a branch (silent-overruling / range-reset signal).
+	ObsReset
+)
+
+func (k ObsKind) String() string {
+	switch k {
+	case ObsType:
+		return "type"
+	case ObsSemantic:
+		return "semantic"
+	case ObsCompareConst:
+		return "compare-const"
+	case ObsCompareStr:
+		return "compare-str"
+	case ObsUsage:
+		return "usage"
+	case ObsRel:
+		return "rel"
+	case ObsUnsafe:
+		return "unsafe"
+	case ObsReset:
+		return "reset"
+	}
+	return "?"
+}
+
+// BranchBehavior summarizes what the program does inside a branch taken on
+// some condition of the parameter (paper §2.2.3: exit/abort/error/reset
+// mark a range invalid).
+type BranchBehavior struct {
+	Exits       bool // calls panic/Exit/Hang or returns an error
+	ResetsParam bool // reassigns the parameter's own location
+	ResetValue  string
+	LogsMessage bool // emits a log entry mentioning anything
+	Empty       bool // no statements
+	Falls       bool // plain fall-through
+}
+
+// Invalid reports whether behaviour marks the guarding range invalid.
+func (b BranchBehavior) Invalid() bool { return b.Exits || b.ResetsParam }
+
+// CondRef is a dominating condition over another parameter, used by
+// control-dependency inference: usage is guarded by "Peer Op Value".
+type CondRef struct {
+	Peer  string
+	Op    constraint.Op
+	Value string
+}
+
+// Obs is one observation.
+type Obs struct {
+	Kind  ObsKind
+	Param string
+	Hops  int
+	Loc   constraint.SourceLoc
+
+	// ObsType. Explicit marks a source-level type conversion (first-cast
+	// rule prefers these over transformation-API return types).
+	Basic    constraint.BasicType
+	Explicit bool
+
+	// ObsSemantic.
+	Semantic constraint.SemanticType
+	Unit     constraint.Unit
+	API      string
+	Mult     int64
+
+	// ObsCompareConst: Param Op Value, with behaviour of both sides.
+	Op      constraint.Op
+	Value   int64
+	ThenBe  BranchBehavior
+	ElseBe  BranchBehavior
+	HasElse bool
+
+	// ObsCompareStr.
+	StrValue        string
+	CaseInsensitive bool
+
+	// ObsUsage.
+	Dominators []CondRef
+
+	// ObsRel: Param RelOp Peer.
+	Peer     string
+	RelOp    constraint.Op
+	PeerHops int
+
+	// ObsUnsafe / ObsReset.
+	Detail string
+}

@@ -1,0 +1,114 @@
+// Package dataflow implements SPEX's inter-procedural, field-sensitive
+// data-flow analysis (paper §2.2). Starting from the program variables the
+// mapping toolkits associate with configuration parameters, it propagates
+// taint through assignments, struct fields and function calls to a fixed
+// point, then walks the corpus once more to collect *observations*: the
+// concrete program patterns (casts, known-API calls, comparisons, dominated
+// usages) from which the inference engine derives constraints.
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loc is an abstract storage location. Field locations are keyed by struct
+// type and field name (field-sensitive, instance-insensitive); function
+// parameters and results get their own locations so taint crosses call
+// boundaries (inter-procedural).
+type Loc string
+
+// GlobalLoc addresses a package-level variable.
+func GlobalLoc(name string) Loc { return Loc("G:" + name) }
+
+// FieldLoc addresses a struct field.
+func FieldLoc(structName, field string) Loc {
+	return Loc("F:" + structName + "." + field)
+}
+
+// ParamLoc addresses a function parameter.
+func ParamLoc(fn, param string) Loc { return Loc("P:" + fn + "." + param) }
+
+// RetLoc addresses the i'th result of a function.
+func RetLoc(fn string, i int) Loc { return Loc(fmt.Sprintf("R:%s.%d", fn, i)) }
+
+// LocalLoc addresses a function-local variable.
+func LocalLoc(fn, name string) Loc { return Loc("L:" + fn + "." + name) }
+
+// IsLocal reports whether the location is function-local.
+func (l Loc) IsLocal() bool { return strings.HasPrefix(string(l), "L:") }
+
+// Taint describes one parameter's presence at a location.
+type Taint struct {
+	// Hops counts local-variable assignments between the parameter's
+	// mapped variable and this location. Value-relationship inference
+	// accepts taints within a configurable hop budget (the paper checks
+	// one intermediate variable, §2.2.5).
+	Hops int
+	// Mult is the accumulated constant multiplier applied along the
+	// path (unit inference: a value multiplied by 1024 before a byte
+	// API is configured in KB).
+	Mult int64
+}
+
+// TaintSet maps parameter names to their taint info at one location.
+type TaintSet map[string]Taint
+
+// clone returns a copy of the set.
+func (ts TaintSet) clone() TaintSet {
+	out := make(TaintSet, len(ts))
+	for k, v := range ts {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeInto unions src into dst, keeping the smaller hop count per
+// parameter. It reports whether dst changed.
+func mergeInto(dst TaintSet, src TaintSet) bool {
+	changed := false
+	for p, t := range src {
+		old, ok := dst[p]
+		if !ok || t.Hops < old.Hops || (t.Hops == old.Hops && t.Mult != old.Mult && old.Mult == 1) {
+			dst[p] = t
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bump returns the set with hops incremented (crossing one local
+// assignment).
+func (ts TaintSet) bump() TaintSet {
+	out := make(TaintSet, len(ts))
+	for p, t := range ts {
+		t.Hops++
+		out[p] = t
+	}
+	return out
+}
+
+// scaled returns the set with the multiplier scaled by m.
+func (ts TaintSet) scaled(m int64) TaintSet {
+	if m == 1 {
+		return ts
+	}
+	out := make(TaintSet, len(ts))
+	for p, t := range ts {
+		if t.Mult == 0 {
+			t.Mult = 1
+		}
+		t.Mult *= m
+		out[p] = t
+	}
+	return out
+}
+
+// params returns the parameter names in the set.
+func (ts TaintSet) params() []string {
+	out := make([]string, 0, len(ts))
+	for p := range ts {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+// Package designcheck detects error-prone configuration design and
+// handling (paper §3.2): case-sensitivity and unit inconsistency
+// (Tables 6–7), silent overruling, unsafe parsing APIs, and undocumented
+// constraints (Table 8). All detectors run over the constraints and
+// observations SPEX inferred — notably the unsafe-API detector works
+// precisely because SPEX knows which variables come from user settings,
+// which generic bug detectors cannot know.
+package designcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"spex/internal/constraint"
+	"spex/internal/spex"
+)
+
+// FindingKind classifies audit findings.
+type FindingKind string
+
+const (
+	FindingCaseInconsistency FindingKind = "case-inconsistency"
+	FindingUnitInconsistency FindingKind = "unit-inconsistency"
+	FindingSilentOverruling  FindingKind = "silent-overruling"
+	FindingUnsafeAPI         FindingKind = "unsafe-api"
+	FindingUndocumented      FindingKind = "undocumented-constraint"
+)
+
+// Finding is one detected error-prone design issue.
+type Finding struct {
+	Kind    FindingKind
+	Param   string
+	Message string
+	Loc     constraint.SourceLoc
+}
+
+// Audit is the per-system result of the design checks.
+type Audit struct {
+	System string
+	// Case-sensitivity split of string/enum parameters (Table 6).
+	CaseSensitive   int
+	CaseInsensitive int
+	// Unit distribution of size and time parameters (Table 7).
+	SizeUnits map[constraint.Unit]int
+	TimeUnits map[constraint.Unit]int
+	// Parameters affected by each error-prone pattern (Table 8).
+	SilentOverruling int
+	UnsafeTransform  int
+	UndocRange       int
+	UndocDep         int
+	UndocRel         int
+
+	Findings []Finding
+}
+
+// Run audits one analyzed system.
+func Run(res *spex.Result) *Audit {
+	a := &Audit{
+		System:    res.System,
+		SizeUnits: map[constraint.Unit]int{},
+		TimeUnits: map[constraint.Unit]int{},
+	}
+	a.caseSensitivity(res)
+	a.units(res)
+	a.silentOverruling(res)
+	a.unsafeAPIs(res)
+	a.undocumented(res)
+	sort.SliceStable(a.Findings, func(i, j int) bool {
+		if a.Findings[i].Kind != a.Findings[j].Kind {
+			return a.Findings[i].Kind < a.Findings[j].Kind
+		}
+		return a.Findings[i].Param < a.Findings[j].Param
+	})
+	return a
+}
+
+// caseSensitivity tallies per-parameter case semantics; when both
+// conventions coexist in one system, each minority parameter becomes a
+// finding (Figure 6a: innodb_file_format_check).
+func (a *Audit) caseSensitivity(res *spex.Result) {
+	caseOf := map[string]bool{} // param -> sensitive
+	for _, c := range res.Set.Constraints {
+		if !c.CaseKnown {
+			continue
+		}
+		if _, seen := caseOf[c.Param]; !seen {
+			caseOf[c.Param] = c.CaseSensitive
+		} else if c.CaseSensitive {
+			caseOf[c.Param] = true
+		}
+	}
+	var sens, insens []string
+	for p, s := range caseOf {
+		if s {
+			sens = append(sens, p)
+		} else {
+			insens = append(insens, p)
+		}
+	}
+	sort.Strings(sens)
+	sort.Strings(insens)
+	a.CaseSensitive, a.CaseInsensitive = len(sens), len(insens)
+	if len(sens) == 0 || len(insens) == 0 {
+		return
+	}
+	minority, majoritySemantics := sens, "insensitive"
+	if len(insens) < len(sens) {
+		minority, majoritySemantics = insens, "sensitive"
+	}
+	for _, p := range minority {
+		a.Findings = append(a.Findings, Finding{
+			Kind:  FindingCaseInconsistency,
+			Param: p,
+			Message: fmt.Sprintf("parameter %q deviates from the system's dominant case-%s value matching",
+				p, majoritySemantics),
+			Loc: firstLoc(res, p),
+		})
+	}
+}
+
+// units tallies size/time parameter units; systems mixing units get a
+// finding per minority-unit parameter (Figure 6b: Apache MaxMemFree in KB
+// among byte-unit parameters).
+func (a *Audit) units(res *spex.Result) {
+	sizeParams := map[string]constraint.Unit{}
+	timeParams := map[string]constraint.Unit{}
+	for _, c := range res.Set.Constraints {
+		if c.Kind != constraint.KindSemanticType || c.Unit == constraint.UnitNone {
+			continue
+		}
+		switch {
+		case c.Unit.IsSize():
+			sizeParams[c.Param] = c.Unit
+		case c.Unit.IsTime():
+			timeParams[c.Param] = c.Unit
+		}
+	}
+	for p, u := range sizeParams {
+		a.SizeUnits[u]++
+		_ = p
+	}
+	for p, u := range timeParams {
+		a.TimeUnits[u]++
+		_ = p
+	}
+	a.flagUnitMinority(res, sizeParams, "size")
+	a.flagUnitMinority(res, timeParams, "time")
+}
+
+func (a *Audit) flagUnitMinority(res *spex.Result, params map[string]constraint.Unit, class string) {
+	if len(params) == 0 {
+		return
+	}
+	counts := map[constraint.Unit]int{}
+	for _, u := range params {
+		counts[u]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	var major constraint.Unit
+	best := -1
+	units := make([]constraint.Unit, 0, len(counts))
+	for u := range counts {
+		units = append(units, u)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i] < units[j] })
+	for _, u := range units {
+		if counts[u] > best {
+			best, major = counts[u], u
+		}
+	}
+	ps := make([]string, 0, len(params))
+	for p := range params {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	for _, p := range ps {
+		if params[p] == major {
+			continue
+		}
+		a.Findings = append(a.Findings, Finding{
+			Kind:  FindingUnitInconsistency,
+			Param: p,
+			Message: fmt.Sprintf("%s parameter %q uses unit %s while most use %s",
+				class, p, params[p], major),
+			Loc: firstLoc(res, p),
+		})
+	}
+}
+
+// silentOverruling flags enum parameters whose out-of-list values are
+// silently rewritten (Figure 6c: Squid boolean parsing).
+func (a *Audit) silentOverruling(res *spex.Result) {
+	seen := map[string]bool{}
+	for _, c := range res.Set.Constraints {
+		if c.Kind != constraint.KindRange || len(c.Enum) == 0 || seen[c.Param] {
+			continue
+		}
+		for _, ev := range c.Enum {
+			if ev.Overruled {
+				seen[c.Param] = true
+				a.SilentOverruling++
+				a.Findings = append(a.Findings, Finding{
+					Kind:  FindingSilentOverruling,
+					Param: c.Param,
+					Message: fmt.Sprintf("values of %q outside the accepted list are silently rewritten without notifying the user",
+						c.Param),
+					Loc: c.Loc,
+				})
+				break
+			}
+		}
+	}
+}
+
+// unsafeAPIs flags parameters parsed with unsafe transformation APIs
+// (Figure 6d: sscanf/atoi).
+func (a *Audit) unsafeAPIs(res *spex.Result) {
+	seen := map[string]bool{}
+	for _, u := range res.Unsafe {
+		if seen[u.Param] {
+			continue
+		}
+		seen[u.Param] = true
+		a.UnsafeTransform++
+		a.Findings = append(a.Findings, Finding{
+			Kind:  FindingUnsafeAPI,
+			Param: u.Param,
+			Message: fmt.Sprintf("parameter %q is parsed with unsafe API %s (no error/overflow detection)",
+				u.Param, u.API),
+			Loc: u.Loc,
+		})
+	}
+}
+
+// undocumented flags inferred range/dependency/relationship constraints the
+// user manual never mentions.
+func (a *Audit) undocumented(res *spex.Result) {
+	for _, c := range res.Set.Constraints {
+		if c.Documented {
+			continue
+		}
+		var label string
+		switch c.Kind {
+		case constraint.KindRange:
+			a.UndocRange++
+			label = "data range"
+		case constraint.KindControlDep:
+			a.UndocDep++
+			label = "control dependency"
+		case constraint.KindValueRel:
+			a.UndocRel++
+			label = "value relationship"
+		default:
+			continue
+		}
+		a.Findings = append(a.Findings, Finding{
+			Kind:    FindingUndocumented,
+			Param:   c.Param,
+			Message: fmt.Sprintf("%s constraint %s is not documented in the manual", label, c),
+			Loc:     c.Loc,
+		})
+	}
+}
+
+func firstLoc(res *spex.Result, param string) constraint.SourceLoc {
+	for _, c := range res.Set.ByParam(param) {
+		if c.Loc.File != "" {
+			return c.Loc
+		}
+	}
+	return constraint.SourceLoc{}
+}

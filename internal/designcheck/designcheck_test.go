@@ -1,0 +1,141 @@
+package designcheck
+
+import (
+	"testing"
+
+	"spex/internal/constraint"
+	"spex/internal/spex"
+)
+
+func result(cs ...*constraint.Constraint) *spex.Result {
+	set := constraint.NewSet("t")
+	for _, c := range cs {
+		set.Add(c)
+	}
+	return &spex.Result{System: "t", Set: set}
+}
+
+func findings(a *Audit, kind FindingKind) []Finding {
+	var out []Finding
+	for _, f := range a.Findings {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestCaseInconsistencyFlagsMinority(t *testing.T) {
+	a := Run(result(
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "a", CaseKnown: true, CaseSensitive: false,
+			Enum: []constraint.EnumValue{{Value: "x", Valid: true}}},
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "b", CaseKnown: true, CaseSensitive: false,
+			Enum: []constraint.EnumValue{{Value: "x", Valid: true}}},
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "odd", CaseKnown: true, CaseSensitive: true,
+			Enum: []constraint.EnumValue{{Value: "X", Valid: true}}},
+	))
+	if a.CaseSensitive != 1 || a.CaseInsensitive != 2 {
+		t.Errorf("split = %d/%d", a.CaseSensitive, a.CaseInsensitive)
+	}
+	fs := findings(a, FindingCaseInconsistency)
+	if len(fs) != 1 || fs[0].Param != "odd" {
+		t.Errorf("findings = %+v, want the minority parameter", fs)
+	}
+}
+
+func TestCaseConsistentNoFindings(t *testing.T) {
+	a := Run(result(
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "a", CaseKnown: true, CaseSensitive: false,
+			Enum: []constraint.EnumValue{{Value: "x", Valid: true}}},
+	))
+	if len(findings(a, FindingCaseInconsistency)) != 0 {
+		t.Error("uniform case semantics flagged")
+	}
+}
+
+func TestUnitInconsistency(t *testing.T) {
+	a := Run(result(
+		&constraint.Constraint{Kind: constraint.KindSemanticType, Param: "s1",
+			Semantic: constraint.SemSize, Unit: constraint.UnitByte},
+		&constraint.Constraint{Kind: constraint.KindSemanticType, Param: "s2",
+			Semantic: constraint.SemSize, Unit: constraint.UnitByte},
+		&constraint.Constraint{Kind: constraint.KindSemanticType, Param: "odd",
+			Semantic: constraint.SemSize, Unit: constraint.UnitKB},
+		&constraint.Constraint{Kind: constraint.KindSemanticType, Param: "t1",
+			Semantic: constraint.SemTimeout, Unit: constraint.UnitSecond},
+	))
+	if a.SizeUnits[constraint.UnitByte] != 2 || a.SizeUnits[constraint.UnitKB] != 1 {
+		t.Errorf("size units = %v", a.SizeUnits)
+	}
+	if a.TimeUnits[constraint.UnitSecond] != 1 {
+		t.Errorf("time units = %v", a.TimeUnits)
+	}
+	fs := findings(a, FindingUnitInconsistency)
+	if len(fs) != 1 || fs[0].Param != "odd" {
+		t.Errorf("unit findings = %+v", fs)
+	}
+}
+
+func TestSilentOverruling(t *testing.T) {
+	a := Run(result(
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "flag",
+			Enum: []constraint.EnumValue{
+				{Value: "on", Valid: true},
+				{Value: "*", Valid: false, Overruled: true},
+			}},
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "clean",
+			Enum: []constraint.EnumValue{{Value: "on", Valid: true}}},
+	))
+	if a.SilentOverruling != 1 {
+		t.Errorf("silent overruling = %d", a.SilentOverruling)
+	}
+	fs := findings(a, FindingSilentOverruling)
+	if len(fs) != 1 || fs[0].Param != "flag" {
+		t.Errorf("findings = %+v", fs)
+	}
+}
+
+func TestUnsafeAPIs(t *testing.T) {
+	res := result()
+	res.Unsafe = []spex.UnsafeUse{
+		{Param: "a", API: "atoi"},
+		{Param: "a", API: "fmt.Sscanf"}, // second API on same param: one finding
+		{Param: "b", API: "atoi"},
+	}
+	a := Run(res)
+	if a.UnsafeTransform != 2 {
+		t.Errorf("unsafe params = %d, want 2", a.UnsafeTransform)
+	}
+}
+
+func TestUndocumentedCounts(t *testing.T) {
+	a := Run(result(
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "r", Documented: false,
+			Intervals: []constraint.Interval{{HasMin: true, Min: 1, Valid: true}}},
+		&constraint.Constraint{Kind: constraint.KindRange, Param: "rd", Documented: true,
+			Intervals: []constraint.Interval{{HasMin: true, Min: 1, Valid: true}}},
+		&constraint.Constraint{Kind: constraint.KindControlDep, Param: "q", Peer: "p",
+			Cond: constraint.OpEQ, Value: "true"},
+		&constraint.Constraint{Kind: constraint.KindValueRel, Param: "x", Rel: constraint.OpGT, Peer: "y"},
+		// Basic types don't count toward the undocumented columns.
+		&constraint.Constraint{Kind: constraint.KindBasicType, Param: "b", Basic: constraint.BasicBool},
+	))
+	if a.UndocRange != 1 || a.UndocDep != 1 || a.UndocRel != 1 {
+		t.Errorf("undocumented = %d/%d/%d", a.UndocRange, a.UndocDep, a.UndocRel)
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	res := result(
+		&constraint.Constraint{Kind: constraint.KindValueRel, Param: "z", Rel: constraint.OpGT, Peer: "y"},
+		&constraint.Constraint{Kind: constraint.KindControlDep, Param: "a", Peer: "p",
+			Cond: constraint.OpEQ, Value: "true"},
+	)
+	a := Run(res)
+	for i := 1; i < len(a.Findings); i++ {
+		prev, cur := a.Findings[i-1], a.Findings[i]
+		if prev.Kind > cur.Kind || (prev.Kind == cur.Kind && prev.Param > cur.Param) {
+			t.Errorf("findings not sorted: %v before %v", prev, cur)
+		}
+	}
+}

@@ -1,0 +1,668 @@
+// Package frontend turns a target's Go source corpus into the typed view
+// SPEX's data-flow analysis consumes. It plays the role Clang + LLVM IR
+// play in the paper: parsing (stdlib go/parser), symbol tables for structs,
+// functions and package variables, and a lightweight syntactic type
+// resolver. A full go/types pass is deliberately avoided: it requires a
+// stdlib importer (slow and environment-dependent offline), and SPEX only
+// needs the declared types and call structure of configuration-handling
+// code, which this resolver recovers deterministically.
+package frontend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spex/internal/constraint"
+)
+
+// Kind classifies resolved types.
+type Kind int
+
+const (
+	KindUnknown Kind = iota
+	KindBasic        // int32, string, bool, ...
+	KindStruct       // a struct type declared in the corpus
+	KindPointer
+	KindSlice
+	KindMap
+	KindFunc
+	KindNamed // named non-struct type (resolved through Underlying)
+)
+
+// Type is the resolver's lightweight type representation.
+type Type struct {
+	Kind Kind
+	Name string // basic name, struct name, or named-type name
+	Elem *Type  // pointee / element type
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindPointer:
+		return "*" + t.Elem.String()
+	case KindSlice:
+		return "[]" + t.Elem.String()
+	case KindMap:
+		return "map[...]" + t.Elem.String()
+	case KindFunc:
+		return "func"
+	case KindUnknown:
+		return "?"
+	default:
+		return t.Name
+	}
+}
+
+// Deref strips pointers.
+func (t *Type) Deref() *Type {
+	for t != nil && t.Kind == KindPointer {
+		t = t.Elem
+	}
+	return t
+}
+
+// BasicOf maps a resolved type to the constraint-model basic type.
+func (t *Type) BasicOf() constraint.BasicType {
+	t = t.Deref()
+	if t == nil {
+		return constraint.BasicUnknown
+	}
+	return BasicFromName(t.Name)
+}
+
+// BasicFromName maps a Go type name to a constraint basic type.
+func BasicFromName(name string) constraint.BasicType {
+	switch name {
+	case "bool":
+		return constraint.BasicBool
+	case "int8":
+		return constraint.BasicInt8
+	case "int16":
+		return constraint.BasicInt16
+	case "int32", "rune":
+		return constraint.BasicInt32
+	case "int", "int64", "time.Duration":
+		return constraint.BasicInt64
+	case "uint8", "byte":
+		return constraint.BasicUint8
+	case "uint16":
+		return constraint.BasicUint16
+	case "uint32":
+		return constraint.BasicUint32
+	case "uint", "uint64", "uintptr":
+		return constraint.BasicUint64
+	case "float32":
+		return constraint.BasicFloat32
+	case "float64":
+		return constraint.BasicFloat64
+	case "string":
+		return constraint.BasicString
+	}
+	return constraint.BasicUnknown
+}
+
+// Basic returns a basic type node.
+func Basic(name string) *Type { return &Type{Kind: KindBasic, Name: name} }
+
+// StructInfo describes a struct declared in the corpus.
+type StructInfo struct {
+	Name   string
+	Fields map[string]*Type
+	// Order preserves field declaration order (needed by structure-based
+	// mapping annotations that address fields by index, Figure 4a).
+	Order []string
+	Decl  *ast.StructType
+}
+
+// FieldAt returns the name of the 1-based i'th field.
+func (s *StructInfo) FieldAt(i int) (string, bool) {
+	if i < 1 || i > len(s.Order) {
+		return "", false
+	}
+	return s.Order[i-1], true
+}
+
+// FuncInfo describes a function or method declared in the corpus.
+type FuncInfo struct {
+	// Name is "f" for functions, "Recv.m" for methods.
+	Name       string
+	Decl       *ast.FuncDecl
+	File       string
+	RecvName   string // receiver variable name, "" for functions
+	RecvType   *Type
+	ParamNames []string
+	ParamTypes []*Type
+	Results    []*Type
+}
+
+// Project is the analyzed source corpus of one target system.
+type Project struct {
+	Name    string
+	Fset    *token.FileSet
+	Files   map[string]*ast.File
+	Structs map[string]*StructInfo
+	Funcs   map[string]*FuncInfo
+	// PkgVars maps package-level variable names to types.
+	PkgVars map[string]*Type
+	// PkgVarDecls maps package-level variable names to their value
+	// expressions (used by mapping toolkits to walk option tables).
+	PkgVarDecls map[string]ast.Expr
+	// Consts maps package-level constant names to integer values when
+	// they are compile-time evaluable.
+	Consts map[string]int64
+	// StrConsts maps package-level constant names to string values.
+	StrConsts map[string]string
+	// imports maps, per file, local alias -> import path base.
+	imports map[string]map[string]string
+	// LoC is the total number of source lines in the corpus.
+	LoC int
+}
+
+// Parse parses the corpus. Sources map file names to Go source text.
+func Parse(name string, sources map[string]string) (*Project, error) {
+	p := &Project{
+		Name:        name,
+		Fset:        token.NewFileSet(),
+		Files:       make(map[string]*ast.File),
+		Structs:     make(map[string]*StructInfo),
+		Funcs:       make(map[string]*FuncInfo),
+		PkgVars:     make(map[string]*Type),
+		PkgVarDecls: make(map[string]ast.Expr),
+		Consts:      make(map[string]int64),
+		StrConsts:   make(map[string]string),
+		imports:     make(map[string]map[string]string),
+	}
+	fileNames := make([]string, 0, len(sources))
+	for fn := range sources {
+		fileNames = append(fileNames, fn)
+	}
+	sort.Strings(fileNames)
+	for _, fn := range fileNames {
+		src := sources[fn]
+		f, err := parser.ParseFile(p.Fset, fn, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: parse %s: %w", fn, err)
+		}
+		p.Files[fn] = f
+		p.LoC += strings.Count(src, "\n") + 1
+		imp := make(map[string]string)
+		for _, spec := range f.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			base := path
+			if i := strings.LastIndex(path, "/"); i >= 0 {
+				base = path[i+1:]
+			}
+			alias := base
+			if spec.Name != nil {
+				alias = spec.Name.Name
+			}
+			imp[alias] = base
+		}
+		p.imports[fn] = imp
+	}
+	for _, fn := range fileNames {
+		p.collectDecls(fn, p.Files[fn])
+	}
+	// Second pass for constants that reference other constants.
+	for _, fn := range fileNames {
+		p.collectConsts(p.Files[fn])
+	}
+	return p, nil
+}
+
+func (p *Project) collectDecls(fileName string, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if st, ok := s.Type.(*ast.StructType); ok {
+						info := &StructInfo{Name: s.Name.Name, Fields: make(map[string]*Type), Decl: st}
+						for _, fld := range st.Fields.List {
+							ft := p.ResolveTypeExpr(fld.Type)
+							for _, nm := range fld.Names {
+								info.Fields[nm.Name] = ft
+								info.Order = append(info.Order, nm.Name)
+							}
+						}
+						p.Structs[s.Name.Name] = info
+					}
+				case *ast.ValueSpec:
+					if d.Tok == token.VAR {
+						var t *Type
+						if s.Type != nil {
+							t = p.ResolveTypeExpr(s.Type)
+						}
+						for i, nm := range s.Names {
+							vt := t
+							if vt == nil && i < len(s.Values) {
+								vt = p.typeOfLiteral(s.Values[i])
+							}
+							if vt == nil {
+								vt = &Type{Kind: KindUnknown}
+							}
+							p.PkgVars[nm.Name] = vt
+							if i < len(s.Values) {
+								p.PkgVarDecls[nm.Name] = s.Values[i]
+							}
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			info := &FuncInfo{Decl: d, File: fileName}
+			name := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				rt := p.ResolveTypeExpr(d.Recv.List[0].Type)
+				info.RecvType = rt
+				base := rt.Deref()
+				if base != nil && base.Name != "" {
+					name = base.Name + "." + name
+				}
+				if len(d.Recv.List[0].Names) == 1 {
+					info.RecvName = d.Recv.List[0].Names[0].Name
+				}
+			}
+			info.Name = name
+			if d.Type.Params != nil {
+				for _, fld := range d.Type.Params.List {
+					ft := p.ResolveTypeExpr(fld.Type)
+					if len(fld.Names) == 0 {
+						info.ParamNames = append(info.ParamNames, "_")
+						info.ParamTypes = append(info.ParamTypes, ft)
+					}
+					for _, nm := range fld.Names {
+						info.ParamNames = append(info.ParamNames, nm.Name)
+						info.ParamTypes = append(info.ParamTypes, ft)
+					}
+				}
+			}
+			if d.Type.Results != nil {
+				for _, fld := range d.Type.Results.List {
+					n := len(fld.Names)
+					if n == 0 {
+						n = 1
+					}
+					for i := 0; i < n; i++ {
+						info.Results = append(info.Results, p.ResolveTypeExpr(fld.Type))
+					}
+				}
+			}
+			p.Funcs[name] = info
+		}
+	}
+}
+
+func (p *Project) collectConsts(f *ast.File) {
+	for _, decl := range f.Decls {
+		d, ok := decl.(*ast.GenDecl)
+		if !ok || d.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range d.Specs {
+			s, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, nm := range s.Names {
+				if i >= len(s.Values) {
+					continue
+				}
+				if v, ok := p.ConstValue(s.Values[i]); ok {
+					p.Consts[nm.Name] = v
+				} else if sv, ok := p.StrValue(s.Values[i]); ok {
+					p.StrConsts[nm.Name] = sv
+				}
+			}
+		}
+	}
+}
+
+// ResolveTypeExpr resolves a type expression syntactically.
+func (p *Project) ResolveTypeExpr(e ast.Expr) *Type {
+	switch t := e.(type) {
+	case *ast.Ident:
+		if BasicFromName(t.Name) != constraint.BasicUnknown {
+			return Basic(t.Name)
+		}
+		if _, ok := p.Structs[t.Name]; ok {
+			return &Type{Kind: KindStruct, Name: t.Name}
+		}
+		return &Type{Kind: KindNamed, Name: t.Name}
+	case *ast.StarExpr:
+		return &Type{Kind: KindPointer, Elem: p.ResolveTypeExpr(t.X)}
+	case *ast.ArrayType:
+		return &Type{Kind: KindSlice, Elem: p.ResolveTypeExpr(t.Elt)}
+	case *ast.MapType:
+		return &Type{Kind: KindMap, Elem: p.ResolveTypeExpr(t.Value)}
+	case *ast.SelectorExpr:
+		// Qualified type like time.Duration or vfs.Mode.
+		if x, ok := t.X.(*ast.Ident); ok {
+			full := x.Name + "." + t.Sel.Name
+			if full == "time.Duration" {
+				return Basic("time.Duration")
+			}
+			return &Type{Kind: KindNamed, Name: full}
+		}
+	case *ast.FuncType:
+		return &Type{Kind: KindFunc}
+	case *ast.InterfaceType:
+		return &Type{Kind: KindNamed, Name: "interface"}
+	}
+	return &Type{Kind: KindUnknown}
+}
+
+func (p *Project) typeOfLiteral(e ast.Expr) *Type {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		switch v.Kind {
+		case token.INT:
+			return Basic("int")
+		case token.FLOAT:
+			return Basic("float64")
+		case token.STRING:
+			return Basic("string")
+		case token.CHAR:
+			return Basic("rune")
+		}
+	case *ast.CompositeLit:
+		return p.ResolveTypeExpr(v.Type)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			inner := p.typeOfLiteral(v.X)
+			if inner != nil {
+				return &Type{Kind: KindPointer, Elem: inner}
+			}
+		}
+	case *ast.Ident:
+		if v.Name == "true" || v.Name == "false" {
+			return Basic("bool")
+		}
+	}
+	return nil
+}
+
+// Scope is a lexical scope mapping local variable names to types.
+type Scope struct {
+	parent *Scope
+	vars   map[string]*Type
+}
+
+// NewScope returns a child scope of parent (which may be nil).
+func NewScope(parent *Scope) *Scope {
+	return &Scope{parent: parent, vars: make(map[string]*Type)}
+}
+
+// Define binds name to t in this scope.
+func (s *Scope) Define(name string, t *Type) { s.vars[name] = t }
+
+// Lookup resolves name through the scope chain.
+func (s *Scope) Lookup(name string) (*Type, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.vars[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// TypeOf resolves the type of an expression in the given scope. The
+// resolver is best-effort: unknown expressions yield KindUnknown, which the
+// analysis treats conservatively.
+func (p *Project) TypeOf(e ast.Expr, scope *Scope) *Type {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if scope != nil {
+			if t, ok := scope.Lookup(v.Name); ok {
+				return t
+			}
+		}
+		if t, ok := p.PkgVars[v.Name]; ok {
+			return t
+		}
+		if _, ok := p.Consts[v.Name]; ok {
+			return Basic("int")
+		}
+		if _, ok := p.StrConsts[v.Name]; ok {
+			return Basic("string")
+		}
+		if v.Name == "true" || v.Name == "false" {
+			return Basic("bool")
+		}
+		return &Type{Kind: KindUnknown}
+	case *ast.BasicLit:
+		t := p.typeOfLiteral(v)
+		if t == nil {
+			return &Type{Kind: KindUnknown}
+		}
+		return t
+	case *ast.SelectorExpr:
+		base := p.TypeOf(v.X, scope).Deref()
+		if base != nil && base.Kind == KindStruct {
+			if st, ok := p.Structs[base.Name]; ok {
+				if ft, ok := st.Fields[v.Sel.Name]; ok {
+					return ft
+				}
+			}
+		}
+		return &Type{Kind: KindUnknown}
+	case *ast.StarExpr:
+		t := p.TypeOf(v.X, scope)
+		if t.Kind == KindPointer {
+			return t.Elem
+		}
+		return &Type{Kind: KindUnknown}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return &Type{Kind: KindPointer, Elem: p.TypeOf(v.X, scope)}
+		}
+		return p.TypeOf(v.X, scope)
+	case *ast.ParenExpr:
+		return p.TypeOf(v.X, scope)
+	case *ast.IndexExpr:
+		t := p.TypeOf(v.X, scope)
+		if t.Kind == KindSlice || t.Kind == KindMap {
+			return t.Elem
+		}
+		return &Type{Kind: KindUnknown}
+	case *ast.CallExpr:
+		// Conversion to a basic or declared type?
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if BasicFromName(id.Name) != constraint.BasicUnknown {
+				return Basic(id.Name)
+			}
+			if _, ok := p.Structs[id.Name]; ok {
+				return &Type{Kind: KindStruct, Name: id.Name}
+			}
+		}
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name+"."+sel.Sel.Name == "time.Duration" {
+				return Basic("time.Duration")
+			}
+		}
+		name := p.CallName(v, scope)
+		if fi, ok := p.Funcs[name]; ok && len(fi.Results) > 0 {
+			return fi.Results[0]
+		}
+		return &Type{Kind: KindUnknown}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND, token.LOR, token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return Basic("bool")
+		}
+		lt := p.TypeOf(v.X, scope)
+		if lt.Kind != KindUnknown {
+			return lt
+		}
+		return p.TypeOf(v.Y, scope)
+	case *ast.CompositeLit:
+		return p.ResolveTypeExpr(v.Type)
+	}
+	return &Type{Kind: KindUnknown}
+}
+
+// CallName resolves the name of a call expression:
+//
+//	atoi(x)            -> "atoi"
+//	strconv.Atoi(x)    -> "strconv.Atoi"   (x resolves to an import)
+//	env.FS.ReadFile(x) -> "FS.ReadFile"    (receiver field name + method)
+//	c.validate()       -> "ServerConf.validate" (receiver type + method)
+func (p *Project) CallName(call *ast.CallExpr, scope *Scope) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		// Receiver is an import alias?
+		if x, ok := fun.X.(*ast.Ident); ok {
+			for _, imp := range p.imports {
+				if base, ok := imp[x.Name]; ok {
+					return base + "." + fun.Sel.Name
+				}
+			}
+		}
+		// Receiver type known?
+		rt := p.TypeOf(fun.X, scope).Deref()
+		if rt != nil && (rt.Kind == KindStruct || rt.Kind == KindNamed) && rt.Name != "" {
+			name := rt.Name
+			if i := strings.LastIndex(name, "."); i >= 0 {
+				name = name[i+1:]
+			}
+			return name + "." + fun.Sel.Name
+		}
+		// Fall back to the flattened selector chain's last two parts.
+		parts := flatten(fun)
+		if len(parts) >= 2 {
+			return strings.Join(parts[len(parts)-2:], ".")
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func flatten(e ast.Expr) []string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return []string{v.Name}
+	case *ast.SelectorExpr:
+		return append(flatten(v.X), v.Sel.Name)
+	case *ast.CallExpr:
+		return flatten(v.Fun)
+	}
+	return nil
+}
+
+// ConstValue evaluates an integer constant expression: literals, package
+// constants, time.X duration constants, unary minus, and +,-,*,/,<<
+// of constant operands.
+func (p *Project) ConstValue(e ast.Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.INT {
+			n, err := strconv.ParseInt(v.Value, 0, 64)
+			if err != nil {
+				return 0, false
+			}
+			return n, true
+		}
+	case *ast.Ident:
+		if n, ok := p.Consts[v.Name]; ok {
+			return n, true
+		}
+	case *ast.SelectorExpr:
+		if x, ok := v.X.(*ast.Ident); ok {
+			switch x.Name + "." + v.Sel.Name {
+			case "time.Microsecond":
+				return 1000, true
+			case "time.Millisecond":
+				return 1000 * 1000, true
+			case "time.Second":
+				return 1000 * 1000 * 1000, true
+			case "time.Minute":
+				return 60 * 1000 * 1000 * 1000, true
+			case "time.Hour":
+				return 3600 * 1000 * 1000 * 1000, true
+			}
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB {
+			if n, ok := p.ConstValue(v.X); ok {
+				return -n, true
+			}
+		}
+	case *ast.ParenExpr:
+		return p.ConstValue(v.X)
+	case *ast.BinaryExpr:
+		a, okA := p.ConstValue(v.X)
+		b, okB := p.ConstValue(v.Y)
+		if okA && okB {
+			switch v.Op {
+			case token.ADD:
+				return a + b, true
+			case token.SUB:
+				return a - b, true
+			case token.MUL:
+				return a * b, true
+			case token.QUO:
+				if b != 0 {
+					return a / b, true
+				}
+			case token.SHL:
+				if b >= 0 && b < 63 {
+					return a << uint(b), true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		// Conversions of constants: time.Duration(30), int64(4096).
+		if len(v.Args) == 1 {
+			return p.ConstValue(v.Args[0])
+		}
+	}
+	return 0, false
+}
+
+// StrValue evaluates a string constant expression.
+func (p *Project) StrValue(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			s, err := strconv.Unquote(v.Value)
+			if err != nil {
+				return "", false
+			}
+			return s, true
+		}
+	case *ast.Ident:
+		if s, ok := p.StrConsts[v.Name]; ok {
+			return s, true
+		}
+	case *ast.ParenExpr:
+		return p.StrValue(v.X)
+	}
+	return "", false
+}
+
+// Loc returns the source location of a node.
+func (p *Project) Loc(n ast.Node, fn string) constraint.SourceLoc {
+	pos := p.Fset.Position(n.Pos())
+	return constraint.SourceLoc{File: pos.Filename, Line: pos.Line, Func: fn}
+}
+
+// FuncNames returns the sorted names of all declared functions.
+func (p *Project) FuncNames() []string {
+	out := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

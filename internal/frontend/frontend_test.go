@@ -1,0 +1,257 @@
+package frontend
+
+import (
+	"go/ast"
+	"testing"
+
+	"spex/internal/constraint"
+)
+
+const testSrc = `package t
+
+import (
+	"strings"
+	"time"
+)
+
+const maxThreads = 16
+const doubled = maxThreads * 2
+const name = "server"
+
+type Config struct {
+	Port    int64
+	Name    string
+	Timeout time.Duration
+	Nested  Inner
+}
+
+type Inner struct {
+	Flag bool
+}
+
+var gConf = &Config{}
+var counter int32
+var table = []option{{"a", 1}}
+
+type option struct {
+	key string
+	val int64
+}
+
+func helper(x int64) int64 { return x + 1 }
+
+func (c *Config) validate() bool { return c.Port > 0 }
+
+func use() {
+	v := helper(gConf.Port)
+	_ = v
+	s := strings.ToUpper(gConf.Name)
+	_ = s
+}
+`
+
+func parse(t *testing.T) *Project {
+	t.Helper()
+	p, err := Parse("t", map[string]string{"t.go": testSrc})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestStructCollection(t *testing.T) {
+	p := parse(t)
+	cfg, ok := p.Structs["Config"]
+	if !ok {
+		t.Fatal("Config struct not collected")
+	}
+	if cfg.Fields["Port"].BasicOf() != constraint.BasicInt64 {
+		t.Errorf("Port type = %s", cfg.Fields["Port"])
+	}
+	if cfg.Fields["Timeout"].BasicOf() != constraint.BasicInt64 {
+		t.Errorf("Duration type = %s", cfg.Fields["Timeout"])
+	}
+	if name, ok := cfg.FieldAt(2); !ok || name != "Name" {
+		t.Errorf("FieldAt(2) = %q", name)
+	}
+	if _, ok := cfg.FieldAt(99); ok {
+		t.Error("FieldAt out of range must fail")
+	}
+}
+
+func TestFuncCollection(t *testing.T) {
+	p := parse(t)
+	h, ok := p.Funcs["helper"]
+	if !ok {
+		t.Fatal("helper not collected")
+	}
+	if len(h.ParamNames) != 1 || h.ParamNames[0] != "x" {
+		t.Errorf("params = %v", h.ParamNames)
+	}
+	if len(h.Results) != 1 || h.Results[0].BasicOf() != constraint.BasicInt64 {
+		t.Errorf("results = %v", h.Results)
+	}
+	m, ok := p.Funcs["Config.validate"]
+	if !ok {
+		t.Fatal("method not collected under Recv.Method")
+	}
+	if m.RecvName != "c" {
+		t.Errorf("receiver = %q", m.RecvName)
+	}
+}
+
+func TestConstEvaluation(t *testing.T) {
+	p := parse(t)
+	if p.Consts["maxThreads"] != 16 {
+		t.Errorf("maxThreads = %d", p.Consts["maxThreads"])
+	}
+	if p.Consts["doubled"] != 32 {
+		t.Errorf("doubled = %d", p.Consts["doubled"])
+	}
+	if p.StrConsts["name"] != "server" {
+		t.Errorf("name = %q", p.StrConsts["name"])
+	}
+}
+
+func TestPkgVars(t *testing.T) {
+	p := parse(t)
+	g := p.PkgVars["gConf"]
+	if g == nil || g.Kind != KindPointer || g.Deref().Name != "Config" {
+		t.Errorf("gConf type = %s", g)
+	}
+	if p.PkgVars["counter"].BasicOf() != constraint.BasicInt32 {
+		t.Errorf("counter = %s", p.PkgVars["counter"])
+	}
+	if _, ok := p.PkgVarDecls["table"]; !ok {
+		t.Error("table initializer not recorded")
+	}
+}
+
+func TestTypeOfExpressions(t *testing.T) {
+	p := parse(t)
+	use := p.Funcs["use"]
+	scope := NewScope(nil)
+	// Walk the body looking for the helper call and the selector.
+	ast.Inspect(use.Decl.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == "gConf" && sel.Sel.Name == "Port" {
+				if got := p.TypeOf(sel, scope).BasicOf(); got != constraint.BasicInt64 {
+					t.Errorf("gConf.Port type = %s", got)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestCallNameResolution(t *testing.T) {
+	p := parse(t)
+	use := p.Funcs["use"]
+	var names []string
+	scope := NewScope(nil)
+	ast.Inspect(use.Decl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			names = append(names, p.CallName(call, scope))
+		}
+		return true
+	})
+	want := map[string]bool{"helper": false, "strings.ToUpper": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("call %q not resolved (got %v)", n, names)
+		}
+	}
+}
+
+func TestConstValueForms(t *testing.T) {
+	p := parse(t)
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"42", 42},
+		{"-7", -7},
+		{"maxThreads", 16},
+		{"maxThreads + 1", 17},
+		{"2 * 3", 6},
+		{"1 << 10", 1024},
+		{"(8)", 8},
+		{"10 / 2", 5},
+	}
+	for _, c := range cases {
+		e := parseExpr(t, c.expr)
+		got, ok := p.ConstValue(e)
+		if !ok || got != c.want {
+			t.Errorf("ConstValue(%s) = %d,%v want %d", c.expr, got, ok, c.want)
+		}
+	}
+	if _, ok := p.ConstValue(parseExpr(t, "someVar")); ok {
+		t.Error("non-const evaluated")
+	}
+}
+
+func parseExpr(t *testing.T, s string) ast.Expr {
+	t.Helper()
+	p, err := Parse("x", map[string]string{"x.go": "package x\nconst maxThreads = 16\nvar _ = " + s + "\n"})
+	if err != nil {
+		t.Fatalf("parse expr %q: %v", s, err)
+	}
+	for _, d := range p.Files["x.go"].Decls {
+		if gd, ok := d.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == 1 && vs.Names[0].Name == "_" {
+					return vs.Values[0]
+				}
+			}
+		}
+	}
+	t.Fatal("expression not found")
+	return nil
+}
+
+func TestBasicFromName(t *testing.T) {
+	cases := map[string]constraint.BasicType{
+		"bool": constraint.BasicBool, "int32": constraint.BasicInt32,
+		"int": constraint.BasicInt64, "uint16": constraint.BasicUint16,
+		"string": constraint.BasicString, "float64": constraint.BasicFloat64,
+		"byte": constraint.BasicUint8, "rune": constraint.BasicInt32,
+		"time.Duration": constraint.BasicInt64, "Config": constraint.BasicUnknown,
+	}
+	for name, want := range cases {
+		if got := BasicFromName(name); got != want {
+			t.Errorf("BasicFromName(%s) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestScopeChain(t *testing.T) {
+	parent := NewScope(nil)
+	parent.Define("x", Basic("int64"))
+	child := NewScope(parent)
+	child.Define("y", Basic("string"))
+	if tp, ok := child.Lookup("x"); !ok || tp.Name != "int64" {
+		t.Error("parent lookup failed")
+	}
+	if _, ok := parent.Lookup("y"); ok {
+		t.Error("child binding leaked to parent")
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	_, err := Parse("bad", map[string]string{"bad.go": "package bad\nfunc {"})
+	if err == nil {
+		t.Fatal("syntax error not reported")
+	}
+}
+
+func TestLoCCount(t *testing.T) {
+	p := parse(t)
+	if p.LoC < 40 {
+		t.Errorf("LoC = %d, suspiciously small", p.LoC)
+	}
+}

@@ -1,0 +1,110 @@
+package inject
+
+import (
+	"sort"
+
+	"spex/internal/confgen"
+	"spex/internal/constraint"
+)
+
+// The paper notes that the campaign cost is a one-time cost because
+// SPEX-INJ can be made incremental: after a code revision, only the
+// constraints affected by the modification need to be retested (§3.1).
+// This file implements that delta computation.
+
+// Delta describes how a system's constraint set changed between two
+// analysis runs.
+type Delta struct {
+	// Added are constraints present only in the new set.
+	Added []*constraint.Constraint
+	// Removed are constraints present only in the old set; their past
+	// outcomes are stale and should be dropped from dashboards.
+	Removed []*constraint.Constraint
+	// Unchanged are constraints present in both.
+	Unchanged []*constraint.Constraint
+}
+
+// Diff computes the constraint delta between two inference runs.
+// Constraints are compared by identity (kind, parameter, and the
+// kind-specific payload) — a changed range boundary yields one Removed
+// and one Added entry.
+func Diff(old, new *constraint.Set) Delta {
+	oldByID := map[string]*constraint.Constraint{}
+	for _, c := range old.Constraints {
+		oldByID[c.ID()] = c
+	}
+	var d Delta
+	seen := map[string]bool{}
+	for _, c := range new.Constraints {
+		id := c.ID()
+		seen[id] = true
+		if _, ok := oldByID[id]; ok {
+			d.Unchanged = append(d.Unchanged, c)
+		} else {
+			d.Added = append(d.Added, c)
+		}
+	}
+	for id, c := range oldByID {
+		if !seen[id] {
+			d.Removed = append(d.Removed, c)
+		}
+	}
+	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i].ID() < d.Removed[j].ID() })
+	return d
+}
+
+// AffectedParams returns the parameters touched by the delta (sorted):
+// any parameter with an added or removed constraint, plus the peers of
+// added/removed correlations.
+func (d Delta) AffectedParams() []string {
+	set := map[string]bool{}
+	mark := func(cs []*constraint.Constraint) {
+		for _, c := range cs {
+			set[c.Param] = true
+			if c.Peer != "" {
+				set[c.Peer] = true
+			}
+		}
+	}
+	mark(d.Added)
+	mark(d.Removed)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SelectRetests filters a full misconfiguration list down to the ones an
+// incremental campaign must rerun: misconfigurations violating an added
+// constraint, or touching any affected parameter (whose behaviour the
+// revision changed).
+func SelectRetests(ms []confgen.Misconf, d Delta) []confgen.Misconf {
+	addedIDs := map[string]bool{}
+	for _, c := range d.Added {
+		addedIDs[c.ID()] = true
+	}
+	affected := map[string]bool{}
+	for _, p := range d.AffectedParams() {
+		affected[p] = true
+	}
+	var out []confgen.Misconf
+	for _, m := range ms {
+		if m.Violates != nil && addedIDs[m.Violates.ID()] {
+			out = append(out, m)
+			continue
+		}
+		touched := false
+		for p := range m.Values {
+			if affected[p] {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+// Package inject is SPEX-INJ's testing harness (paper §3.1). For every
+// generated misconfiguration it boots the target on fresh virtual
+// substrates, runs the target's own functional tests, and classifies the
+// reaction (Table 3). A reaction is a vulnerability unless the system
+// pinpoints the faulting parameter in its logs. The harness applies the
+// paper's two optimizations: run the shortest test first, and stop at the
+// first failed test.
+package inject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/constraint"
+	"spex/internal/sim"
+	"spex/internal/vfs"
+)
+
+// Reaction classifies how the system reacted to an injected
+// misconfiguration (Table 3, plus the two non-vulnerability outcomes).
+type Reaction int
+
+const (
+	// ReactionCrash: the system crashed or hung.
+	ReactionCrash Reaction = iota
+	// ReactionEarlyTerm: the system exited without pinpointing the
+	// injected error.
+	ReactionEarlyTerm
+	// ReactionFuncFailure: a functional test failed without a
+	// pinpointing message.
+	ReactionFuncFailure
+	// ReactionSilentViolation: the system changed the input
+	// configuration to a different value without notifying the user.
+	ReactionSilentViolation
+	// ReactionSilentIgnorance: the system ignored the input
+	// configuration (mainly for control-dependency violations).
+	ReactionSilentIgnorance
+	// ReactionGood: the system rejected or flagged the error AND
+	// pinpointed the parameter — the desired behaviour, not a
+	// vulnerability.
+	ReactionGood
+	// ReactionTolerated: the system behaved correctly despite the
+	// injection (over-approximate constraint or benign value).
+	ReactionTolerated
+)
+
+var reactionNames = [...]string{
+	"crash/hang", "early termination", "functional failure",
+	"silent violation", "silent ignorance", "good reaction", "tolerated",
+}
+
+func (r Reaction) String() string {
+	if r < 0 || int(r) >= len(reactionNames) {
+		return fmt.Sprintf("Reaction(%d)", int(r))
+	}
+	return reactionNames[r]
+}
+
+// Vulnerability reports whether the reaction counts as a misconfiguration
+// vulnerability.
+func (r Reaction) Vulnerability() bool {
+	switch r {
+	case ReactionCrash, ReactionEarlyTerm, ReactionFuncFailure,
+		ReactionSilentViolation, ReactionSilentIgnorance:
+		return true
+	}
+	return false
+}
+
+// Outcome is the result of testing one misconfiguration.
+type Outcome struct {
+	Misconf    confgen.Misconf
+	Reaction   Reaction
+	Pinpointed bool
+	FailedTest string
+	LogDump    string
+	// Loc is the source location of the violated constraint — the code
+	// location a fix would patch (Table 5b).
+	Loc constraint.SourceLoc
+	// SimCost is the simulated testing cost in test-weight units.
+	SimCost int
+}
+
+// Report aggregates a campaign over one system.
+type Report struct {
+	System   string
+	Outcomes []Outcome
+	// TotalSimCost is the simulated campaign duration in weight units.
+	TotalSimCost int
+}
+
+// CountByReaction tallies outcomes per reaction (Table 5a row).
+func (r *Report) CountByReaction() map[Reaction]int {
+	out := make(map[Reaction]int)
+	for _, o := range r.Outcomes {
+		out[o.Reaction]++
+	}
+	return out
+}
+
+// Vulnerabilities returns the outcomes that are vulnerabilities.
+func (r *Report) Vulnerabilities() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Reaction.Vulnerability() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// UniqueLocations counts distinct source-code locations behind the
+// vulnerabilities (Table 5b): one patch may fix several vulnerabilities.
+func (r *Report) UniqueLocations() int {
+	seen := map[string]bool{}
+	for _, o := range r.Outcomes {
+		if !o.Reaction.Vulnerability() {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d", o.Loc.File, o.Loc.Line)
+		seen[key] = true
+	}
+	return len(seen)
+}
+
+// Options tune the campaign.
+type Options struct {
+	// HangDeadline bounds Start; targets model hangs by blocking.
+	HangDeadline time.Duration
+	// StopOnFirstFailure stops testing a misconfiguration at the first
+	// failed functional test (paper optimization 1).
+	StopOnFirstFailure bool
+	// SortTests runs the shortest test first (paper optimization 2).
+	SortTests bool
+}
+
+// DefaultOptions enables both paper optimizations.
+func DefaultOptions() Options {
+	return Options{HangDeadline: 250 * time.Millisecond, StopOnFirstFailure: true, SortTests: true}
+}
+
+// Run executes a full campaign: every misconfiguration in ms against the
+// target system.
+func Run(sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
+	if opts.HangDeadline == 0 {
+		opts.HangDeadline = 250 * time.Millisecond
+	}
+	tmplText := sys.DefaultConfig()
+	rep := &Report{System: sys.Name()}
+	for _, m := range ms {
+		out, err := runOne(sys, tmplText, m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %s: %w", m.ID, err)
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+		rep.TotalSimCost += out.SimCost
+	}
+	return rep, nil
+}
+
+func runOne(sys sim.System, tmplText string, m confgen.Misconf, opts Options) (Outcome, error) {
+	out := Outcome{Misconf: m}
+	if m.Violates != nil {
+		out.Loc = m.Violates.Loc
+	}
+	tmpl, err := conffile.Parse(tmplText, sys.Syntax())
+	if err != nil {
+		return out, err
+	}
+	cfg := tmpl.Clone()
+	for p, v := range m.Values {
+		cfg.Set(p, v)
+	}
+
+	env := sim.NewEnv()
+	sys.SetupEnv(env)
+	if err := applyEnv(env, m.Env); err != nil {
+		return out, err
+	}
+
+	started := sim.MonitorStart(sys, env, cfg, opts.HangDeadline)
+	out.SimCost = 1 // boot cost
+	line, _ := cfg.LineOf(m.Param)
+	injected := m.Values[m.Param]
+	pin := env.Log.Pinpoints(m.Param, injected, line)
+
+	switch started.Kind {
+	case sim.StartCrash, sim.StartHang:
+		out.Reaction = ReactionCrash
+		out.Pinpointed = false
+		out.LogDump = env.Log.Dump()
+		return out, nil
+	case sim.StartExit, sim.StartError:
+		out.Pinpointed = pin
+		if pin {
+			out.Reaction = ReactionGood
+		} else {
+			out.Reaction = ReactionEarlyTerm
+		}
+		out.LogDump = env.Log.Dump()
+		return out, nil
+	}
+
+	inst := started.Instance
+	defer inst.Stop()
+
+	tests := append([]sim.FuncTest(nil), sys.Tests()...)
+	if opts.SortTests {
+		sort.SliceStable(tests, func(i, j int) bool { return tests[i].Weight < tests[j].Weight })
+	}
+	for _, t := range tests {
+		out.SimCost += t.Weight
+		if err := sim.RunTest(t, env, inst); err != nil {
+			pin = env.Log.Pinpoints(m.Param, injected, line)
+			out.FailedTest = t.Name
+			out.Pinpointed = pin
+			if pin {
+				out.Reaction = ReactionGood
+			} else {
+				out.Reaction = ReactionFuncFailure
+			}
+			out.LogDump = env.Log.Dump()
+			if opts.StopOnFirstFailure {
+				return out, nil
+			}
+		}
+	}
+	if out.FailedTest != "" {
+		return out, nil
+	}
+
+	// All tests passed: silent violation / ignorance analysis.
+	pin = env.Log.Pinpoints(m.Param, injected, line)
+	out.Pinpointed = pin
+	out.LogDump = env.Log.Dump()
+
+	changed := false
+	for p, v := range m.Values {
+		if eff, ok := inst.Effective(p); ok && !sameValue(eff, v) {
+			changed = true
+			break
+		}
+	}
+	switch {
+	case pin:
+		out.Reaction = ReactionGood
+	case changed:
+		out.Reaction = ReactionSilentViolation
+	case m.Violates != nil && m.Violates.Kind == constraint.KindControlDep:
+		// The setting is retained verbatim but cannot take effect: the
+		// dependency condition is violated by construction.
+		out.Reaction = ReactionSilentIgnorance
+	default:
+		out.Reaction = ReactionTolerated
+	}
+	return out, nil
+}
+
+func sameValue(a, b string) bool {
+	na, nb := normalize(a), normalize(b)
+	return na == nb
+}
+
+func normalize(s string) string {
+	s = strings.TrimSpace(s)
+	// Numeric normalization: "0064" == "64".
+	neg := strings.HasPrefix(s, "-")
+	t := strings.TrimPrefix(s, "-")
+	if t != "" && strings.Trim(t, "0123456789") == "" {
+		t = strings.TrimLeft(t, "0")
+		if t == "" {
+			t = "0"
+		}
+		if neg {
+			return "-" + t
+		}
+		return t
+	}
+	return s
+}
+
+func applyEnv(env *sim.Env, actions []confgen.EnvAction) error {
+	for _, a := range actions {
+		switch a.Kind {
+		case confgen.EnvOccupyPort:
+			if err := env.Net.OccupyForTest("tcp", a.Port); err != nil {
+				return err
+			}
+			if err := env.Net.OccupyForTest("udp", a.Port); err != nil {
+				return err
+			}
+		case confgen.EnvMakeDir:
+			if err := env.FS.MkdirAll(a.Path); err != nil {
+				return err
+			}
+		case confgen.EnvMakeUnreadable:
+			if err := env.FS.WriteFile(a.Path, []byte("secret"), 0); err != nil {
+				return err
+			}
+		case confgen.EnvEnsureMissing:
+			if env.FS.Exists(a.Path) {
+				if err := env.FS.Remove(a.Path); err != nil && err != vfs.ErrNotExist {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ErrorReport renders the developer-facing report for one vulnerability:
+// the constraint, the injected error, the failed test, and the logs
+// (paper §3.1 "Testing and Analysis").
+func ErrorReport(o Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== SPEX-INJ error report: %s ===\n", o.Misconf.ID)
+	if o.Misconf.Violates != nil {
+		fmt.Fprintf(&b, "constraint : %s\n", o.Misconf.Violates)
+	}
+	var kv []string
+	for p, v := range o.Misconf.Values {
+		kv = append(kv, fmt.Sprintf("%s = %s", p, v))
+	}
+	sort.Strings(kv)
+	fmt.Fprintf(&b, "injected   : %s (%s)\n", strings.Join(kv, ", "), o.Misconf.Description)
+	fmt.Fprintf(&b, "reaction   : %s\n", o.Reaction)
+	if o.FailedTest != "" {
+		fmt.Fprintf(&b, "failed test: %s\n", o.FailedTest)
+	}
+	fmt.Fprintf(&b, "code loc   : %s\n", o.Loc)
+	if o.LogDump == "" {
+		b.WriteString("logs       : (none)\n")
+	} else {
+		b.WriteString("logs       :\n")
+		for _, line := range strings.Split(strings.TrimRight(o.LogDump, "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}

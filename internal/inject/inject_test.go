@@ -1,0 +1,299 @@
+package inject
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/constraint"
+	"spex/internal/sim"
+)
+
+// fakeSystem reacts to the injected value of parameter "p" according to a
+// behaviour table, letting tests drive every classification path.
+type fakeSystem struct {
+	tests []sim.FuncTest
+}
+
+func (s *fakeSystem) Name() string                       { return "fake" }
+func (s *fakeSystem) Description() string                { return "fake" }
+func (s *fakeSystem) Syntax() conffile.Syntax            { return conffile.SyntaxEquals }
+func (s *fakeSystem) DefaultConfig() string              { return "p = good\nq = 1\n" }
+func (s *fakeSystem) Sources() map[string]string         { return nil }
+func (s *fakeSystem) Annotations() string                { return "" }
+func (s *fakeSystem) Manual() map[string]sim.ManualEntry { return nil }
+func (s *fakeSystem) GroundTruth() *constraint.Set       { return constraint.NewSet("fake") }
+func (s *fakeSystem) SetupEnv(env *sim.Env)              {}
+func (s *fakeSystem) Tests() []sim.FuncTest              { return s.tests }
+
+type fakeInstance struct{ effective map[string]string }
+
+func (i *fakeInstance) Effective(p string) (string, bool) {
+	v, ok := i.effective[p]
+	return v, ok
+}
+func (i *fakeInstance) Stop() {}
+
+func (s *fakeSystem) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	v, _ := cfg.Get("p")
+	switch v {
+	case "crash":
+		panic("segfault")
+	case "hang":
+		sim.Hang()
+	case "exit-silent":
+		env.Log.Fatalf("fatal internal failure")
+		return nil, &sim.ExitError{Status: 1, Reason: "x"}
+	case "exit-pinpoint":
+		env.Log.Errorf("bad value for parameter 'p'")
+		return nil, &sim.ExitError{Status: 1, Reason: "x"}
+	case "clamped":
+		return &fakeInstance{effective: map[string]string{"p": "good", "q": "1"}}, nil
+	}
+	eff := map[string]string{"p": v, "q": "1"}
+	if qv, ok := cfg.Get("q"); ok {
+		eff["q"] = qv
+	}
+	return &fakeInstance{effective: eff}, nil
+}
+
+func mk(param, value string, violates *constraint.Constraint) confgen.Misconf {
+	return confgen.Misconf{
+		ID: param + "#" + value, Param: param,
+		Values:   map[string]string{param: value},
+		Violates: violates,
+	}
+}
+
+func runOneMisconf(t *testing.T, sys sim.System, m confgen.Misconf, opts Options) Outcome {
+	t.Helper()
+	rep, err := Run(sys, []confgen.Misconf{m}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Outcomes[0]
+}
+
+func TestClassifyCrash(t *testing.T) {
+	o := runOneMisconf(t, &fakeSystem{}, mk("p", "crash", nil), DefaultOptions())
+	if o.Reaction != ReactionCrash {
+		t.Errorf("reaction = %s", o.Reaction)
+	}
+}
+
+func TestClassifyHang(t *testing.T) {
+	opts := DefaultOptions()
+	opts.HangDeadline = 30 * time.Millisecond
+	o := runOneMisconf(t, &fakeSystem{}, mk("p", "hang", nil), opts)
+	if o.Reaction != ReactionCrash {
+		t.Errorf("reaction = %s (hang folds into crash/hang)", o.Reaction)
+	}
+}
+
+func TestClassifyEarlyTermVsGood(t *testing.T) {
+	o := runOneMisconf(t, &fakeSystem{}, mk("p", "exit-silent", nil), DefaultOptions())
+	if o.Reaction != ReactionEarlyTerm || o.Pinpointed {
+		t.Errorf("silent exit = %s pin=%v", o.Reaction, o.Pinpointed)
+	}
+	o = runOneMisconf(t, &fakeSystem{}, mk("p", "exit-pinpoint", nil), DefaultOptions())
+	if o.Reaction != ReactionGood || !o.Pinpointed {
+		t.Errorf("pinpointed exit = %s pin=%v", o.Reaction, o.Pinpointed)
+	}
+}
+
+func TestClassifyFunctionalFailure(t *testing.T) {
+	sys := &fakeSystem{tests: []sim.FuncTest{{
+		Name: "always-fails", Weight: 1,
+		Run: func(env *sim.Env, inst sim.Instance) error {
+			return fmt.Errorf("request failed")
+		},
+	}}}
+	o := runOneMisconf(t, sys, mk("p", "weird", nil), DefaultOptions())
+	if o.Reaction != ReactionFuncFailure || o.FailedTest != "always-fails" {
+		t.Errorf("reaction = %s test=%s", o.Reaction, o.FailedTest)
+	}
+}
+
+func TestClassifySilentViolation(t *testing.T) {
+	o := runOneMisconf(t, &fakeSystem{}, mk("p", "clamped", nil), DefaultOptions())
+	if o.Reaction != ReactionSilentViolation {
+		t.Errorf("reaction = %s, want silent violation (effective differs)", o.Reaction)
+	}
+}
+
+func TestClassifySilentIgnorance(t *testing.T) {
+	dep := &constraint.Constraint{Kind: constraint.KindControlDep,
+		Param: "q", Peer: "p", Cond: constraint.OpEQ, Value: "good"}
+	m := confgen.Misconf{
+		ID: "dep", Param: "q",
+		Values:   map[string]string{"p": "other", "q": "1"},
+		Violates: dep,
+	}
+	o := runOneMisconf(t, &fakeSystem{}, m, DefaultOptions())
+	if o.Reaction != ReactionSilentIgnorance {
+		t.Errorf("reaction = %s, want silent ignorance", o.Reaction)
+	}
+}
+
+func TestClassifyTolerated(t *testing.T) {
+	o := runOneMisconf(t, &fakeSystem{}, mk("p", "benign", nil), DefaultOptions())
+	if o.Reaction != ReactionTolerated {
+		t.Errorf("reaction = %s, want tolerated", o.Reaction)
+	}
+}
+
+func TestShortestTestFirstAndStopOnFailure(t *testing.T) {
+	var order []string
+	mkTest := func(name string, weight int, fail bool) sim.FuncTest {
+		return sim.FuncTest{Name: name, Weight: weight,
+			Run: func(env *sim.Env, inst sim.Instance) error {
+				order = append(order, name)
+				if fail {
+					return fmt.Errorf("failed")
+				}
+				return nil
+			}}
+	}
+	sys := &fakeSystem{tests: []sim.FuncTest{
+		mkTest("slow", 10, false),
+		mkTest("quick-fail", 1, true),
+		mkTest("medium", 5, false),
+	}}
+	o := runOneMisconf(t, sys, mk("p", "weird", nil), DefaultOptions())
+	if len(order) != 1 || order[0] != "quick-fail" {
+		t.Errorf("execution order = %v, want shortest first then stop", order)
+	}
+	if o.SimCost != 1+1 {
+		t.Errorf("sim cost = %d, want boot(1)+quick(1)", o.SimCost)
+	}
+
+	// Without optimizations: every test runs, in declaration order.
+	order = nil
+	opts := DefaultOptions()
+	opts.SortTests = false
+	opts.StopOnFirstFailure = false
+	o = runOneMisconf(t, sys, mk("p", "weird", nil), opts)
+	if len(order) != 3 || order[0] != "slow" {
+		t.Errorf("unoptimized order = %v", order)
+	}
+	if o.SimCost != 1+10+1+5 {
+		t.Errorf("unoptimized cost = %d", o.SimCost)
+	}
+}
+
+func TestUniqueLocations(t *testing.T) {
+	locA := constraint.SourceLoc{File: "a.go", Line: 10}
+	locB := constraint.SourceLoc{File: "a.go", Line: 20}
+	ca := &constraint.Constraint{Kind: constraint.KindBasicType, Param: "p", Loc: locA}
+	cb := &constraint.Constraint{Kind: constraint.KindBasicType, Param: "p", Loc: locB}
+	rep, err := Run(&fakeSystem{}, []confgen.Misconf{
+		mk("p", "crash", ca), mk("p", "clamped", ca), mk("p", "exit-silent", cb),
+	}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.UniqueLocations(); got != 2 {
+		t.Errorf("unique locations = %d, want 2", got)
+	}
+	if got := len(rep.Vulnerabilities()); got != 3 {
+		t.Errorf("vulnerabilities = %d, want 3", got)
+	}
+}
+
+func TestEnvActionsApplied(t *testing.T) {
+	m := confgen.Misconf{
+		ID: "env", Param: "p", Values: map[string]string{"p": "benign"},
+		Env: []confgen.EnvAction{
+			{Kind: confgen.EnvOccupyPort, Port: 9999},
+			{Kind: confgen.EnvMakeDir, Path: "/injected/dir"},
+			{Kind: confgen.EnvMakeUnreadable, Path: "/injected/secret"},
+		},
+	}
+	// A system start hook that checks the environment.
+	checked := false
+	sys := &fakeSystem{tests: []sim.FuncTest{{
+		Name: "env-check", Weight: 1,
+		Run: func(env *sim.Env, inst sim.Instance) error {
+			checked = true
+			if !env.Net.Occupied("tcp", 9999) {
+				return fmt.Errorf("port not occupied")
+			}
+			if !env.FS.IsDir("/injected/dir") {
+				return fmt.Errorf("dir not created")
+			}
+			if _, err := env.FS.ReadFile("/injected/secret"); err == nil {
+				return fmt.Errorf("file should be unreadable")
+			}
+			return nil
+		},
+	}}}
+	rep, err := Run(sys, []confgen.Misconf{m}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("test did not run")
+	}
+	if rep.Outcomes[0].FailedTest != "" {
+		t.Errorf("environment not set up: %s", rep.Outcomes[0].LogDump)
+	}
+}
+
+func TestNormalizeNumeric(t *testing.T) {
+	cases := [][2]string{
+		{"0064", "64"}, {"-007", "-7"}, {"0", "000"}, {" 5 ", "5"},
+	}
+	for _, c := range cases {
+		if !sameValue(c[0], c[1]) {
+			t.Errorf("sameValue(%q, %q) = false", c[0], c[1])
+		}
+	}
+	if sameValue("on", "off") || sameValue("64", "65") {
+		t.Error("distinct values compared equal")
+	}
+}
+
+// Property: normalize is idempotent.
+func TestPropertyNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool { return normalize(normalize(s)) == normalize(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorReportFormat(t *testing.T) {
+	c := &constraint.Constraint{Kind: constraint.KindRange, Param: "p",
+		Intervals: []constraint.Interval{{HasMin: true, Min: 1, Valid: true}},
+		Loc:       constraint.SourceLoc{File: "x.go", Line: 3, Func: "f"}}
+	o := Outcome{
+		Misconf:  mk("p", "0", c),
+		Reaction: ReactionSilentViolation,
+		Loc:      c.Loc,
+		LogDump:  "WARN: something\n",
+	}
+	rpt := ErrorReport(o)
+	for _, want := range []string{"constraint", "injected", "silent violation", "x.go:3", "WARN: something"} {
+		if !strings.Contains(rpt, want) {
+			t.Errorf("report missing %q:\n%s", want, rpt)
+		}
+	}
+}
+
+func TestReactionVulnerability(t *testing.T) {
+	vuln := []Reaction{ReactionCrash, ReactionEarlyTerm, ReactionFuncFailure,
+		ReactionSilentViolation, ReactionSilentIgnorance}
+	for _, r := range vuln {
+		if !r.Vulnerability() {
+			t.Errorf("%s must be a vulnerability", r)
+		}
+	}
+	for _, r := range []Reaction{ReactionGood, ReactionTolerated} {
+		if r.Vulnerability() {
+			t.Errorf("%s must not be a vulnerability", r)
+		}
+	}
+}

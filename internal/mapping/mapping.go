@@ -1,0 +1,676 @@
+// Package mapping implements SPEX's three template toolkits that extract
+// parameter-to-variable mapping information from annotated source code
+// (paper §2.2.1, Figure 4): structure-based (option tables, directly or via
+// handler functions), comparison-based (parser functions matching parameter
+// names with string comparisons), and container-based (central containers
+// with getter functions). The toolkits require annotations on the mapping
+// *interfaces* only, not on every pair.
+package mapping
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"spex/internal/annot"
+	"spex/internal/constraint"
+	"spex/internal/dataflow"
+	"spex/internal/frontend"
+)
+
+// Pair is one extracted mapping: parameter name -> program location.
+type Pair struct {
+	Param string
+	Loc   dataflow.Loc
+	// CaseKnown/CaseInsensitive record the comparison semantics the
+	// parameter name was matched with (comparison-based mapping only);
+	// they feed case-sensitivity inconsistency detection for parameter
+	// *names*.
+	CaseKnown       bool
+	CaseInsensitive bool
+	// RHSCalls lists function calls on the value's parse path (the
+	// right-hand side of the harvested assignment); the inference engine
+	// checks them against the unsafe-API knowledge base, since the raw
+	// value string is upstream of the mapped variable and outside the
+	// taint seed.
+	RHSCalls []string
+	Site     constraint.SourceLoc
+}
+
+// Extract runs every annotation block's toolkit over the project and
+// returns the merged mapping pairs, sorted by parameter name.
+func Extract(proj *frontend.Project, af *annot.File) ([]Pair, error) {
+	var out []Pair
+	for i := range af.Annotations {
+		a := &af.Annotations[i]
+		var pairs []Pair
+		var err error
+		switch a.Kind {
+		case annot.KindStruct:
+			pairs, err = extractStruct(proj, a)
+		case annot.KindParser:
+			pairs, err = extractParser(proj, a)
+		case annot.KindGetter:
+			pairs, err = extractGetter(proj, a)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mapping: %s %s: %w", a.Kind, a.Target, err)
+		}
+		out = append(out, pairs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Param != out[j].Param {
+			return out[i].Param < out[j].Param
+		}
+		return out[i].Loc < out[j].Loc
+	})
+	return out, nil
+}
+
+// --- Structure-based mapping (Figure 4a/4b) ---
+
+func extractStruct(proj *frontend.Project, a *annot.Annotation) ([]Pair, error) {
+	decl, ok := proj.PkgVarDecls[a.Target]
+	if !ok {
+		return nil, fmt.Errorf("option table %q not found", a.Target)
+	}
+	table, ok := decl.(*ast.CompositeLit)
+	if !ok {
+		return nil, fmt.Errorf("option table %q is not a composite literal", a.Target)
+	}
+	st, ok := proj.Structs[a.ParField.Struct]
+	if !ok {
+		return nil, fmt.Errorf("annotated struct %q not found", a.ParField.Struct)
+	}
+	var out []Pair
+	for _, el := range table.Elts {
+		entry, ok := el.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		parExpr := fieldValue(entry, st, a.ParField.Index)
+		varExpr := fieldValue(entry, st, a.VarField.Index)
+		if parExpr == nil || varExpr == nil {
+			continue
+		}
+		name, ok := proj.StrValue(parExpr)
+		if !ok {
+			continue
+		}
+		site := proj.Loc(entry, a.Target)
+		if a.HandlerArg != "" {
+			// Figure 4b: the variable is a handler function's argument.
+			fnName, ok := funcIdent(varExpr)
+			if !ok {
+				continue
+			}
+			fi, ok := proj.Funcs[fnName]
+			if !ok {
+				continue
+			}
+			if !hasParam(fi, a.HandlerArg) {
+				return nil, fmt.Errorf("handler %q has no argument %q", fnName, a.HandlerArg)
+			}
+			out = append(out, Pair{Param: name, Loc: dataflow.ParamLoc(fi.Name, a.HandlerArg), Site: site})
+			continue
+		}
+		// Figure 4a: the variable is referenced directly.
+		loc, ok := exprLoc(proj, varExpr)
+		if !ok {
+			continue
+		}
+		out = append(out, Pair{Param: name, Loc: loc, Site: site})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no mappings extracted from table %q", a.Target)
+	}
+	// Generic parse loops assign through the annotated variable column
+	// ("*o.ptr = atoi(raw)"): the calls on those paths apply to every
+	// parameter mapped through this column (unsafe-API accounting). When
+	// the column is parsed by a local comparison-helper function (an
+	// enum parser matching string literals), the helper's argument is an
+	// additional mapped location for every parameter of the column — the
+	// value's data flow passes through it.
+	if a.HandlerArg == "" {
+		if colField, ok := st.FieldAt(a.VarField.Index); ok {
+			calls := columnParseCalls(proj, colField)
+			var extra []Pair
+			for i := range out {
+				out[i].RHSCalls = append(out[i].RHSCalls, calls...)
+			}
+			for _, call := range calls {
+				fi, ok := proj.Funcs[call]
+				if !ok || !comparesStringLiterals(proj, fi) {
+					continue
+				}
+				argName := firstStringParam(fi)
+				if argName == "" {
+					continue
+				}
+				for i := range out {
+					extra = append(extra, Pair{
+						Param: out[i].Param,
+						Loc:   dataflow.ParamLoc(fi.Name, argName),
+						Site:  out[i].Site,
+					})
+				}
+			}
+			out = append(out, extra...)
+		}
+	}
+	return out, nil
+}
+
+// comparesStringLiterals reports whether a function's body compares one of
+// its parameters against string literals (an enum-parser shape).
+func comparesStringLiterals(proj *frontend.Project, fi *frontend.FuncInfo) bool {
+	if fi.Decl.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			if v.Op == token.EQL {
+				if _, ok := proj.StrValue(v.X); ok {
+					found = true
+				}
+				if _, ok := proj.StrValue(v.Y); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "EqualFold" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func firstStringParam(fi *frontend.FuncInfo) string {
+	for i, t := range fi.ParamTypes {
+		if bt := t.Deref(); bt != nil && bt.Name == "string" {
+			return fi.ParamNames[i]
+		}
+	}
+	return ""
+}
+
+// columnParseCalls finds calls on the right-hand side of assignments that
+// store through a named option-table column pointer (*o.<column> = f(x)).
+func columnParseCalls(proj *frontend.Project, column string) []string {
+	var calls []string
+	seen := map[string]bool{}
+	for _, fname := range proj.FuncNames() {
+		fi := proj.Funcs[fname]
+		if fi.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				star, ok := lhs.(*ast.StarExpr)
+				if !ok || i >= len(as.Rhs) {
+					continue
+				}
+				sel, ok := star.X.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != column {
+					continue
+				}
+				ast.Inspect(as.Rhs[i], func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if name := proj.CallName(call, nil); name != "" && !seen[name] {
+							seen[name] = true
+							calls = append(calls, name)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+// fieldValue returns the expression of the 1-based i'th field of a struct
+// literal, resolving keyed literals through the struct's field order.
+func fieldValue(entry *ast.CompositeLit, st *frontend.StructInfo, index int) ast.Expr {
+	fieldName, _ := st.FieldAt(index)
+	for pos, el := range entry.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == fieldName {
+				return kv.Value
+			}
+			continue
+		}
+		if pos == index-1 {
+			return el
+		}
+	}
+	return nil
+}
+
+func funcIdent(e ast.Expr) (string, bool) {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+func hasParam(fi *frontend.FuncInfo, name string) bool {
+	for _, p := range fi.ParamNames {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// exprLoc resolves &Global, &global.Field or Global to a dataflow location.
+func exprLoc(proj *frontend.Project, e ast.Expr) (dataflow.Loc, bool) {
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return exprLoc(proj, v.X)
+		}
+	case *ast.Ident:
+		if _, ok := proj.PkgVars[v.Name]; ok {
+			return dataflow.GlobalLoc(v.Name), true
+		}
+	case *ast.SelectorExpr:
+		if x, ok := v.X.(*ast.Ident); ok {
+			if t, ok := proj.PkgVars[x.Name]; ok {
+				base := t.Deref()
+				if base != nil && base.Kind == frontend.KindStruct {
+					return dataflow.FieldLoc(base.Name, v.Sel.Name), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// --- Comparison-based mapping (Figure 4c) ---
+
+func extractParser(proj *frontend.Project, a *annot.Annotation) ([]Pair, error) {
+	fi, ok := proj.Funcs[a.Target]
+	if !ok {
+		return nil, fmt.Errorf("parser function %q not found", a.Target)
+	}
+	if fi.Decl.Body == nil {
+		return nil, fmt.Errorf("parser function %q has no body", a.Target)
+	}
+	x := &parserExtract{proj: proj, fi: fi, a: a, locals: map[string]*frontend.Type{}}
+	for i, p := range fi.ParamNames {
+		x.locals[p] = fi.ParamTypes[i]
+	}
+	if fi.RecvName != "" {
+		x.locals[fi.RecvName] = fi.RecvType
+	}
+	x.stmts(fi.Decl.Body.List)
+	if len(x.out) == 0 {
+		return nil, fmt.Errorf("no mappings extracted from parser %q", a.Target)
+	}
+	return x.out, nil
+}
+
+type parserExtract struct {
+	proj   *frontend.Project
+	fi     *frontend.FuncInfo
+	a      *annot.Annotation
+	locals map[string]*frontend.Type
+	out    []Pair
+}
+
+// isParRef reports whether e references the annotated parameter-name
+// variable ($key or $argv[i]).
+func (x *parserExtract) isParRef(e ast.Expr) bool {
+	return x.isDollarRef(e, x.a.ParName, x.a.ParIndex)
+}
+
+func (x *parserExtract) isVarRef(e ast.Expr) bool {
+	if x.isDollarRef(e, x.a.VarName, x.a.VarIndex) {
+		return true
+	}
+	// The value may reach the assignment through a call: atoi(value).
+	if call, ok := e.(*ast.CallExpr); ok {
+		for _, arg := range call.Args {
+			if x.isVarRef(arg) {
+				return true
+			}
+		}
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok {
+		return x.isVarRef(bin.X) || x.isVarRef(bin.Y)
+	}
+	if par, ok := e.(*ast.ParenExpr); ok {
+		return x.isVarRef(par.X)
+	}
+	if conv, ok := e.(*ast.CallExpr); ok && len(conv.Args) == 1 {
+		return x.isVarRef(conv.Args[0])
+	}
+	return false
+}
+
+func (x *parserExtract) isDollarRef(e ast.Expr, name string, index int) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return index < 0 && v.Name == name
+	case *ast.IndexExpr:
+		base, ok := v.X.(*ast.Ident)
+		if !ok || base.Name != name || index < 0 {
+			return false
+		}
+		if n, ok := x.proj.ConstValue(v.Index); ok {
+			return int(n) == index
+		}
+	case *ast.ParenExpr:
+		return x.isDollarRef(v.X, name, index)
+	}
+	return false
+}
+
+func (x *parserExtract) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		x.stmt(s)
+	}
+}
+
+func (x *parserExtract) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.IfStmt:
+		if name, insens, ok := x.matchNameCompare(st.Cond); ok {
+			x.harvest(name, insens, st.Body.List)
+		} else {
+			x.stmts(st.Body.List)
+		}
+		if st.Else != nil {
+			x.stmt(st.Else)
+		}
+	case *ast.SwitchStmt:
+		if st.Tag != nil && x.isParRef(st.Tag) {
+			for _, c := range st.Body.List {
+				clause := c.(*ast.CaseClause)
+				for _, v := range clause.List {
+					if sv, ok := x.proj.StrValue(v); ok {
+						// switch on the raw name is case sensitive.
+						x.harvest(sv, false, clause.Body)
+					}
+				}
+			}
+			return
+		}
+		for _, c := range st.Body.List {
+			x.stmts(c.(*ast.CaseClause).Body)
+		}
+	case *ast.BlockStmt:
+		x.stmts(st.List)
+	case *ast.ForStmt:
+		x.stmts(st.Body.List)
+	case *ast.RangeStmt:
+		x.stmts(st.Body.List)
+	case *ast.AssignStmt:
+		// Track simple local declarations for LHS type resolution.
+		if st.Tok == token.DEFINE {
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(st.Rhs) {
+					x.locals[id.Name] = x.typeOf(st.Rhs[i])
+				}
+			}
+		}
+	}
+}
+
+// matchNameCompare recognizes `key == "lit"` and `strings.EqualFold(key,
+// "lit")` conditions; it returns the literal and the case semantics.
+func (x *parserExtract) matchNameCompare(cond ast.Expr) (name string, insensitive, ok bool) {
+	switch v := cond.(type) {
+	case *ast.ParenExpr:
+		return x.matchNameCompare(v.X)
+	case *ast.BinaryExpr:
+		if v.Op != token.EQL {
+			return "", false, false
+		}
+		if x.isParRef(v.X) {
+			if sv, ok := x.proj.StrValue(v.Y); ok {
+				return sv, false, true
+			}
+		}
+		if x.isParRef(v.Y) {
+			if sv, ok := x.proj.StrValue(v.X); ok {
+				return sv, false, true
+			}
+		}
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "EqualFold" || len(v.Args) != 2 {
+			return "", false, false
+		}
+		for i := 0; i < 2; i++ {
+			if x.isParRef(v.Args[i]) {
+				if sv, ok := x.proj.StrValue(v.Args[1-i]); ok {
+					return sv, true, true
+				}
+			}
+		}
+	}
+	return "", false, false
+}
+
+// harvest collects assignments fed by the value variable inside a matched
+// branch.
+func (x *parserExtract) harvest(param string, insensitive bool, body []ast.Stmt) {
+	var scan func(list []ast.Stmt)
+	scan = func(list []ast.Stmt) {
+		for _, s := range list {
+			switch st := s.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) || !x.isVarRef(st.Rhs[i]) {
+						continue
+					}
+					if loc, ok := x.lhsLoc(lhs); ok {
+						x.out = append(x.out, Pair{
+							Param: param, Loc: loc,
+							CaseKnown: true, CaseInsensitive: insensitive,
+							RHSCalls: x.rhsCalls(st.Rhs[i]),
+							Site:     x.proj.Loc(st, x.fi.Name),
+						})
+					}
+				}
+			case *ast.BlockStmt:
+				scan(st.List)
+			case *ast.IfStmt:
+				scan(st.Body.List)
+				if b, ok := st.Else.(*ast.BlockStmt); ok {
+					scan(b.List)
+				}
+			case *ast.ExprStmt:
+				// Value handed to a setter: setBool(&cfg.flag, value).
+				// The setter's value argument AND any &field/&global
+				// destination arguments are mapped locations.
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					carriesValue := false
+					for _, arg := range call.Args {
+						if x.isVarRef(arg) {
+							carriesValue = true
+						}
+					}
+					if !carriesValue {
+						continue
+					}
+					name := x.proj.CallName(call, x.scope())
+					for ai, arg := range call.Args {
+						if x.isVarRef(arg) {
+							if fi, ok := x.proj.Funcs[name]; ok && ai < len(fi.ParamNames) {
+								x.out = append(x.out, Pair{
+									Param: param, Loc: dataflow.ParamLoc(fi.Name, fi.ParamNames[ai]),
+									CaseKnown: true, CaseInsensitive: insensitive,
+									Site: x.proj.Loc(st, x.fi.Name),
+								})
+							}
+							continue
+						}
+						if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+							if loc, ok := x.lhsLoc(ue.X); ok {
+								x.out = append(x.out, Pair{
+									Param: param, Loc: loc,
+									CaseKnown: true, CaseInsensitive: insensitive,
+									Site: x.proj.Loc(st, x.fi.Name),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	scan(body)
+}
+
+// rhsCalls collects the names of calls on a harvested value path.
+func (x *parserExtract) rhsCalls(e ast.Expr) []string {
+	var out []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := x.proj.CallName(call, x.scope()); name != "" {
+				out = append(out, name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (x *parserExtract) scope() *frontend.Scope {
+	sc := frontend.NewScope(nil)
+	for n, t := range x.locals {
+		sc.Define(n, t)
+	}
+	return sc
+}
+
+func (x *parserExtract) typeOf(e ast.Expr) *frontend.Type {
+	return x.proj.TypeOf(e, x.scope())
+}
+
+func (x *parserExtract) lhsLoc(lhs ast.Expr) (dataflow.Loc, bool) {
+	switch v := lhs.(type) {
+	case *ast.Ident:
+		if _, ok := x.proj.PkgVars[v.Name]; ok {
+			return dataflow.GlobalLoc(v.Name), true
+		}
+		return dataflow.LocalLoc(x.fi.Name, v.Name), true
+	case *ast.SelectorExpr:
+		base := x.typeOf(v.X).Deref()
+		if base != nil && base.Kind == frontend.KindStruct {
+			return dataflow.FieldLoc(base.Name, v.Sel.Name), true
+		}
+	case *ast.StarExpr:
+		return x.lhsLoc(v.X)
+	}
+	return "", false
+}
+
+// --- Container-based mapping (Figure 4d) ---
+
+func extractGetter(proj *frontend.Project, a *annot.Annotation) ([]Pair, error) {
+	var out []Pair
+	for _, fname := range proj.FuncNames() {
+		fi := proj.Funcs[fname]
+		if fi.Decl.Body == nil {
+			continue
+		}
+		locals := map[string]*frontend.Type{}
+		for i, p := range fi.ParamNames {
+			locals[p] = fi.ParamTypes[i]
+		}
+		if fi.RecvName != "" {
+			locals[fi.RecvName] = fi.RecvType
+		}
+		scope := frontend.NewScope(nil)
+		for n, t := range locals {
+			scope.Define(n, t)
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !callMatches(proj, call, scope, a.Target) {
+					continue
+				}
+				argIdx := a.ParArgIndex - 1
+				if argIdx < 0 || argIdx >= len(call.Args) {
+					continue
+				}
+				name, ok := proj.StrValue(call.Args[argIdx])
+				if !ok || i >= len(as.Lhs) {
+					continue
+				}
+				if as.Tok == token.DEFINE {
+					if id, ok := as.Lhs[i].(*ast.Ident); ok {
+						scope.Define(id.Name, proj.TypeOf(rhs, scope))
+					}
+				}
+				switch lhs := as.Lhs[i].(type) {
+				case *ast.Ident:
+					if _, isGlobal := proj.PkgVars[lhs.Name]; isGlobal {
+						out = append(out, Pair{Param: name, Loc: dataflow.GlobalLoc(lhs.Name), Site: proj.Loc(as, fi.Name)})
+					} else {
+						out = append(out, Pair{Param: name, Loc: dataflow.LocalLoc(fi.Name, lhs.Name), Site: proj.Loc(as, fi.Name)})
+					}
+				case *ast.SelectorExpr:
+					base := proj.TypeOf(lhs.X, scope).Deref()
+					if base != nil && base.Kind == frontend.KindStruct {
+						out = append(out, Pair{Param: name, Loc: dataflow.FieldLoc(base.Name, lhs.Sel.Name), Site: proj.Loc(as, fi.Name)})
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no call sites of getter %q found", a.Target)
+	}
+	return out, nil
+}
+
+func callMatches(proj *frontend.Project, call *ast.CallExpr, scope *frontend.Scope, target string) bool {
+	name := proj.CallName(call, scope)
+	if name == target {
+		return true
+	}
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		return name[i+1:] == target
+	}
+	return false
+}
+
+// --- Convention survey (Table 1) ---
+
+// Convention names the mapping convention(s) a target uses, derived from
+// its annotations ("structure", "comparison", "container", or "hybrid").
+func Convention(af *annot.File) string {
+	kinds := map[annot.Kind]bool{}
+	for _, a := range af.Annotations {
+		kinds[a.Kind] = true
+	}
+	if len(kinds) > 1 {
+		return "hybrid"
+	}
+	for k := range kinds {
+		return k.String()
+	}
+	return "unknown"
+}

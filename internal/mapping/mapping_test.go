@@ -1,0 +1,257 @@
+package mapping
+
+import (
+	"testing"
+
+	"spex/internal/annot"
+	"spex/internal/dataflow"
+	"spex/internal/frontend"
+)
+
+func extract(t *testing.T, src, annSrc string) []Pair {
+	t.Helper()
+	proj, err := frontend.Parse("t", map[string]string{"t.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := annot.Parse(annSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := Extract(proj, af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs
+}
+
+func hasPair(pairs []Pair, param string, loc dataflow.Loc) bool {
+	for _, p := range pairs {
+		if p.Param == param && p.Loc == loc {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStructDirectMapping(t *testing.T) {
+	src := `package t
+type C struct {
+	timeout int64
+	root    string
+}
+var c = &C{}
+type opt struct {
+	name string
+	ptr  interface{}
+}
+var opts = []opt{
+	{"deadlock_timeout", &c.timeout},
+	{"document_root", &c.root},
+}
+var global int64
+var opts2 = []opt{{"counter", &global}}
+`
+	pairs := extract(t, src, `{ @STRUCT = opts @PAR = [opt, 1] @VAR = [opt, 2] }
+{ @STRUCT = opts2 @PAR = [opt, 1] @VAR = [opt, 2] }`)
+	if !hasPair(pairs, "deadlock_timeout", dataflow.FieldLoc("C", "timeout")) {
+		t.Errorf("field mapping missing: %+v", pairs)
+	}
+	if !hasPair(pairs, "counter", dataflow.GlobalLoc("global")) {
+		t.Errorf("global mapping missing: %+v", pairs)
+	}
+}
+
+func TestStructKeyedLiteralMapping(t *testing.T) {
+	src := `package t
+type C struct{ v int64 }
+var c = &C{}
+type opt struct {
+	name string
+	ptr  interface{}
+}
+var opts = []opt{
+	{name: "keyed_param", ptr: &c.v},
+}
+`
+	pairs := extract(t, src, `{ @STRUCT = opts @PAR = [opt, 1] @VAR = [opt, 2] }`)
+	if !hasPair(pairs, "keyed_param", dataflow.FieldLoc("C", "v")) {
+		t.Errorf("keyed literal mapping missing: %+v", pairs)
+	}
+}
+
+func TestStructHandlerMapping(t *testing.T) {
+	src := `package t
+type C struct{ root string }
+var c = &C{}
+func setRoot(arg string) { c.root = arg }
+type cmd struct {
+	name string
+	h    func(arg string)
+}
+var cmds = []cmd{{"DocumentRoot", setRoot}}
+`
+	pairs := extract(t, src, `{ @STRUCT = cmds @PAR = [cmd, 1] @VAR = ([cmd, 2], $arg) }`)
+	if !hasPair(pairs, "DocumentRoot", dataflow.ParamLoc("setRoot", "arg")) {
+		t.Errorf("handler mapping missing: %+v", pairs)
+	}
+}
+
+func TestParserMapping(t *testing.T) {
+	src := `package t
+type C struct {
+	timeout int64
+	logfile string
+}
+var c = &C{}
+func atoi(s string) int64 { return 0 }
+func load(key string, value string) {
+	if key == "timeout" {
+		c.timeout = atoi(value)
+	} else if key == "logfile" {
+		c.logfile = value
+	}
+}
+`
+	pairs := extract(t, src, `{ @PARSER = load @PAR = $key @VAR = $value }`)
+	if !hasPair(pairs, "timeout", dataflow.FieldLoc("C", "timeout")) {
+		t.Errorf("parser mapping missing: %+v", pairs)
+	}
+	// atoi on the parse path is recorded for unsafe-API accounting.
+	for _, p := range pairs {
+		if p.Param == "timeout" {
+			found := false
+			for _, call := range p.RHSCalls {
+				if call == "atoi" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("RHSCalls missing atoi: %+v", p)
+			}
+			if !p.CaseKnown || p.CaseInsensitive {
+				t.Error("== comparison must be recorded case sensitive")
+			}
+		}
+	}
+}
+
+func TestParserEqualFoldIsInsensitive(t *testing.T) {
+	src := `package t
+import "strings"
+type C struct{ v string }
+var c = &C{}
+func load(key string, value string) {
+	if strings.EqualFold(key, "mode") {
+		c.v = value
+	}
+}
+`
+	pairs := extract(t, src, `{ @PARSER = load @PAR = $key @VAR = $value }`)
+	if len(pairs) != 1 || !pairs[0].CaseInsensitive {
+		t.Errorf("EqualFold matching not insensitive: %+v", pairs)
+	}
+}
+
+func TestParserSwitchMapping(t *testing.T) {
+	src := `package t
+type C struct{ a, b int64 }
+var c = &C{}
+func atoi(s string) int64 { return 0 }
+func load(key string, value string) {
+	switch key {
+	case "alpha":
+		c.a = atoi(value)
+	case "beta":
+		c.b = atoi(value)
+	}
+}
+`
+	pairs := extract(t, src, `{ @PARSER = load @PAR = $key @VAR = $value }`)
+	if !hasPair(pairs, "alpha", dataflow.FieldLoc("C", "a")) ||
+		!hasPair(pairs, "beta", dataflow.FieldLoc("C", "b")) {
+		t.Errorf("switch mapping missing: %+v", pairs)
+	}
+}
+
+func TestParserSetterMapping(t *testing.T) {
+	src := `package t
+type C struct{ flag bool }
+var c = &C{}
+func setBool(dst *bool, raw string) {
+	if raw == "on" {
+		*dst = true
+	} else {
+		*dst = false
+	}
+}
+func load(key string, value string) {
+	if key == "feature" {
+		setBool(&c.flag, value)
+	}
+}
+`
+	pairs := extract(t, src, `{ @PARSER = load @PAR = $key @VAR = $value }`)
+	if !hasPair(pairs, "feature", dataflow.ParamLoc("setBool", "raw")) {
+		t.Errorf("setter value-arg mapping missing: %+v", pairs)
+	}
+	if !hasPair(pairs, "feature", dataflow.FieldLoc("C", "flag")) {
+		t.Errorf("setter destination mapping missing: %+v", pairs)
+	}
+}
+
+func TestGetterMapping(t *testing.T) {
+	src := `package t
+type props struct{}
+func (p *props) getI32(name string) int64 { return 0 }
+type C struct{ interval int64 }
+var ps = &props{}
+var c = &C{}
+func initAll() {
+	c.interval = ps.getI32("Retry.Interval")
+	local := ps.getI32("Local.Param")
+	_ = local
+}
+`
+	pairs := extract(t, src, `{ @GETTER = getI32 @PAR = 1 @VAR = $RET }`)
+	if !hasPair(pairs, "Retry.Interval", dataflow.FieldLoc("C", "interval")) {
+		t.Errorf("getter field mapping missing: %+v", pairs)
+	}
+	if !hasPair(pairs, "Local.Param", dataflow.LocalLoc("initAll", "local")) {
+		t.Errorf("getter local mapping missing: %+v", pairs)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	src := "package t\nvar x int64\n"
+	proj, _ := frontend.Parse("t", map[string]string{"t.go": src})
+	for _, annSrc := range []string{
+		`{ @STRUCT = missing @PAR = [o, 1] @VAR = [o, 2] }`,
+		`{ @PARSER = missing @PAR = $k @VAR = $v }`,
+		`{ @GETTER = missing @PAR = 1 @VAR = $RET }`,
+	} {
+		af, err := annot.Parse(annSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Extract(proj, af); err == nil {
+			t.Errorf("Extract(%s) succeeded on empty project", annSrc)
+		}
+	}
+}
+
+func TestConvention(t *testing.T) {
+	af, _ := annot.Parse(`{ @STRUCT = a @PAR = [x,1] @VAR = [x,2] }`)
+	if Convention(af) != "structure" {
+		t.Error("structure")
+	}
+	af, _ = annot.Parse(`{ @PARSER = p @PAR = $k @VAR = $v }
+{ @STRUCT = a @PAR = [x,1] @VAR = [x,2] }`)
+	if Convention(af) != "hybrid" {
+		t.Error("hybrid")
+	}
+	af, _ = annot.Parse("")
+	if Convention(af) != "unknown" {
+		t.Error("unknown")
+	}
+}

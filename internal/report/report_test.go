@@ -1,0 +1,138 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// analyzeAllOnce caches the expensive full analysis across tests.
+var cachedResults []*SystemResult
+
+func allResults(t *testing.T) []*SystemResult {
+	t.Helper()
+	if cachedResults == nil {
+		rs, err := AnalyzeAll()
+		if err != nil {
+			t.Fatalf("AnalyzeAll: %v", err)
+		}
+		cachedResults = rs
+	}
+	return cachedResults
+}
+
+func TestAllTablesRender(t *testing.T) {
+	rs := allResults(t)
+	tables := map[string]string{
+		"Table 1":  Table1(rs),
+		"Table 2":  Table2(),
+		"Table 3":  Table3(rs),
+		"Table 4":  Table4(rs),
+		"Table 5":  Table5(rs),
+		"Table 6":  Table6(rs),
+		"Table 7":  Table7(rs),
+		"Table 8":  Table8(rs),
+		"Table 9":  Tables9and10(rs),
+		"Table 11": Table11(rs),
+		"Table 12": Table12(rs),
+	}
+	for name, text := range tables {
+		if !strings.Contains(text, "===") || len(text) < 80 {
+			t.Errorf("%s rendered suspiciously small:\n%s", name, text)
+		}
+	}
+	// Every system appears in Table 5.
+	t5 := tables["Table 5"]
+	for _, sys := range []string{"Storage-A", "httpd", "mydb", "pgdb", "ldapd", "ftpd", "proxyd"} {
+		if !strings.Contains(t5, sys) {
+			t.Errorf("Table 5 is missing system %s", sys)
+		}
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	rs := allResults(t)
+	f1, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1, "functional failure") {
+		t.Errorf("Figure 1 should show a functional failure (share not recognized):\n%s", f1)
+	}
+	f2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2, "CRASH") {
+		t.Errorf("Figure 2 should show a crash:\n%s", f2)
+	}
+	f3 := Figure3(rs)
+	for _, want := range []string{"int32", "FILE", "PORT", "fsync", "ft_min_word_len"} {
+		if !strings.Contains(f3, want) {
+			t.Errorf("Figure 3 missing %q:\n%s", want, f3)
+		}
+	}
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f5, "Figure 5(f)") {
+		t.Errorf("Figure 5 incomplete:\n%s", f5)
+	}
+	f7, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CRASH", "scoreboard", "silently changed"} {
+		if !strings.Contains(f7, want) {
+			t.Errorf("Figure 7 missing %q:\n%s", want, f7)
+		}
+	}
+}
+
+func TestTable5ShapeHolds(t *testing.T) {
+	rs := allResults(t)
+	text := Table5(rs)
+	// The totals row must show silent violation as the dominant
+	// vulnerability category, as in the paper.
+	if !strings.Contains(text, "Total") {
+		t.Fatalf("no totals row:\n%s", text)
+	}
+	var totals map[string]int = map[string]int{}
+	for _, r := range rs {
+		for k, v := range r.Campaign.CountByReaction() {
+			totals[k.String()] += v
+		}
+	}
+	sv := totals["silent violation"]
+	for _, other := range []string{"crash/hang", "early termination", "functional failure"} {
+		if sv <= totals[other] {
+			t.Errorf("silent violation (%d) should dominate %s (%d)", sv, other, totals[other])
+		}
+	}
+}
+
+func TestConstraintDump(t *testing.T) {
+	rs := allResults(t)
+	dump := ConstraintDump(rs[0])
+	if !strings.Contains(dump, "constraints inferred for") {
+		t.Errorf("malformed dump header:\n%.200s", dump)
+	}
+	if strings.Count(dump, "\n") < 20 {
+		t.Errorf("dump suspiciously short:\n%s", dump)
+	}
+}
+
+func TestTable11TotalsConsistent(t *testing.T) {
+	rs := allResults(t)
+	text := Table11(rs)
+	if !strings.Contains(text, "| 3800") {
+		t.Errorf("Table 11 must carry the paper's 3800 total:\n%s", text)
+	}
+	// Every system's basic-type count equals its parameter count.
+	for _, r := range rs {
+		c := r.Inference.Set.CountByKind()
+		if c[0] != r.Inference.Params { // KindBasicType == 0
+			t.Errorf("%s: basic types %d != params %d", r.Sys.Name(), c[0], r.Inference.Params)
+		}
+	}
+}

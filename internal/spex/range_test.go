@@ -1,0 +1,207 @@
+package spex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spex/internal/apispec"
+	"spex/internal/constraint"
+)
+
+// TestPropertyIntervalPartition checks that the numeric-range builder
+// always produces a gapless, non-overlapping partition of the integer
+// line whose validity is decidable at every sample point. It drives the
+// full inference pipeline with generated threshold pairs.
+func TestPropertyIntervalPartition(t *testing.T) {
+	f := func(aRaw, bRaw int16) bool {
+		a, b := int64(aRaw), int64(bRaw)
+		if a == b {
+			b = a + 1
+		}
+		if a > b {
+			a, b = b, a
+		}
+		src := `package t
+
+type C struct{ v int64 }
+
+var c = &C{}
+
+type opt struct {
+	name string
+	ptr  *int64
+}
+
+var opts = []opt{{"p", &c.v}}
+
+func validate() {
+	if c.v < ` + itoa(a) + ` {
+		c.v = ` + itoa(a) + `
+	} else if c.v > ` + itoa(b) + ` {
+		c.v = ` + itoa(b) + `
+	}
+}
+`
+		res, err := Infer("t", map[string]string{"t.go": src},
+			`{ @STRUCT = opts @PAR = [opt, 1] @VAR = [opt, 2] }`,
+			nil, apispec.New(), DefaultOptions())
+		if err != nil {
+			return false
+		}
+		var rng *constraint.Constraint
+		for _, c := range res.Set.ByParam("p") {
+			if c.Kind == constraint.KindRange {
+				rng = c
+			}
+		}
+		if rng == nil {
+			return false
+		}
+		// The partition: the first interval is open below, the last is
+		// open above, and consecutive intervals tile the line.
+		ivs := rng.Intervals
+		if len(ivs) == 0 || ivs[0].HasMin || ivs[len(ivs)-1].HasMax {
+			return false
+		}
+		for i := 1; i < len(ivs); i++ {
+			if !ivs[i-1].HasMax || !ivs[i].HasMin {
+				return false
+			}
+			if ivs[i-1].Max+1 != ivs[i].Min {
+				return false // gap or overlap
+			}
+		}
+		// The valid region must be exactly [a, b].
+		valid := rng.ValidIntervals()
+		if len(valid) != 1 {
+			return false
+		}
+		return valid[0].HasMin && valid[0].Min == a && valid[0].HasMax && valid[0].Max == b
+	}
+	cfg := &quick.Config{MaxCount: 30} // each case runs the full pipeline
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+// TestSwitchEnumInference checks the switch-statement path of enumerative
+// range inference (paper §2.2.3: "switch statements or if...else
+// if...else logics").
+func TestSwitchEnumInference(t *testing.T) {
+	src := `package t
+
+type C struct{ mode string }
+
+var c = &C{}
+
+type opt struct {
+	name string
+	ptr  *string
+}
+
+var opts = []opt{{"mode", &c.mode}}
+
+func apply() {
+	switch c.mode {
+	case "fast":
+		c.mode = "fast"
+	case "safe":
+		c.mode = "safe"
+	default:
+		c.mode = "safe"
+	}
+}
+`
+	res, err := Infer("t", map[string]string{"t.go": src},
+		`{ @STRUCT = opts @PAR = [opt, 1] @VAR = [opt, 2] }`,
+		nil, apispec.New(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enum *constraint.Constraint
+	for _, c := range res.Set.ByParam("mode") {
+		if c.Kind == constraint.KindRange && len(c.Enum) > 0 {
+			enum = c
+		}
+	}
+	if enum == nil {
+		t.Fatal("no enum constraint from switch")
+	}
+	vals := map[string]bool{}
+	overruled := false
+	for _, ev := range enum.Enum {
+		if ev.Valid {
+			vals[ev.Value] = true
+		}
+		if ev.Overruled {
+			overruled = true
+		}
+	}
+	if !vals["fast"] || !vals["safe"] {
+		t.Errorf("enum values = %v, want fast+safe", enum.Enum)
+	}
+	if !overruled {
+		t.Error("silent default overruling not recorded")
+	}
+}
+
+// TestNumericEqualityChain checks else-if equality chains (the
+// innodb_flush_log_at_trx_commit pattern): 0/1/2 valid, the rest
+// silently reset.
+func TestNumericEqualityChain(t *testing.T) {
+	src := `package t
+
+type C struct{ v int64 }
+
+var c = &C{}
+
+type opt struct {
+	name string
+	ptr  *int64
+}
+
+var opts = []opt{{"p", &c.v}}
+
+func validate() {
+	if c.v == 0 {
+		_ = c.v
+	} else if c.v == 1 {
+		_ = c.v
+	} else if c.v == 2 {
+		_ = c.v
+	} else {
+		c.v = 1
+	}
+}
+`
+	res, err := Infer("t", map[string]string{"t.go": src},
+		`{ @STRUCT = opts @PAR = [opt, 1] @VAR = [opt, 2] }`,
+		nil, apispec.New(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng *constraint.Constraint
+	for _, c := range res.Set.ByParam("p") {
+		if c.Kind == constraint.KindRange && len(c.Intervals) > 0 {
+			rng = c
+		}
+	}
+	if rng == nil {
+		t.Fatal("no range constraint")
+	}
+	valid := rng.ValidIntervals()
+	if len(valid) != 1 || !valid[0].HasMin || valid[0].Min != 0 ||
+		!valid[0].HasMax || valid[0].Max != 2 {
+		t.Errorf("valid region = %v, want [0,2]", valid)
+	}
+}

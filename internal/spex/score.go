@@ -1,0 +1,172 @@
+package spex
+
+import (
+	"sort"
+
+	"spex/internal/constraint"
+)
+
+// Accuracy is an inference-precision tally for one constraint kind
+// (Table 12): Correct inferred constraints over Total inferred.
+type Accuracy struct {
+	Correct int
+	Total   int
+}
+
+// Ratio returns the accuracy as a fraction, or -1 when nothing was
+// inferred (reported as N/A, matching the paper's OpenLDAP control-dep
+// cell).
+func (a Accuracy) Ratio() float64 {
+	if a.Total == 0 {
+		return -1
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// Score compares an inferred constraint set against a manually verified
+// ground truth and returns per-kind accuracy. A constraint counts as
+// correct if the ground truth contains a matching constraint (see Matches).
+func Score(inferred, truth *constraint.Set) map[constraint.Kind]Accuracy {
+	out := map[constraint.Kind]Accuracy{}
+	for _, c := range inferred.Constraints {
+		acc := out[c.Kind]
+		acc.Total++
+		if matchesAny(c, truth) {
+			acc.Correct++
+		}
+		out[c.Kind] = acc
+	}
+	return out
+}
+
+// matchesAny checks c against every truth candidate on its parameter (and,
+// for value relationships, its peer — flipped relations live there).
+func matchesAny(c *constraint.Constraint, truth *constraint.Set) bool {
+	for _, t := range truth.ByParam(c.Param) {
+		if Matches(c, t) {
+			return true
+		}
+	}
+	if c.Kind == constraint.KindValueRel {
+		for _, t := range truth.ByParam(c.Peer) {
+			if Matches(c, t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Recall tallies, per kind, how many ground-truth constraints were found
+// by the inference (used by the confidence-threshold ablation).
+func Recall(inferred, truth *constraint.Set) map[constraint.Kind]Accuracy {
+	out := map[constraint.Kind]Accuracy{}
+	for _, t := range truth.Constraints {
+		acc := out[t.Kind]
+		acc.Total++
+		// Matches is asymmetric for enums (inferred ⊆ truth), so keep
+		// the inferred constraint as the first argument.
+		candidates := inferred.ByParam(t.Param)
+		if t.Kind == constraint.KindValueRel {
+			candidates = append(candidates, inferred.ByParam(t.Peer)...)
+		}
+		for _, c := range candidates {
+			if Matches(c, t) {
+				acc.Correct++
+				break
+			}
+		}
+		out[t.Kind] = acc
+	}
+	return out
+}
+
+// Matches reports whether an inferred constraint agrees with a
+// ground-truth constraint of the same kind and parameter. Value
+// relationships additionally match with their operands flipped (P > Q is
+// the constraint Q < P).
+func Matches(c, t *constraint.Constraint) bool {
+	if c.Kind != t.Kind {
+		return false
+	}
+	if c.Param != t.Param && c.Kind != constraint.KindValueRel {
+		return false
+	}
+	switch c.Kind {
+	case constraint.KindBasicType:
+		return c.Basic == t.Basic
+	case constraint.KindSemanticType:
+		if c.Semantic != t.Semantic {
+			return false
+		}
+		// Unit must agree when the truth declares one.
+		if t.Unit != constraint.UnitNone && c.Unit != t.Unit {
+			return false
+		}
+		return true
+	case constraint.KindRange:
+		if len(t.Enum) > 0 || len(c.Enum) > 0 {
+			return enumEqual(c.Enum, t.Enum)
+		}
+		return validIntervalsEqual(c.ValidIntervals(), t.ValidIntervals())
+	case constraint.KindControlDep:
+		return c.Peer == t.Peer && c.Cond == t.Cond && c.Value == t.Value
+	case constraint.KindValueRel:
+		if c.Param == t.Param && c.Peer == t.Peer && c.Rel == t.Rel {
+			return true
+		}
+		// P > Q is the same constraint as Q < P.
+		return c.Peer == t.Param && c.Param == t.Peer && c.Rel == t.Rel.Flip()
+	}
+	return false
+}
+
+// enumEqual accepts an inferred enum whose valid values form a non-empty
+// subset of the truth's valid values: parsers frequently compare only the
+// distinguished value ("on") and default everything else, which is a
+// correct — if partial — view of the accepted list.
+func enumEqual(inferred, truth []constraint.EnumValue) bool {
+	iv, tv := validValues(inferred), validValues(truth)
+	if len(iv) == 0 || len(iv) > len(tv) {
+		return false
+	}
+	set := make(map[string]bool, len(tv))
+	for _, v := range tv {
+		set[v] = true
+	}
+	for _, v := range iv {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func validValues(evs []constraint.EnumValue) []string {
+	var out []string
+	for _, e := range evs {
+		if e.Valid && e.Value != "*" {
+			out = append(out, e.Value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func validIntervalsEqual(a, b []constraint.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].HasMin != b[i].HasMin || a[i].HasMax != b[i].HasMax {
+			return false
+		}
+		if a[i].HasMin && a[i].Min != b[i].Min {
+			return false
+		}
+		if a[i].HasMax && a[i].Max != b[i].Max {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package spex
+
+import (
+	"testing"
+
+	"spex/internal/constraint"
+)
+
+func cset(cs ...*constraint.Constraint) *constraint.Set {
+	s := constraint.NewSet("t")
+	for _, c := range cs {
+		s.Add(c)
+	}
+	return s
+}
+
+func TestMatchesBasic(t *testing.T) {
+	a := &constraint.Constraint{Kind: constraint.KindBasicType, Param: "p", Basic: constraint.BasicInt32}
+	b := &constraint.Constraint{Kind: constraint.KindBasicType, Param: "p", Basic: constraint.BasicInt32}
+	c := &constraint.Constraint{Kind: constraint.KindBasicType, Param: "p", Basic: constraint.BasicInt64}
+	if !Matches(a, b) || Matches(a, c) {
+		t.Error("basic-type matching wrong")
+	}
+}
+
+func TestMatchesSemanticUnit(t *testing.T) {
+	inferred := &constraint.Constraint{Kind: constraint.KindSemanticType, Param: "p",
+		Semantic: constraint.SemSize, Unit: constraint.UnitKB}
+	truthKB := &constraint.Constraint{Kind: constraint.KindSemanticType, Param: "p",
+		Semantic: constraint.SemSize, Unit: constraint.UnitKB}
+	truthB := &constraint.Constraint{Kind: constraint.KindSemanticType, Param: "p",
+		Semantic: constraint.SemSize, Unit: constraint.UnitByte}
+	truthAny := &constraint.Constraint{Kind: constraint.KindSemanticType, Param: "p",
+		Semantic: constraint.SemSize}
+	if !Matches(inferred, truthKB) {
+		t.Error("matching units rejected")
+	}
+	if Matches(inferred, truthB) {
+		t.Error("wrong unit accepted")
+	}
+	if !Matches(inferred, truthAny) {
+		t.Error("unit-agnostic truth must accept any unit")
+	}
+}
+
+func TestMatchesRangeIntervals(t *testing.T) {
+	iv := func(min, max int64) *constraint.Constraint {
+		return &constraint.Constraint{Kind: constraint.KindRange, Param: "p",
+			Intervals: []constraint.Interval{
+				{HasMax: true, Max: min - 1, Valid: false},
+				{HasMin: true, Min: min, HasMax: true, Max: max, Valid: true},
+				{HasMin: true, Min: max + 1, Valid: false},
+			}}
+	}
+	truth := &constraint.Constraint{Kind: constraint.KindRange, Param: "p",
+		Intervals: []constraint.Interval{{HasMin: true, Min: 4, HasMax: true, Max: 255, Valid: true}}}
+	if !Matches(iv(4, 255), truth) {
+		t.Error("matching valid interval rejected")
+	}
+	if Matches(iv(4, 100), truth) {
+		t.Error("different upper bound accepted")
+	}
+}
+
+func TestMatchesEnumSubset(t *testing.T) {
+	truth := &constraint.Constraint{Kind: constraint.KindRange, Param: "p",
+		Enum: []constraint.EnumValue{
+			{Value: "on", Valid: true}, {Value: "off", Valid: true}}}
+	subset := &constraint.Constraint{Kind: constraint.KindRange, Param: "p",
+		Enum: []constraint.EnumValue{
+			{Value: "on", Valid: true},
+			{Value: "*", Valid: false, Overruled: true}}}
+	super := &constraint.Constraint{Kind: constraint.KindRange, Param: "p",
+		Enum: []constraint.EnumValue{
+			{Value: "on", Valid: true}, {Value: "off", Valid: true},
+			{Value: "maybe", Valid: true}}}
+	if !Matches(subset, truth) {
+		t.Error("valid-value subset rejected")
+	}
+	if Matches(super, truth) {
+		t.Error("superset with a wrong value accepted")
+	}
+}
+
+func TestMatchesValueRelFlip(t *testing.T) {
+	inferred := &constraint.Constraint{Kind: constraint.KindValueRel,
+		Param: "min", Rel: constraint.OpLT, Peer: "max"}
+	truth := &constraint.Constraint{Kind: constraint.KindValueRel,
+		Param: "max", Rel: constraint.OpGT, Peer: "min"}
+	if !Matches(inferred, truth) {
+		t.Error("min < max must match max > min")
+	}
+	wrong := &constraint.Constraint{Kind: constraint.KindValueRel,
+		Param: "max", Rel: constraint.OpLT, Peer: "min"}
+	if Matches(inferred, wrong) {
+		t.Error("inverted relation accepted")
+	}
+}
+
+func TestScoreAndRecall(t *testing.T) {
+	truth := cset(
+		&constraint.Constraint{Kind: constraint.KindBasicType, Param: "a", Basic: constraint.BasicInt64},
+		&constraint.Constraint{Kind: constraint.KindBasicType, Param: "b", Basic: constraint.BasicBool},
+	)
+	inferred := cset(
+		&constraint.Constraint{Kind: constraint.KindBasicType, Param: "a", Basic: constraint.BasicInt64},  // correct
+		&constraint.Constraint{Kind: constraint.KindBasicType, Param: "b", Basic: constraint.BasicString}, // wrong
+	)
+	acc := Score(inferred, truth)[constraint.KindBasicType]
+	if acc.Correct != 1 || acc.Total != 2 {
+		t.Errorf("precision = %d/%d, want 1/2", acc.Correct, acc.Total)
+	}
+	rec := Recall(inferred, truth)[constraint.KindBasicType]
+	if rec.Correct != 1 || rec.Total != 2 {
+		t.Errorf("recall = %d/%d, want 1/2", rec.Correct, rec.Total)
+	}
+	if (Accuracy{}).Ratio() != -1 {
+		t.Error("empty accuracy must report N/A (-1)")
+	}
+}
+
+func TestInferRejectsBadAnnotations(t *testing.T) {
+	_, err := Infer("x", map[string]string{"x.go": "package x\n"}, "{ bogus", nil, nil, DefaultOptions())
+	if err == nil {
+		t.Fatal("malformed annotation accepted")
+	}
+}
+
+func TestInferRejectsBadSource(t *testing.T) {
+	_, err := Infer("x", map[string]string{"x.go": "package x\nfunc {"}, "", nil, nil, DefaultOptions())
+	if err == nil {
+		t.Fatal("malformed source accepted")
+	}
+}

@@ -1,0 +1,295 @@
+package spex
+
+import (
+	"testing"
+
+	"spex/internal/apispec"
+	"spex/internal/constraint"
+)
+
+// miniCorpus exercises every constraint kind on one small system: a
+// condensed version of the paper's Figure 3 patterns.
+const miniCorpus = `package mini
+
+import (
+	"strings"
+	"time"
+)
+
+type miniConfig struct {
+	logFileSize   string
+	stopwordFile  string
+	udpPort       int64
+	indexIntLen   int64
+	fsync         bool
+	commitSibs    int64
+	minWordLen    int64
+	maxWordLen    int64
+	fileFormat    string
+	maxMemFree    int64
+	idleTimeout   int64
+}
+
+var conf = &miniConfig{}
+
+type option struct {
+	name string
+	ptr  interface{}
+}
+
+var options = []option{
+	{"log.filesize", &conf.logFileSize},
+	{"ft_stopword_file", &conf.stopwordFile},
+	{"udp_port", &conf.udpPort},
+	{"index_intlen", &conf.indexIntLen},
+	{"fsync", &conf.fsync},
+	{"commit_siblings", &conf.commitSibs},
+	{"ft_min_word_len", &conf.minWordLen},
+	{"ft_max_word_len", &conf.maxWordLen},
+	{"file_format", &conf.fileFormat},
+	{"max_mem_free", &conf.maxMemFree},
+	{"idle_timeout", &conf.idleTimeout},
+}
+
+func atoi(s string) int64 { return 0 }
+
+func start(env *Env) error {
+	// Figure 3(a): string transformed to a sized integer.
+	size := int32(atoi(conf.logFileSize))
+	_ = size
+	// Figure 3(b): FILE semantic type.
+	data, err := env.FS.ReadFile(conf.stopwordFile)
+	if err != nil {
+		return err
+	}
+	_ = data
+	// Figure 3(c): PORT semantic type.
+	if err := env.Net.Bind("udp", int(conf.udpPort), "mini"); err != nil {
+		env.Log.Fatalf("FATAL: Cannot open ICP Port")
+		return err
+	}
+	// Figure 3(d): data range with silent resets.
+	if conf.indexIntLen < 4 {
+		conf.indexIntLen = 4
+	} else if conf.indexIntLen > 255 {
+		conf.indexIntLen = 255
+	}
+	// Unit inference: seconds-scale timeout.
+	time.Sleep(time.Duration(conf.idleTimeout) * time.Second)
+	// Size unit: KB input multiplied into a byte API.
+	allocBuffer(conf.maxMemFree * 1024)
+	return nil
+}
+
+func allocBuffer(n int64) {}
+
+// Figure 3(e): control dependency on fsync.
+func recordCommit(env *Env) {
+	if conf.fsync {
+		wait(conf.commitSibs + 1)
+	}
+}
+
+func wait(n int64) {}
+
+// Figure 3(f): value relationship through a shared intermediate.
+func fullTextSearch(word string) bool {
+	length := int64(len(word))
+	if length >= conf.minWordLen && length < conf.maxWordLen {
+		return true
+	}
+	return false
+}
+
+// Case-sensitive enum (Figure 6a).
+func applyFormat(env *Env) error {
+	if conf.fileFormat == "Antelope" {
+		return nil
+	} else if conf.fileFormat == "Barracuda" {
+		return nil
+	}
+	env.Log.Errorf("unknown file_format %q", conf.fileFormat)
+	return errBad
+}
+
+var errBad error
+
+type Env struct {
+	FS  *FS
+	Net *Net
+	Log *Log
+}
+type FS struct{}
+
+func (f *FS) ReadFile(path string) ([]byte, error) { return nil, nil }
+
+type Net struct{}
+
+func (n *Net) Bind(proto string, port int, owner string) error { return nil }
+
+type Log struct{}
+
+func (l *Log) Fatalf(f string, a ...interface{}) {}
+func (l *Log) Errorf(f string, a ...interface{}) {}
+
+var _ = strings.EqualFold
+`
+
+const miniAnnot = `{ @STRUCT = options
+  @PAR = [option, 1]
+  @VAR = [option, 2] }`
+
+func inferMini(t *testing.T) *Result {
+	t.Helper()
+	res, err := Infer("mini", map[string]string{"mini.go": miniCorpus}, miniAnnot, nil, apispec.New(), DefaultOptions())
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	return res
+}
+
+func find(res *Result, kind constraint.Kind, param string) *constraint.Constraint {
+	for _, c := range res.Set.Constraints {
+		if c.Kind == kind && c.Param == param {
+			return c
+		}
+	}
+	return nil
+}
+
+func TestInferMappingCount(t *testing.T) {
+	res := inferMini(t)
+	if res.Params != 11 {
+		t.Fatalf("mapped %d parameters, want 11", res.Params)
+	}
+	if res.LoA != 3 {
+		t.Errorf("LoA = %d, want 3", res.LoA)
+	}
+	if res.Convention != "structure" {
+		t.Errorf("convention = %q, want structure", res.Convention)
+	}
+}
+
+func TestInferBasicTypeFirstCast(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindBasicType, "log.filesize")
+	if c == nil {
+		t.Fatal("no basic-type constraint for log.filesize")
+	}
+	if c.Basic != constraint.BasicInt32 {
+		t.Errorf("log.filesize basic type = %s, want int32 (first cast wins)", c.Basic)
+	}
+}
+
+func TestInferSemanticFile(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindSemanticType, "ft_stopword_file")
+	if c == nil {
+		t.Fatal("no semantic constraint for ft_stopword_file")
+	}
+	if c.Semantic != constraint.SemFile {
+		t.Errorf("semantic = %s, want FILE", c.Semantic)
+	}
+}
+
+func TestInferSemanticPort(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindSemanticType, "udp_port")
+	if c == nil {
+		t.Fatal("no semantic constraint for udp_port")
+	}
+	if c.Semantic != constraint.SemPort {
+		t.Errorf("semantic = %s, want PORT", c.Semantic)
+	}
+}
+
+func TestInferRangeWithResets(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindRange, "index_intlen")
+	if c == nil {
+		t.Fatal("no range constraint for index_intlen")
+	}
+	valid := c.ValidIntervals()
+	if len(valid) != 1 {
+		t.Fatalf("valid intervals = %v, want exactly one", c.Intervals)
+	}
+	if !valid[0].HasMin || valid[0].Min != 4 || !valid[0].HasMax || valid[0].Max != 255 {
+		t.Errorf("valid interval = %s, want [4,255]", valid[0])
+	}
+}
+
+func TestInferControlDependency(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindControlDep, "commit_siblings")
+	if c == nil {
+		t.Fatal("no control dependency for commit_siblings")
+	}
+	if c.Peer != "fsync" {
+		t.Errorf("dependency peer = %q, want fsync", c.Peer)
+	}
+	if c.Confidence < 0.75 {
+		t.Errorf("confidence = %v, want >= 0.75", c.Confidence)
+	}
+}
+
+func TestInferValueRelationship(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindValueRel, "ft_max_word_len")
+	if c == nil {
+		t.Fatal("no value relationship for ft_max_word_len")
+	}
+	if c.Peer != "ft_min_word_len" || (c.Rel != constraint.OpGT && c.Rel != constraint.OpGE) {
+		t.Errorf("relationship = %s, want ft_max_word_len > ft_min_word_len", c)
+	}
+}
+
+func TestInferEnumCaseSensitive(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindRange, "file_format")
+	if c == nil {
+		t.Fatal("no enum constraint for file_format")
+	}
+	var vals []string
+	for _, e := range c.Enum {
+		if e.Valid && e.Value != "*" {
+			vals = append(vals, e.Value)
+		}
+	}
+	if len(vals) != 2 {
+		t.Errorf("enum valid values = %v, want [Antelope Barracuda]", vals)
+	}
+	if !c.CaseKnown || !c.CaseSensitive {
+		t.Errorf("case: known=%v sensitive=%v, want known+sensitive", c.CaseKnown, c.CaseSensitive)
+	}
+}
+
+func TestInferUnits(t *testing.T) {
+	res := inferMini(t)
+	c := find(res, constraint.KindSemanticType, "idle_timeout")
+	if c == nil {
+		t.Fatal("no semantic constraint for idle_timeout")
+	}
+	if c.Unit != constraint.UnitSecond {
+		t.Errorf("idle_timeout unit = %q, want s", c.Unit)
+	}
+	c = find(res, constraint.KindSemanticType, "max_mem_free")
+	if c == nil {
+		t.Fatal("no semantic constraint for max_mem_free")
+	}
+	if c.Unit != constraint.UnitKB {
+		t.Errorf("max_mem_free unit = %q, want KB (byte API after *1024)", c.Unit)
+	}
+}
+
+func TestInferUnsafeAPI(t *testing.T) {
+	res := inferMini(t)
+	found := false
+	for _, u := range res.Unsafe {
+		if u.Param == "log.filesize" && u.API == "atoi" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unsafe-API use of atoi on log.filesize not detected: %+v", res.Unsafe)
+	}
+}

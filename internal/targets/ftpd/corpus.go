@@ -1,0 +1,284 @@
+// Package ftpd is a VSFTP-like FTP server simulation (structure mapping).
+// It reproduces the paper's VSFTP characteristics: boolean-heavy
+// configuration parsed by a shared case-insensitive YES/NO helper that
+// *dies* on anything else (VSFTP has the most crash vulnerabilities in
+// Table 5), many control dependencies between enable-flags and their
+// dependent options (the paper's 68 silent-ignorance cases, including
+// Figure 7e's virtual_use_local_privs/one_process_mode pair), and the
+// listen/listen_ipv6/listen_port triple whose naive dependencies are
+// filtered by the MAY-belief confidence threshold (§2.2.4).
+package ftpd
+
+import (
+	"strings"
+
+	"spex/internal/sim"
+	"spex/internal/vnet"
+)
+
+// ftpConfig is the server configuration.
+type ftpConfig struct {
+	listen               bool
+	listenIPv6           bool
+	listenPort           int64
+	listenAddress        string
+	maxClients           int64
+	maxPerIP             int64
+	acceptTimeout        int64
+	connectTimeout       int64
+	idleTimeout          int64
+	dataTimeout          int64
+	pasvMinPort          int64
+	pasvMaxPort          int64
+	anonEnable           bool
+	anonRoot             string
+	anonMaxRate          int64
+	anonUmask            int64
+	localEnable          bool
+	localRoot            string
+	localUmask           int64
+	writeEnable          bool
+	chrootLocal          bool
+	xferlogEnable        bool
+	xferlogFile          string
+	sslEnable            bool
+	rsaCertFile          string
+	ftpUsername          string
+	ftpdBanner           string
+	virtualUseLocalPrivs bool
+	onePlcessMode        bool
+	hideIDs              bool
+}
+
+var fcfg = &ftpConfig{}
+
+// ftpOption is the option table.
+type ftpOption struct {
+	name string
+	iptr *int64
+	sptr *string
+	bptr *bool
+	def  string
+}
+
+var ftpOptions = []ftpOption{
+	{"listen", nil, nil, &fcfg.listen, "yes"},
+	{"listen_ipv6", nil, nil, &fcfg.listenIPv6, "no"},
+	{"listen_port", &fcfg.listenPort, nil, nil, "2121"},
+	{"listen_address", nil, &fcfg.listenAddress, nil, "0.0.0.0"},
+	{"max_clients", &fcfg.maxClients, nil, nil, "0"},
+	{"max_per_ip", &fcfg.maxPerIP, nil, nil, "0"},
+	{"accept_timeout", &fcfg.acceptTimeout, nil, nil, "60"},
+	{"connect_timeout", &fcfg.connectTimeout, nil, nil, "60"},
+	{"idle_session_timeout", &fcfg.idleTimeout, nil, nil, "300"},
+	{"data_connection_timeout", &fcfg.dataTimeout, nil, nil, "300"},
+	{"pasv_min_port", &fcfg.pasvMinPort, nil, nil, "50000"},
+	{"pasv_max_port", &fcfg.pasvMaxPort, nil, nil, "50100"},
+	{"anonymous_enable", nil, nil, &fcfg.anonEnable, "yes"},
+	{"anon_root", nil, &fcfg.anonRoot, nil, "/srv/ftp"},
+	{"anon_max_rate", &fcfg.anonMaxRate, nil, nil, "0"},
+	{"anon_umask", &fcfg.anonUmask, nil, nil, "77"},
+	{"local_enable", nil, nil, &fcfg.localEnable, "no"},
+	{"local_root", nil, &fcfg.localRoot, nil, "/home"},
+	{"local_umask", &fcfg.localUmask, nil, nil, "77"},
+	{"write_enable", nil, nil, &fcfg.writeEnable, "no"},
+	{"chroot_local_user", nil, nil, &fcfg.chrootLocal, "no"},
+	{"xferlog_enable", nil, nil, &fcfg.xferlogEnable, "yes"},
+	{"xferlog_file", nil, &fcfg.xferlogFile, nil, "/var/log/ftpd/xferlog"},
+	{"ssl_enable", nil, nil, &fcfg.sslEnable, "no"},
+	{"rsa_cert_file", nil, &fcfg.rsaCertFile, nil, "/etc/ssl/certs/ftpd.pem"},
+	{"ftp_username", nil, &fcfg.ftpUsername, nil, "ftp"},
+	{"ftpd_banner", nil, &fcfg.ftpdBanner, nil, "Welcome to ftpd."},
+	{"virtual_use_local_privs", nil, nil, &fcfg.virtualUseLocalPrivs, "no"},
+	{"one_process_mode", nil, nil, &fcfg.onePlcessMode, "no"},
+	{"hide_ids", nil, nil, &fcfg.hideIDs, "no"},
+}
+
+// atoi: legacy unsafe numeric parsing (VSFTP's 20 unsafe-transform
+// parameters in Table 8).
+func atoi(s string) int64 {
+	var n int64
+	neg := false
+	i := 0
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		i = 1
+	}
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// parseYesNo is VSFTP's boolean parser: case-insensitive YES/NO (all 73 of
+// VSFTP's string parameters are case-insensitive in Table 6); anything else
+// makes the server die immediately — the paper's dominant VSFTP crash mode.
+func parseYesNo(raw string) bool {
+	v := false
+	if strings.EqualFold(raw, "yes") {
+		v = true
+	} else if strings.EqualFold(raw, "no") {
+		v = false
+	} else {
+		panic("500 OOPS: bad bool value in config file")
+	}
+	return v
+}
+
+// applyFtpOptions loads raw values through the option table and dies on
+// tunable values it cannot stomach (vsftpd's characteristic behaviour).
+func applyFtpOptions(vals map[string]string) {
+	for i := range ftpOptions {
+		o := &ftpOptions[i]
+		raw, ok := vals[o.name]
+		if !ok {
+			raw = o.def
+		}
+		if o.iptr != nil {
+			*o.iptr = atoi(raw)
+		} else if o.sptr != nil {
+			*o.sptr = raw
+		} else {
+			*o.bptr = parseYesNo(raw)
+		}
+	}
+	validateTunables(fcfg)
+}
+
+// validateTunables dies on impossible tunable combinations.
+func validateTunables(c *ftpConfig) {
+	if c.pasvMinPort > c.pasvMaxPort {
+		panic("500 OOPS: invalid pasv_min_port/pasv_max_port")
+	}
+	if c.anonUmask > 777 {
+		panic("500 OOPS: bad umask value")
+	}
+	if c.localUmask > 777 {
+		panic("500 OOPS: bad umask value")
+	}
+}
+
+// ftpdState is the running server.
+type ftpdState struct {
+	conf     *ftpConfig
+	sessions int64
+}
+
+// startFtpd boots the server.
+func startFtpd(env *sim.Env, c *ftpConfig) (*ftpdState, error) {
+	if c.maxClients < 0 {
+		c.maxClients = 0
+	}
+	if c.maxPerIP < 0 {
+		c.maxPerIP = 0
+	}
+	if c.listen {
+		if !vnet.ValidIP(c.listenAddress) {
+			panic("500 OOPS: bad listen_address")
+		}
+		if err := env.Net.Bind("tcp", int(c.listenPort), "ftpd"); err != nil {
+			env.Log.Fatalf("500 OOPS: could not bind listening IPv4 socket")
+			return nil, &sim.ExitError{Status: 1, Reason: "bind failed"}
+		}
+	}
+	if c.listenIPv6 {
+		if err := env.Net.Bind("tcp6", int(c.listenPort), "ftpd"); err != nil {
+			env.Log.Fatalf("500 OOPS: could not bind listening IPv6 socket")
+			return nil, &sim.ExitError{Status: 1, Reason: "bind6 failed"}
+		}
+	}
+	if c.anonEnable {
+		if !env.FS.IsDir(c.anonRoot) {
+			// Anonymous logins will fail later with a generic error.
+			_ = c.anonRoot
+		}
+		allocPool(c.anonMaxRate)
+	}
+	if c.localEnable {
+		if !env.FS.IsDir(c.localRoot) {
+			_ = c.localRoot
+		}
+		_ = c.localUmask & 0777
+	}
+	if c.xferlogEnable {
+		_ = env.FS.WriteFile(c.xferlogFile, nil, 6)
+	}
+	if c.sslEnable {
+		if !env.FS.Exists(c.rsaCertFile) {
+			env.Log.Fatalf("500 OOPS: SSL: cannot load RSA certificate")
+			return nil, &sim.ExitError{Status: 1, Reason: "cert missing"}
+		}
+	}
+	if !c.onePlcessMode {
+		// Privilege separation honours virtual_use_local_privs; in
+		// one-process mode the flag is silently ignored (Figure 7e).
+		if c.virtualUseLocalPrivs {
+			applyPrivs(true)
+		}
+	}
+	if !lookupUser(c.ftpUsername) {
+		env.Log.Fatalf("500 OOPS: cannot locate user specified in 'ftp_username'")
+		return nil, &sim.ExitError{Status: 1, Reason: "bad ftp user"}
+	}
+	sleepSeconds(c.acceptTimeout)
+	sleepSeconds(c.connectTimeout)
+	sleepSeconds(c.idleTimeout)
+	sleepSeconds(c.dataTimeout)
+	return &ftpdState{conf: c}, nil
+}
+
+func applyPrivs(useLocal bool) bool { return useLocal }
+
+// login attempts an FTP session.
+func (st *ftpdState) login(env *sim.Env, user string) bool {
+	if st.conf.maxClients > 0 && st.sessions >= st.conf.maxClients {
+		return false
+	}
+	switch user {
+	case "anonymous":
+		if !st.conf.anonEnable {
+			return false
+		}
+		if !env.FS.IsDir(st.conf.anonRoot) {
+			return false
+		}
+	default:
+		if !st.conf.localEnable {
+			return false
+		}
+	}
+	st.sessions++
+	return true
+}
+
+// listDir lists the anonymous root.
+func (st *ftpdState) listDir(env *sim.Env) ([]string, bool) {
+	names, err := env.FS.List(st.conf.anonRoot)
+	if err != nil {
+		return nil, false
+	}
+	return names, true
+}
+
+// --- runtime helpers ---
+
+func allocPool(n int64) {
+	if n < 0 {
+		return
+	}
+}
+
+func sleepSeconds(n int64) {
+	if n <= 0 {
+		return
+	}
+}
+
+func lookupUser(name string) bool { return name == "ftp" || name == "root" }

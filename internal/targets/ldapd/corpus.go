@@ -1,0 +1,236 @@
+// Package ldapd is an OpenLDAP-like directory server simulation. It uses
+// hybrid mapping (Table 1): a structure-based table for global options plus
+// a comparison-based parser for slapd.conf directives. The corpus
+// reproduces the paper's OpenLDAP specifics: the listener-threads crash at
+// the hard-coded maximum of 16 (Figure 2), the undocumented index_intlen
+// clamp to [4,255] (Figure 3d), the sockbuf_max_incoming functional
+// failure whose logs show only "conn=... closed" (Figure 7c), and — key to
+// Table 12 — a shared ConfigArgs scratch variable through which several
+// directives are parsed. The scratch aliases their data flows, so SPEX
+// attributes some constraints to the wrong parameter: OpenLDAP has the
+// paper's lowest inference accuracy, and this corpus reproduces why.
+package ldapd
+
+import (
+	"strings"
+
+	"spex/internal/sim"
+)
+
+// ldapConfig is the server configuration.
+type ldapConfig struct {
+	suffix    string
+	rootdn    string
+	rootpw    string
+	directory string
+	pidfile   string
+	argsfile  string
+	loglevel  int64
+	sizelimit int64
+	timelimit int64
+
+	listenerThreads int64
+	toolThreads     int64
+	indexIntlen     int64
+	sockbufMax      int64
+	connMaxPending  int64
+	passwordHash    string
+	ldapPort        int64
+}
+
+var lcfg = &ldapConfig{}
+
+// configArgs is the shared parsing scratch (OpenLDAP's ConfigArgs): the
+// source of the aliasing inaccuracy.
+type configArgs struct {
+	valueInt int64
+}
+
+var ca = &configArgs{}
+
+// slapdOption is the structure-mapped global option table.
+type slapdOption struct {
+	name string
+	sptr *string
+	iptr *int64
+	def  string
+}
+
+var slapdOptions = []slapdOption{
+	{"suffix", &lcfg.suffix, nil, "dc=example,dc=com"},
+	{"rootdn", &lcfg.rootdn, nil, "cn=admin,dc=example,dc=com"},
+	{"rootpw", &lcfg.rootpw, nil, "secret"},
+	{"directory", &lcfg.directory, nil, "/var/lib/ldapd"},
+	{"pidfile", &lcfg.pidfile, nil, "/var/run/ldapd.pid"},
+	{"argsfile", &lcfg.argsfile, nil, "/var/run/ldapd.args"},
+	{"loglevel", nil, &lcfg.loglevel, "256"},
+	{"sizelimit", nil, &lcfg.sizelimit, "500"},
+	{"timelimit", nil, &lcfg.timelimit, "3600"},
+}
+
+func atoi(s string) int64 {
+	var n int64
+	neg := false
+	i := 0
+	if len(s) > 0 && s[0] == '-' {
+		neg = true
+		i = 1
+	}
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// applyGlobals loads the structure-mapped options.
+func applyGlobals(vals map[string]string) {
+	for i := range slapdOptions {
+		o := &slapdOptions[i]
+		raw, ok := vals[o.name]
+		if !ok {
+			raw = o.def
+		}
+		if o.sptr != nil {
+			*o.sptr = raw
+		} else {
+			*o.iptr = atoi(raw)
+		}
+	}
+}
+
+// parseSlapdConfig handles the comparison-mapped directives. Several of
+// them parse through the shared ca.valueInt scratch (config_generic in
+// bconfig.c), aliasing their data-flow paths.
+func parseSlapdConfig(key string, value string) {
+	if key == "index_intlen" {
+		// Figure 3(d): silently clamped to [4, 255], undocumented.
+		ilen := atoi(value)
+		if ilen < 4 {
+			ilen = 4
+		} else if ilen > 255 {
+			ilen = 255
+		}
+		lcfg.indexIntlen = ilen
+	} else if key == "tool-threads" {
+		// Parsed through the shared ConfigArgs scratch; so is
+		// conn_max_pending below. SPEX performs no pointer-alias
+		// analysis, so the two flows merge and each parameter inherits
+		// the other's clamp — the paper's OpenLDAP inaccuracy.
+		ca.valueInt = atoi(value)
+		if ca.valueInt > 4 {
+			ca.valueInt = 4
+		}
+		lcfg.toolThreads = ca.valueInt
+	} else if key == "conn_max_pending" {
+		ca.valueInt = atoi(value)
+		if ca.valueInt < 1 {
+			ca.valueInt = 100
+		}
+		lcfg.connMaxPending = ca.valueInt
+	} else if key == "listener-threads" {
+		lcfg.listenerThreads = atoi(value)
+	} else if key == "sockbuf_max_incoming" {
+		lcfg.sockbufMax = atoi(value)
+		if lcfg.sockbufMax > 4194304 {
+			lcfg.sockbufMax = 4194304
+		}
+	} else if key == "password-hash" {
+		lcfg.passwordHash = value
+	} else if key == "port" {
+		lcfg.ldapPort = atoi(value)
+	}
+}
+
+// slapdState is the running directory server.
+type slapdState struct {
+	conf    *ldapConfig
+	entries map[string]string
+}
+
+// startSlapd boots the server.
+func startSlapd(env *sim.Env, c *ldapConfig) (*slapdState, error) {
+	if !env.FS.IsDir(c.directory) {
+		env.Log.Fatalf("could not open database directory")
+		return nil, &sim.ExitError{Status: 1, Reason: "database directory missing"}
+	}
+	if !strings.Contains(c.suffix, "=") {
+		env.Log.Fatalf("invalid DN syntax in configuration")
+		return nil, &sim.ExitError{Status: 1, Reason: "bad suffix"}
+	}
+	if !strings.HasSuffix(c.rootdn, c.suffix) {
+		// The rootdn must live under the suffix; slapd starts anyway
+		// and binds simply fail later (functional failure, Figure 7c).
+		_ = c.rootdn
+	}
+	// Figure 2: a hard-coded maximum of 16 listener threads, never
+	// validated. Larger values crash with "segmentation fault".
+	startListeners(c.listenerThreads)
+
+	if c.passwordHash == "{SSHA}" {
+		c.passwordHash = "{SSHA}"
+	} else if c.passwordHash == "{MD5}" {
+		c.passwordHash = "{MD5}"
+	} else if c.passwordHash == "{CLEARTEXT}" {
+		c.passwordHash = "{CLEARTEXT}"
+	} else {
+		c.passwordHash = "{SSHA}" // silently overruled
+	}
+	if err := env.Net.Bind("tcp", int(c.ldapPort), "ldapd"); err != nil {
+		env.Log.Fatalf("daemon: bind(%d) failed errno=98", c.ldapPort)
+		return nil, &sim.ExitError{Status: 1, Reason: "bind failed"}
+	}
+	_ = env.FS.WriteFile(c.pidfile, []byte("1"), 6)
+	_ = env.FS.WriteFile(c.argsfile, []byte("slapd"), 6)
+	sleepSeconds(c.timelimit)
+
+	st := &slapdState{conf: c, entries: map[string]string{}}
+	st.entries[c.rootdn] = c.rootpw
+	st.entries["cn=test,"+c.suffix] = "test-entry"
+	return st, nil
+}
+
+// startListeners spins up the listener pool: 16 hard-coded slots.
+func startListeners(n int64) {
+	var listeners [16]int64
+	for i := int64(0); i < n; i++ {
+		listeners[i] = i // segmentation fault past slot 16 (Figure 2)
+	}
+}
+
+// search serves one LDAP search request of the given wire size. Requests
+// larger than sockbuf_max_incoming are dropped with only connection-level
+// log lines — the Figure 7(c) reaction.
+func (st *slapdState) search(env *sim.Env, dn string, wireSize int64) (string, bool) {
+	if wireSize > st.conf.sockbufMax {
+		env.Log.Infof("conn=1000 fd=12 ACCEPT from IP=127.0.0.1:39062")
+		env.Log.Infof("conn=1000 closed (connection lost)")
+		return "", false
+	}
+	if st.conf.sizelimit < 1 {
+		return "", false
+	}
+	v, ok := st.entries[dn]
+	return v, ok
+}
+
+// bind authenticates a DN.
+func (st *slapdState) bind(dn, pw string) bool {
+	stored, ok := st.entries[dn]
+	if !ok {
+		return false
+	}
+	return stored == pw
+}
+
+func sleepSeconds(n int64) {
+	if n <= 0 {
+		return
+	}
+}

@@ -1,0 +1,208 @@
+package ldapd
+
+import (
+	_ "embed"
+	"fmt"
+	"strconv"
+
+	"spex/internal/conffile"
+	"spex/internal/constraint"
+	"spex/internal/sim"
+)
+
+//go:embed corpus.go
+var corpusSource string
+
+// System is the ldapd target.
+type System struct{}
+
+// New returns the ldapd target system.
+func New() *System { return &System{} }
+
+func (s *System) Name() string        { return "ldapd" }
+func (s *System) Description() string { return "OpenLDAP-like directory server (hybrid mapping)" }
+
+func (s *System) Syntax() conffile.Syntax { return conffile.SyntaxSpace }
+
+func (s *System) Sources() map[string]string {
+	return map[string]string{"corpus.go": corpusSource}
+}
+
+// Annotations: hybrid — a structure block plus a parser block (OpenLDAP
+// needed 4 lines in Table 4).
+func (s *System) Annotations() string {
+	return `{ @STRUCT = slapdOptions @PAR = [slapdOption, 1] @VAR = [slapdOption, 2] }
+{ @STRUCT = slapdOptions @PAR = [slapdOption, 1] @VAR = [slapdOption, 3] }
+{ @PARSER = parseSlapdConfig @PAR = $key @VAR = $value }`
+}
+
+func (s *System) DefaultConfig() string {
+	return `# ldapd slapd.conf
+suffix dc=example,dc=com
+rootdn cn=admin,dc=example,dc=com
+rootpw secret
+directory /var/lib/ldapd
+pidfile /var/run/ldapd.pid
+argsfile /var/run/ldapd.args
+loglevel 256
+sizelimit 500
+timelimit 3600
+listener-threads 1
+tool-threads 1
+index_intlen 4
+sockbuf_max_incoming 262143
+conn_max_pending 100
+password-hash {SSHA}
+port 3890
+`
+}
+
+func (s *System) SetupEnv(env *sim.Env) {
+	_ = env.FS.MkdirAll("/var/lib/ldapd")
+}
+
+type instance struct {
+	st        *slapdState
+	effective map[string]string
+	env       *sim.Env
+}
+
+func (i *instance) Effective(param string) (string, bool) {
+	v, ok := i.effective[param]
+	return v, ok
+}
+
+func (i *instance) Stop() { i.env.Net.ReleaseOwner("ldapd") }
+
+func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	*lcfg = ldapConfig{}
+	*ca = configArgs{}
+	applyGlobals(cfg.Map())
+	for _, ln := range cfg.Lines {
+		if ln.Kind == conffile.LineDirective {
+			parseSlapdConfig(ln.Key, ln.Value)
+		}
+	}
+	st, err := startSlapd(env, lcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{st: st, effective: snapshot(lcfg), env: env}, nil
+}
+
+func snapshot(c *ldapConfig) map[string]string {
+	m := map[string]string{}
+	ib := func(n string, v int64) { m[n] = strconv.FormatInt(v, 10) }
+	sb := func(n, v string) { m[n] = v }
+	sb("suffix", c.suffix)
+	sb("rootdn", c.rootdn)
+	sb("rootpw", c.rootpw)
+	sb("directory", c.directory)
+	sb("pidfile", c.pidfile)
+	sb("argsfile", c.argsfile)
+	ib("loglevel", c.loglevel)
+	ib("sizelimit", c.sizelimit)
+	ib("timelimit", c.timelimit)
+	ib("listener-threads", c.listenerThreads)
+	ib("tool-threads", c.toolThreads)
+	ib("index_intlen", c.indexIntlen)
+	ib("sockbuf_max_incoming", c.sockbufMax)
+	ib("conn_max_pending", c.connMaxPending)
+	sb("password-hash", c.passwordHash)
+	ib("port", c.ldapPort)
+	return m
+}
+
+func (s *System) Tests() []sim.FuncTest {
+	return []sim.FuncTest{
+		{
+			Name: "bind-root", Weight: 1,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				if !i.st.bind(i.st.conf.rootdn, i.st.conf.rootpw) {
+					return fmt.Errorf("root bind failed")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "search-entry", Weight: 3,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				if _, ok := i.st.search(env, "cn=test,"+i.st.conf.suffix, 4096); !ok {
+					return fmt.Errorf("can't contact LDAP server (-1)")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "listen", Weight: 2,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				if !env.Net.Occupied("tcp", int(i.st.conf.ldapPort)) {
+					return fmt.Errorf("slapd is not listening")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func (s *System) Manual() map[string]sim.ManualEntry {
+	doc := func(prose string, kinds ...constraint.Kind) sim.ManualEntry {
+		return sim.ManualEntry{Prose: prose, Documented: kinds}
+	}
+	return map[string]sim.ManualEntry{
+		"suffix":    doc("DN suffix of this database.", constraint.KindBasicType),
+		"rootdn":    doc("DN of the administrator.", constraint.KindBasicType),
+		"directory": doc("Database directory.", constraint.KindBasicType, constraint.KindSemanticType),
+		"sizelimit": doc("Maximum entries returned per search.", constraint.KindBasicType),
+		"port":      doc("LDAP listener port.", constraint.KindBasicType, constraint.KindSemanticType),
+		// listener-threads' hard maximum of 16 and index_intlen's
+		// [4,255] clamp are deliberately undocumented (Figures 2, 3d).
+		"listener-threads": doc("Number of listener threads.", constraint.KindBasicType),
+		"index_intlen":     doc("Key length for integer indices.", constraint.KindBasicType),
+	}
+}
+
+func (s *System) GroundTruth() *constraint.Set {
+	gt := constraint.NewSet("ldapd")
+	b := func(p string, t constraint.BasicType) {
+		gt.Add(&constraint.Constraint{Kind: constraint.KindBasicType, Param: p, Basic: t})
+	}
+	for _, p := range []string{
+		"loglevel", "sizelimit", "timelimit", "listener-threads",
+		"tool-threads", "index_intlen", "sockbuf_max_incoming",
+		"conn_max_pending", "port",
+	} {
+		b(p, constraint.BasicInt64)
+	}
+	for _, p := range []string{"suffix", "rootdn", "rootpw", "directory", "pidfile", "argsfile", "password-hash"} {
+		b(p, constraint.BasicString)
+	}
+	sem := func(p string, t constraint.SemanticType) {
+		gt.Add(&constraint.Constraint{Kind: constraint.KindSemanticType, Param: p, Semantic: t})
+	}
+	sem("directory", constraint.SemDirectory)
+	sem("pidfile", constraint.SemFile)
+	sem("argsfile", constraint.SemFile)
+	sem("port", constraint.SemPort)
+	gt.Add(&constraint.Constraint{Kind: constraint.KindSemanticType, Param: "timelimit",
+		Semantic: constraint.SemTimeout, Unit: constraint.UnitSecond})
+
+	rng := func(p string, min, max int64, hasMin, hasMax bool) {
+		gt.Add(&constraint.Constraint{Kind: constraint.KindRange, Param: p,
+			Intervals: []constraint.Interval{{Min: min, Max: max, HasMin: hasMin, HasMax: hasMax, Valid: true}}})
+	}
+	rng("index_intlen", 4, 255, true, true)
+	rng("sockbuf_max_incoming", 0, 4194304, false, true)
+	rng("conn_max_pending", 1, 0, true, false)
+	rng("tool-threads", 0, 4, false, true)
+	rng("sizelimit", 1, 0, true, false)
+	gt.Add(&constraint.Constraint{Kind: constraint.KindRange, Param: "password-hash",
+		Enum: []constraint.EnumValue{
+			{Value: "{SSHA}", Valid: true}, {Value: "{MD5}", Valid: true}, {Value: "{CLEARTEXT}", Valid: true}}})
+	return gt
+}
+
+var _ sim.System = (*System)(nil)

@@ -1,0 +1,88 @@
+package minicorpus
+
+import (
+	"testing"
+
+	"spex/internal/annot"
+	"spex/internal/frontend"
+	"spex/internal/mapping"
+)
+
+// TestEveryProjectExtracts verifies the toolkits extract at least one
+// mapping pair from every surveyed snippet with its annotation.
+func TestEveryProjectExtracts(t *testing.T) {
+	for _, p := range Projects() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			proj, err := frontend.Parse(p.Name, p.Sources)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			af, err := annot.Parse(p.Annotations)
+			if err != nil {
+				t.Fatalf("annotations: %v", err)
+			}
+			pairs, err := mapping.Extract(proj, af)
+			if err != nil {
+				t.Fatalf("extract: %v", err)
+			}
+			if len(pairs) == 0 {
+				t.Fatal("no mapping pairs extracted")
+			}
+			if got := mapping.Convention(af); got != p.WantConvention {
+				t.Errorf("convention = %q, want %q", got, p.WantConvention)
+			}
+		})
+	}
+}
+
+// TestSurveyCountsMatchTable1 checks the 18-project split: 9 structure,
+// 4 comparison, 4 container, 1 hybrid (Table 1).
+func TestSurveyCountsMatchTable1(t *testing.T) {
+	counts := map[string]int{}
+	for _, p := range Projects() {
+		counts[p.WantConvention]++
+	}
+	// The seven simulated targets contribute: Storage-A, mydb, pgdb,
+	// httpd, ftpd = structure; proxyd = comparison; ldapd = hybrid.
+	counts["structure"] += 5
+	counts["comparison"]++
+	counts["hybrid"]++
+	if counts["structure"] != 9 || counts["comparison"] != 4 ||
+		counts["container"] != 4 || counts["hybrid"] != 1 {
+		t.Errorf("survey split = %v, want structure:9 comparison:4 container:4 hybrid:1", counts)
+	}
+}
+
+// TestContainerExtraction spot-checks the getter toolkit's output.
+func TestContainerExtraction(t *testing.T) {
+	var hyper Project
+	for _, p := range Projects() {
+		if p.Name == "Hypertable" {
+			hyper = p
+		}
+	}
+	proj, err := frontend.Parse(hyper.Name, hyper.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := annot.Parse(hyper.Annotations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := mapping.Extract(proj, af)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Connection.Retry.Interval": false, "Hypertable.Master.Port": false}
+	for _, p := range pairs {
+		if _, ok := want[p.Param]; ok {
+			want[p.Param] = true
+		}
+	}
+	for param, found := range want {
+		if !found {
+			t.Errorf("getter mapping for %q not extracted (pairs: %+v)", param, pairs)
+		}
+	}
+}

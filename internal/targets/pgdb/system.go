@@ -1,0 +1,254 @@
+package pgdb
+
+import (
+	_ "embed"
+	"fmt"
+	"strconv"
+
+	"spex/internal/conffile"
+	"spex/internal/constraint"
+	"spex/internal/sim"
+)
+
+//go:embed corpus.go
+var corpusSource string
+
+// System is the pgdb target.
+type System struct{}
+
+// New returns the pgdb target system.
+func New() *System { return &System{} }
+
+func (s *System) Name() string { return "pgdb" }
+func (s *System) Description() string {
+	return "PostgreSQL-like database (structure mapping, GUC tables)"
+}
+
+func (s *System) Syntax() conffile.Syntax { return conffile.SyntaxEquals }
+
+func (s *System) Sources() map[string]string {
+	return map[string]string{"corpus.go": corpusSource}
+}
+
+// Annotations: one block per GUC table (PostgreSQL needed 7 lines in
+// Table 4; three lines of it cover 82 parameters of ConfigureNamesInt).
+func (s *System) Annotations() string {
+	return `# PostgreSQL-style GUC tables
+{ @STRUCT = configureNamesInt    @PAR = [configInt, 1]  @VAR = [configInt, 2] }
+{ @STRUCT = configureNamesString @PAR = [configStr, 1]  @VAR = [configStr, 2] }
+{ @STRUCT = configureNamesBool   @PAR = [configBool, 1] @VAR = [configBool, 2] }`
+}
+
+func (s *System) DefaultConfig() string {
+	return `# pgdb configuration
+port = 5432
+listen_addresses = 127.0.0.1
+data_directory = /var/lib/pgdb/data
+hba_file = /var/lib/pgdb/data/pg_hba.conf
+external_pid_file = /var/run/pgdb.pid
+max_connections = 100
+shared_buffers = 16384
+work_mem = 4096
+maintenance_work_mem = 65536
+temp_buffers = 1024
+wal_buffers = 512
+fsync = on
+synchronous_commit = on
+commit_siblings = 5
+commit_delay = 0
+wal_level = minimal
+archive_mode = off
+archive_command = cp %p /var/lib/pgdb/archive/%f
+archive_timeout = 0
+deadlock_timeout = 1000
+statement_timeout = 0
+checkpoint_timeout = 300
+autovacuum = on
+autovacuum_naptime = 1
+vacuum_cost_delay = 0
+log_destination = stderr
+logging_collector = off
+log_directory = /var/log/pgdb
+log_min_messages = warning
+client_encoding = utf8
+`
+}
+
+func (s *System) SetupEnv(env *sim.Env) {
+	_ = env.FS.MkdirAll("/var/lib/pgdb/data")
+	_ = env.FS.WriteFile("/var/lib/pgdb/data/pg_hba.conf", []byte("local all trust"), 6)
+	_ = env.FS.MkdirAll("/var/log/pgdb")
+}
+
+type instance struct {
+	st        *pgState
+	effective map[string]string
+	env       *sim.Env
+}
+
+func (i *instance) Effective(param string) (string, bool) {
+	v, ok := i.effective[param]
+	return v, ok
+}
+
+func (i *instance) Stop() { i.env.Net.ReleaseOwner("pgdb") }
+
+func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	*pg = pgConfig{}
+	if err := applyGUC(env, cfg.Map()); err != nil {
+		return nil, err
+	}
+	st, err := startPostmaster(env, pg)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{st: st, effective: snapshot(), env: env}, nil
+}
+
+func snapshot() map[string]string {
+	m := map[string]string{}
+	for i := range configureNamesInt {
+		o := &configureNamesInt[i]
+		m[o.name] = strconv.FormatInt(*o.ptr, 10)
+	}
+	for i := range configureNamesString {
+		o := &configureNamesString[i]
+		m[o.name] = *o.ptr
+	}
+	for i := range configureNamesBool {
+		o := &configureNamesBool[i]
+		if *o.ptr {
+			m[o.name] = "on"
+		} else {
+			m[o.name] = "off"
+		}
+	}
+	return m
+}
+
+func (s *System) Tests() []sim.FuncTest {
+	return []sim.FuncTest{
+		{
+			Name: "accept-connections", Weight: 1,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				if !env.Net.Occupied("tcp", int(i.st.conf.port)) {
+					return fmt.Errorf("postmaster is not listening")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "commit-txn", Weight: 3,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				i.st.recordTransactionCommit()
+				if i.st.committed != 1 {
+					return fmt.Errorf("transaction did not commit")
+				}
+				return nil
+			},
+		},
+		{
+			Name: "wal-mode", Weight: 2,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				switch i.st.conf.walLevel {
+				case "minimal", "archive", "hot_standby":
+					return nil
+				}
+				return fmt.Errorf("invalid WAL level %q", i.st.conf.walLevel)
+			},
+		},
+		{
+			Name: "pid-file", Weight: 2,
+			Run: func(env *sim.Env, in sim.Instance) error {
+				i := in.(*instance)
+				if !env.FS.Exists(i.st.conf.externalPidFile) {
+					return fmt.Errorf("external pid file missing")
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func (s *System) Manual() map[string]sim.ManualEntry {
+	doc := func(prose string, kinds ...constraint.Kind) sim.ManualEntry {
+		return sim.ManualEntry{Prose: prose, Documented: kinds}
+	}
+	return map[string]sim.ManualEntry{
+		"port":             doc("TCP port, 1..65535.", constraint.KindBasicType, constraint.KindSemanticType, constraint.KindRange),
+		"max_connections":  doc("Maximum concurrent connections, 1..262143.", constraint.KindBasicType, constraint.KindRange),
+		"shared_buffers":   doc("Shared memory buffers (8 KB pages), min 16.", constraint.KindBasicType, constraint.KindRange),
+		"work_mem":         doc("Per-operation memory (KB), min 64.", constraint.KindBasicType, constraint.KindSemanticType),
+		"data_directory":   doc("Data directory path.", constraint.KindBasicType, constraint.KindSemanticType),
+		"wal_level":        doc("minimal, archive or hot_standby.", constraint.KindBasicType, constraint.KindRange),
+		"fsync":            doc("Forces synchronization to disk.", constraint.KindBasicType),
+		"commit_siblings":  doc("Minimum concurrent open transactions for commit_delay, 0..1000.", constraint.KindBasicType, constraint.KindRange),
+		"commit_delay":     doc("Delay in microseconds between commit and flush, 0..100000.", constraint.KindBasicType, constraint.KindRange, constraint.KindSemanticType),
+		"deadlock_timeout": doc("Time to wait on a lock before deadlock check (ms), min 1.", constraint.KindBasicType, constraint.KindSemanticType),
+	}
+}
+
+func (s *System) GroundTruth() *constraint.Set {
+	gt := constraint.NewSet("pgdb")
+	b := func(p string, t constraint.BasicType) {
+		gt.Add(&constraint.Constraint{Kind: constraint.KindBasicType, Param: p, Basic: t})
+	}
+	sem := func(p string, t constraint.SemanticType, u constraint.Unit) {
+		gt.Add(&constraint.Constraint{Kind: constraint.KindSemanticType, Param: p, Semantic: t, Unit: u})
+	}
+	for i := range configureNamesInt {
+		b(configureNamesInt[i].name, constraint.BasicInt64)
+	}
+	for i := range configureNamesString {
+		b(configureNamesString[i].name, constraint.BasicString)
+	}
+	for i := range configureNamesBool {
+		b(configureNamesBool[i].name, constraint.BasicBool)
+	}
+	sem("port", constraint.SemPort, constraint.UnitNone)
+	sem("data_directory", constraint.SemDirectory, constraint.UnitNone)
+	sem("hba_file", constraint.SemFile, constraint.UnitNone)
+	sem("external_pid_file", constraint.SemFile, constraint.UnitNone)
+	sem("log_directory", constraint.SemDirectory, constraint.UnitNone)
+	sem("work_mem", constraint.SemSize, constraint.UnitKB)
+	sem("maintenance_work_mem", constraint.SemSize, constraint.UnitKB)
+	sem("shared_buffers", constraint.SemSize, constraint.UnitNone)
+	sem("temp_buffers", constraint.SemSize, constraint.UnitNone)
+	sem("wal_buffers", constraint.SemSize, constraint.UnitNone)
+	sem("deadlock_timeout", constraint.SemTimeout, constraint.UnitMillisecond)
+	sem("statement_timeout", constraint.SemTimeout, constraint.UnitMillisecond)
+	sem("checkpoint_timeout", constraint.SemTimeout, constraint.UnitSecond)
+	sem("archive_timeout", constraint.SemTimeout, constraint.UnitSecond)
+	sem("autovacuum_naptime", constraint.SemTimeout, constraint.UnitMinute)
+	sem("vacuum_cost_delay", constraint.SemTimeout, constraint.UnitMillisecond)
+	sem("commit_delay", constraint.SemTimeout, constraint.UnitMicrosecond)
+
+	enum := func(p string, vals ...string) {
+		evs := make([]constraint.EnumValue, len(vals))
+		for i, v := range vals {
+			evs[i] = constraint.EnumValue{Value: v, Valid: true}
+		}
+		gt.Add(&constraint.Constraint{Kind: constraint.KindRange, Param: p, Enum: evs})
+	}
+	enum("wal_level", "minimal", "archive", "hot_standby")
+	enum("log_min_messages", "debug", "info", "warning", "error")
+	enum("client_encoding", "utf8", "latin1", "sql_ascii")
+	enum("listen_addresses", "localhost", "*")
+
+	dep := func(q, p string, op constraint.Op, v string) {
+		gt.Add(&constraint.Constraint{Kind: constraint.KindControlDep, Param: q, Peer: p, Cond: op, Value: v})
+	}
+	dep("commit_siblings", "fsync", constraint.OpEQ, "true")
+	dep("commit_delay", "fsync", constraint.OpEQ, "true")
+	dep("archive_command", "archive_mode", constraint.OpEQ, "true")
+	dep("archive_timeout", "archive_mode", constraint.OpEQ, "true")
+	dep("autovacuum_naptime", "autovacuum", constraint.OpEQ, "true")
+	dep("vacuum_cost_delay", "autovacuum", constraint.OpEQ, "true")
+	dep("log_directory", "logging_collector", constraint.OpEQ, "true")
+	return gt
+}
+
+var _ sim.System = (*System)(nil)

@@ -1,0 +1,37 @@
+// Package targets registers the seven simulated evaluation systems
+// (paper Table 4): one commercial storage OS and six open-source servers.
+package targets
+
+import (
+	"spex/internal/sim"
+	"spex/internal/targets/ftpd"
+	"spex/internal/targets/httpd"
+	"spex/internal/targets/ldapd"
+	"spex/internal/targets/mydb"
+	"spex/internal/targets/pgdb"
+	"spex/internal/targets/proxyd"
+	"spex/internal/targets/storagea"
+)
+
+// All returns the evaluated systems in the paper's Table 4/5 order.
+func All() []sim.System {
+	return []sim.System{
+		storagea.New(),
+		httpd.New(),
+		mydb.New(),
+		pgdb.New(),
+		ldapd.New(),
+		ftpd.New(),
+		proxyd.New(),
+	}
+}
+
+// ByName returns a system by its Name(), or nil.
+func ByName(name string) sim.System {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package vfs provides a small in-memory file system used as the execution
+// substrate for the simulated target systems. The paper's SPEX-INJ runs real
+// servers on a real OS; our targets run hermetically, so file-path semantic
+// constraints (FILE must exist, DIR must be a directory, permission checks)
+// are exercised against this virtual file system instead.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common error values, mirroring the os package semantics the targets rely
+// on.
+var (
+	ErrNotExist   = errors.New("vfs: file does not exist")
+	ErrExist      = errors.New("vfs: file already exists")
+	ErrIsDir      = errors.New("vfs: is a directory")
+	ErrNotDir     = errors.New("vfs: not a directory")
+	ErrPermission = errors.New("vfs: permission denied")
+)
+
+// Mode is a simplified permission mask (owner bits only).
+type Mode uint32
+
+const (
+	ModeRead  Mode = 0o4
+	ModeWrite Mode = 0o2
+	ModeExec  Mode = 0o1
+)
+
+type node struct {
+	dir      bool
+	data     []byte
+	mode     Mode
+	children map[string]*node
+}
+
+// FS is an in-memory hierarchical file system. It is safe for concurrent
+// use.
+type FS struct {
+	mu   sync.RWMutex
+	root *node
+}
+
+// New returns an empty file system containing only the root directory.
+func New() *FS {
+	return &FS{root: &node{dir: true, mode: ModeRead | ModeWrite | ModeExec, children: map[string]*node{}}}
+}
+
+func clean(p string) []string {
+	p = path.Clean("/" + strings.TrimSpace(p))
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// lookup walks to the node for p. Caller holds at least a read lock.
+func (fs *FS) lookup(p string) (*node, error) {
+	n := fs.root
+	for _, part := range clean(p) {
+		if !n.dir {
+			return nil, ErrNotDir
+		}
+		c, ok := n.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// MkdirAll creates a directory and all missing parents.
+func (fs *FS) MkdirAll(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.root
+	for _, part := range clean(p) {
+		if !n.dir {
+			return ErrNotDir
+		}
+		c, ok := n.children[part]
+		if !ok {
+			c = &node{dir: true, mode: ModeRead | ModeWrite | ModeExec, children: map[string]*node{}}
+			n.children[part] = c
+		}
+		n = c
+	}
+	if !n.dir {
+		return ErrNotDir
+	}
+	return nil
+}
+
+// WriteFile creates or replaces a regular file, creating parents as needed.
+func (fs *FS) WriteFile(p string, data []byte, mode Mode) error {
+	dir := path.Dir("/" + strings.TrimSpace(p))
+	if err := fs.MkdirAll(dir); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, err := fs.lookup(dir)
+	if err != nil {
+		return err
+	}
+	name := path.Base(path.Clean("/" + strings.TrimSpace(p)))
+	if c, ok := parent.children[name]; ok && c.dir {
+		return ErrIsDir
+	}
+	parent.children[name] = &node{data: append([]byte(nil), data...), mode: mode}
+	return nil
+}
+
+// ReadFile returns the contents of a regular file, enforcing read
+// permission.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", p, err)
+	}
+	if n.dir {
+		return nil, fmt.Errorf("read %s: %w", p, ErrIsDir)
+	}
+	if n.mode&ModeRead == 0 {
+		return nil, fmt.Errorf("read %s: %w", p, ErrPermission)
+	}
+	return append([]byte(nil), n.data...), nil
+}
+
+// Append appends data to an existing file, enforcing write permission.
+func (fs *FS) Append(p string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return fmt.Errorf("append %s: %w", p, err)
+	}
+	if n.dir {
+		return fmt.Errorf("append %s: %w", p, ErrIsDir)
+	}
+	if n.mode&ModeWrite == 0 {
+		return fmt.Errorf("append %s: %w", p, ErrPermission)
+	}
+	n.data = append(n.data, data...)
+	return nil
+}
+
+// Stat describes a file.
+type Stat struct {
+	IsDir bool
+	Size  int
+	Mode  Mode
+}
+
+// Stat returns metadata for p.
+func (fs *FS) Stat(p string) (Stat, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return Stat{}, fmt.Errorf("stat %s: %w", p, err)
+	}
+	return Stat{IsDir: n.dir, Size: len(n.data), Mode: n.mode}, nil
+}
+
+// Exists reports whether p exists.
+func (fs *FS) Exists(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, err := fs.lookup(p)
+	return err == nil
+}
+
+// IsDir reports whether p exists and is a directory.
+func (fs *FS) IsDir(p string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	return err == nil && n.dir
+}
+
+// Chmod changes the permission bits of p.
+func (fs *FS) Chmod(p string, mode Mode) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return fmt.Errorf("chmod %s: %w", p, err)
+	}
+	n.mode = mode
+	return nil
+}
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts := clean(p)
+	if len(parts) == 0 {
+		return ErrPermission
+	}
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	parent, err := fs.lookup(dir)
+	if err != nil {
+		return fmt.Errorf("remove %s: %w", p, err)
+	}
+	name := parts[len(parts)-1]
+	n, ok := parent.children[name]
+	if !ok {
+		return fmt.Errorf("remove %s: %w", p, ErrNotExist)
+	}
+	if n.dir && len(n.children) > 0 {
+		return fmt.Errorf("remove %s: directory not empty", p)
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// List returns the sorted names of entries in directory p.
+func (fs *FS) List(p string) ([]string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return nil, fmt.Errorf("list %s: %w", p, err)
+	}
+	if !n.dir {
+		return nil, fmt.Errorf("list %s: %w", p, ErrNotDir)
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}

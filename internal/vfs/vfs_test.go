@@ -1,0 +1,194 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/a/b/c.txt", []byte("hello"), ModeRead|ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/a/b/c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("read %q", data)
+	}
+	// Parents were created.
+	if !fs.IsDir("/a") || !fs.IsDir("/a/b") {
+		t.Error("parents not created")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	_, err := fs.ReadFile("/nope")
+	if !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestReadDirectoryFails(t *testing.T) {
+	fs := New()
+	_ = fs.MkdirAll("/d")
+	if _, err := fs.ReadFile("/d"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("err = %v, want ErrIsDir", err)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	fs := New()
+	_ = fs.WriteFile("/secret", []byte("x"), 0)
+	if _, err := fs.ReadFile("/secret"); !errors.Is(err, ErrPermission) {
+		t.Errorf("read err = %v, want ErrPermission", err)
+	}
+	if err := fs.Append("/secret", []byte("y")); !errors.Is(err, ErrPermission) {
+		t.Errorf("append err = %v, want ErrPermission", err)
+	}
+	if err := fs.Chmod("/secret", ModeRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/secret"); err != nil {
+		t.Errorf("read after chmod: %v", err)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	fs := New()
+	_ = fs.WriteFile("/log", []byte("a"), ModeRead|ModeWrite)
+	if err := fs.Append("/log", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/log")
+	if string(data) != "ab" {
+		t.Errorf("appended = %q", data)
+	}
+	if err := fs.Append("/missing", []byte("x")); !errors.Is(err, ErrNotExist) {
+		t.Errorf("append to missing = %v", err)
+	}
+}
+
+func TestStatAndExists(t *testing.T) {
+	fs := New()
+	_ = fs.WriteFile("/f", []byte("abc"), ModeRead)
+	st, err := fs.Stat("/f")
+	if err != nil || st.IsDir || st.Size != 3 {
+		t.Errorf("stat = %+v, %v", st, err)
+	}
+	if !fs.Exists("/f") || fs.Exists("/g") {
+		t.Error("Exists wrong")
+	}
+	if fs.IsDir("/f") {
+		t.Error("file reported as dir")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	_ = fs.WriteFile("/d/f", nil, ModeRead)
+	if err := fs.Remove("/d"); err == nil {
+		t.Error("removing a non-empty directory must fail")
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatalf("removing now-empty dir: %v", err)
+	}
+	if fs.Exists("/d") {
+		t.Error("dir still exists")
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New()
+	_ = fs.WriteFile("/d/b", nil, ModeRead)
+	_ = fs.WriteFile("/d/a", nil, ModeRead)
+	_ = fs.MkdirAll("/d/c")
+	names, err := fs.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("List = %v", names)
+	}
+	if _, err := fs.List("/d/a"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("List(file) = %v, want ErrNotDir", err)
+	}
+	if _, err := fs.List("/zz"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("List(missing) = %v", err)
+	}
+}
+
+func TestPathCleaning(t *testing.T) {
+	fs := New()
+	_ = fs.WriteFile("//x//y.txt", []byte("v"), ModeRead)
+	if _, err := fs.ReadFile("/x/y.txt"); err != nil {
+		t.Errorf("cleaned path not equivalent: %v", err)
+	}
+	if _, err := fs.ReadFile("/x/../x/y.txt"); err != nil {
+		t.Errorf("dot-dot path not equivalent: %v", err)
+	}
+}
+
+func TestWriteOverDirectoryFails(t *testing.T) {
+	fs := New()
+	_ = fs.MkdirAll("/d")
+	if err := fs.WriteFile("/d", []byte("x"), ModeRead); !errors.Is(err, ErrIsDir) {
+		t.Errorf("err = %v, want ErrIsDir", err)
+	}
+}
+
+// Property: after writing any set of files, each one reads back with its
+// own content (last write wins on collisions).
+func TestPropertyWriteReadAll(t *testing.T) {
+	f := func(names [6]uint8, bodies [6]uint16) bool {
+		fs := New()
+		want := map[string]string{}
+		for i := range names {
+			p := fmt.Sprintf("/dir%d/f%d", names[i]%3, names[i])
+			body := fmt.Sprintf("%d", bodies[i])
+			if err := fs.WriteFile(p, []byte(body), ModeRead|ModeWrite); err != nil {
+				return false
+			}
+			want[p] = body
+		}
+		for p, body := range want {
+			got, err := fs.ReadFile(p)
+			if err != nil || string(got) != body {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			p := fmt.Sprintf("/c/%d", n)
+			_ = fs.WriteFile(p, []byte("x"), ModeRead|ModeWrite)
+			_, _ = fs.ReadFile(p)
+			_ = fs.Append(p, []byte("y"))
+			fs.Exists(p)
+		}(i)
+	}
+	wg.Wait()
+	names, err := fs.List("/c")
+	if err != nil || len(names) != 16 {
+		t.Errorf("List = %v (%v)", names, err)
+	}
+}
