@@ -5,9 +5,11 @@
 package spex_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"spex/internal/annot"
 	"spex/internal/apispec"
@@ -147,6 +149,60 @@ func BenchmarkTable5Campaign(b *testing.B) {
 		if len(rep.Vulnerabilities()) == 0 {
 			b.Fatal("campaign exposed nothing")
 		}
+	}
+}
+
+// BenchmarkCampaignParallel runs the Table 5 workload (mydb's full
+// injection campaign) through the engine worker pool at several widths,
+// tracking the concurrent campaign engine's speedup in the perf
+// trajectory. SimCostDelay gives the campaign the paper's cost shape —
+// booting the target once per misconfiguration dominates (§3.1), which
+// the hermetic simulation otherwise collapses to microseconds — so the
+// scheduler's overlap is what the benchmark measures. Outcomes are
+// order-deterministic, so every width produces the identical report.
+func BenchmarkCampaignParallel(b *testing.B) {
+	res := inferred(b, "mydb")
+	sys := mydb.New()
+	tmpl, _ := conffile.Parse(sys.DefaultConfig(), conffile.SyntaxEquals)
+	ms := confgen.NewRegistry().Generate(res.Set, tmpl)
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := inject.DefaultOptions()
+			opts.Workers = workers
+			opts.SimCostDelay = 200 * time.Microsecond
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := inject.Run(sys, ms, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Vulnerabilities()) == 0 {
+					b.Fatal("campaign exposed nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeAllParallel runs the full seven-system evaluation
+// pipeline at several fan-out widths (the spexeval hot path).
+func BenchmarkAnalyzeAllParallel(b *testing.B) {
+	for _, workers := range []int{1, 7} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := report.AnalyzeAllContext(context.Background(),
+					report.AnalyzeOptions{Workers: workers, CampaignWorkers: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs) != 7 {
+					b.Fatal("missing systems")
+				}
+			}
+		})
 	}
 }
 

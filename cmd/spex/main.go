@@ -4,13 +4,16 @@
 // Usage:
 //
 //	spex -system mydb [-kind range] [-param ft_min_word_len] [-v]
+//	spex -all -stats    # infer all seven targets in parallel
 //	spex -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"spex/internal/constraint"
 	"spex/internal/spex"
@@ -19,17 +22,34 @@ import (
 
 func main() {
 	var (
-		system = flag.String("system", "", "target system to analyze (see -list)")
-		list   = flag.Bool("list", false, "list available target systems")
-		kind   = flag.String("kind", "", "only show one constraint kind: basic, semantic, range, dep, rel")
-		param  = flag.String("param", "", "only show constraints for this parameter")
-		stats  = flag.Bool("stats", false, "print per-kind counts and accuracy only")
+		system  = flag.String("system", "", "target system to analyze (see -list)")
+		all     = flag.Bool("all", false, "analyze every target (inference fans out on the engine pool)")
+		list    = flag.Bool("list", false, "list available target systems")
+		kind    = flag.String("kind", "", "only show one constraint kind: basic, semantic, range, dep, rel")
+		param   = flag.String("param", "", "only show constraints for this parameter")
+		stats   = flag.Bool("stats", false, "print per-kind counts and accuracy only")
+		workers = flag.Int("workers", 0, "parallel per-system inferences with -all (0 = one per CPU)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, s := range targets.All() {
 			fmt.Printf("%-10s %s\n", s.Name(), s.Description())
+		}
+		return
+	}
+	if *all {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		systems := targets.All()
+		results, err := spex.InferAll(ctx, systems, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spex: %v\n", err)
+			os.Exit(1)
+		}
+		for i, res := range results {
+			fmt.Printf("%-10s %4d constraints  %6d LoC  %3d params  %2d LoA  (%s mapping)\n",
+				systems[i].Name(), res.Set.Len(), res.LoC, res.Params, res.LoA, res.Convention)
 		}
 		return
 	}

@@ -2,29 +2,48 @@
 // (1-12) and figure (1-7) of §4, measured against the seven simulated
 // targets and printed next to the paper's published numbers.
 //
+// The seven per-system pipelines (inference, campaign, audit) fan out on
+// the engine worker pool; pass -workers 1 to force the sequential order.
+// The rendered tables are identical either way.
+//
 // Usage:
 //
 //	spexeval               # everything
 //	spexeval -table 5      # one table
 //	spexeval -figure 7     # one figure
+//	spexeval -workers 8 -progress
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"spex/internal/report"
 )
 
 func main() {
 	var (
-		tableN  = flag.Int("table", 0, "render only this table (1-12)")
-		figureN = flag.Int("figure", 0, "render only this figure (1-7)")
+		tableN   = flag.Int("table", 0, "render only this table (1-12)")
+		figureN  = flag.Int("figure", 0, "render only this figure (1-7)")
+		workers  = flag.Int("workers", 0, "parallel per-system pipelines (0 = one per CPU)")
+		campaign = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 = sequential; systems already fan out)")
+		progress = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
 	)
 	flag.Parse()
 
-	results, err := report.AnalyzeAll()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign}
+	if *progress {
+		opts.OnProgress = func(p report.Progress) {
+			fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
+		}
+	}
+	results, err := report.AnalyzeAllContext(ctx, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
 		os.Exit(1)

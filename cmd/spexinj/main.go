@@ -4,19 +4,26 @@
 // target's own test suite, classifies reactions, and prints error reports
 // for the exposed vulnerabilities.
 //
+// Campaigns run on the engine worker pool: misconfigurations of one system
+// execute -workers wide, and with -all the seven targets fan out as well.
+// Ctrl-C cancels the campaign; outcomes already measured are reported.
+//
 // Usage:
 //
-//	spexinj -system proxyd [-reports] [-max 5]
+//	spexinj -system proxyd [-reports] [-max 5] [-workers 8]
 //	spexinj -all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"spex/internal/conffile"
 	"spex/internal/confgen"
+	"spex/internal/engine"
 	"spex/internal/inject"
 	"spex/internal/sim"
 	"spex/internal/spex"
@@ -25,11 +32,13 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "", "target system (see spex -list)")
-		all     = flag.Bool("all", false, "run the campaign on every target")
-		reports = flag.Bool("reports", false, "print full error reports for vulnerabilities")
-		max     = flag.Int("max", 10, "maximum error reports to print")
-		noOpt   = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
+		system   = flag.String("system", "", "target system (see spex -list)")
+		all      = flag.Bool("all", false, "run the campaign on every target")
+		reports  = flag.Bool("reports", false, "print full error reports for vulnerabilities")
+		max      = flag.Int("max", 10, "maximum error reports to print")
+		noOpt    = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
+		workers  = flag.Int("workers", 0, "parallelism: campaigns with -all, misconfigurations for a single system (0 = one per CPU)")
+		progress = flag.Bool("progress", false, "stream campaign progress to stderr")
 	)
 	flag.Parse()
 
@@ -48,37 +57,83 @@ func main() {
 		opts.StopOnFirstFailure = false
 		opts.SortTests = false
 	}
+	if *workers == 0 {
+		*workers = engine.DefaultWorkers()
+	}
+	// One budget, spent where it helps: with -all the systems fan out
+	// and each campaign stays sequential; for a single system the
+	// campaign itself runs -workers wide.
+	fanout := 1
+	if len(systems) > 1 {
+		fanout = *workers
+	} else {
+		opts.Workers = *workers
+	}
 
-	for _, sys := range systems {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	type campaign struct {
+		sys sim.System
+		ms  []confgen.Misconf
+		rep *inject.Report
+	}
+	results, cancelErr := engine.Run(ctx, len(systems), func(ctx context.Context, i int) (campaign, error) {
+		sys := systems[i]
 		res, err := spex.InferSystem(sys)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-			os.Exit(1)
+			return campaign{}, err
 		}
 		tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-			os.Exit(1)
+			return campaign{}, err
 		}
 		ms := confgen.NewRegistry().Generate(res.Set, tmpl)
-		rep, err := inject.Run(sys, ms, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-			os.Exit(1)
+		sysOpts := opts
+		if *progress {
+			sysOpts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "spexinj: %s %d/%d\r", sys.Name(), done, total)
+			}
 		}
+		rep, err := inject.RunContext(ctx, sys, ms, sysOpts)
+		if err != nil && rep == nil {
+			return campaign{}, err
+		}
+		// On cancellation keep the partial report: outcomes already
+		// measured are reported (unstarted rows carry the context error
+		// and are excluded from the tallies).
+		return campaign{sys: sys, ms: ms, rep: rep}, nil
+	}, engine.Options[campaign]{Workers: fanout})
+	if cancelErr != nil {
+		fmt.Fprintf(os.Stderr, "spexinj: cancelled: %v\n", cancelErr)
+	}
+	if err := engine.FirstError(results); err != nil && cancelErr == nil {
+		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		c := r.Value
+		rep := c.rep
 		counts := rep.CountByReaction()
-		fmt.Printf("=== %s: %d misconfigurations injected ===\n", sys.Name(), len(ms))
+		fmt.Printf("=== %s: %d misconfigurations injected ===\n", c.sys.Name(), len(c.ms))
 		order := []inject.Reaction{
 			inject.ReactionCrash, inject.ReactionEarlyTerm, inject.ReactionFuncFailure,
 			inject.ReactionSilentViolation, inject.ReactionSilentIgnorance,
 			inject.ReactionGood, inject.ReactionTolerated,
 		}
-		for _, r := range order {
+		for _, rr := range order {
 			marker := " "
-			if r.Vulnerability() {
+			if rr.Vulnerability() {
 				marker = "!"
 			}
-			fmt.Printf("  %s %-20s %d\n", marker, r.String(), counts[r])
+			fmt.Printf("  %s %-20s %d\n", marker, rr.String(), counts[rr])
+		}
+		if errs := rep.Errors(); len(errs) > 0 {
+			fmt.Printf("  ! %-20s %d (harness failures, excluded from tallies)\n", "untestable", len(errs))
 		}
 		fmt.Printf("  vulnerabilities: %d at %d unique code locations; simulated cost %d units\n\n",
 			len(rep.Vulnerabilities()), rep.UniqueLocations(), rep.TotalSimCost)
@@ -94,5 +149,8 @@ func main() {
 				printed++
 			}
 		}
+	}
+	if cancelErr != nil {
+		os.Exit(130)
 	}
 }

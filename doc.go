@@ -20,6 +20,35 @@
 //   - Renderers that regenerate every table and figure of the paper's
 //     evaluation next to the published numbers (report, cmd/spexeval).
 //
+// # Concurrent campaign engine
+//
+// Campaigns and inference runs are scheduled by internal/engine, a
+// bounded worker pool with three properties the layers above rely on:
+//
+//   - Determinism. Tasks are indexed and results reassemble in input
+//     order, so a parallel injection campaign (inject.Options.Workers)
+//     or a parallel seven-target evaluation (report.AnalyzeAllContext,
+//     spex.InferAll) produces reports identical to a sequential run.
+//   - Cancellation. Every layer threads a context.Context down to
+//     sim.MonitorStartContext; Ctrl-C in the cmd drivers stops
+//     dispatching immediately, abandons in-flight boots, and reports
+//     the outcomes already measured.
+//   - Incrementality. An engine-level result cache keyed by
+//     misconfiguration identity (inject.CacheKey: violated-constraint
+//     ID + rule + injected values) makes inject.Diff's constraint delta
+//     a real incremental mode: inject.RunIncremental replays recorded
+//     outcomes for unchanged constraints and re-executes only the
+//     added/affected ones (§3.1's incremental retesting).
+//
+// The simulated targets model the real systems' package-global config
+// variables, so each target serializes its boot phase under a package
+// mutex and detaches the parsed configuration into the instance before
+// the (fully parallel) functional-test phase. Campaign wall-clock cost
+// is dominated by per-misconfiguration boots in the paper's setting;
+// inject.Options.SimCostDelay optionally realizes simulated cost units
+// as wall time so the scheduler's overlap is measurable
+// (BenchmarkCampaignParallel).
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package spex

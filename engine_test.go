@@ -1,0 +1,131 @@
+// End-to-end tests for the concurrent campaign engine: a full parallel
+// injection campaign over every target under the race detector, and a
+// determinism check that the parallel report equals the sequential one
+// outcome-for-outcome.
+package spex_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/inject"
+	"spex/internal/report"
+	"spex/internal/sim"
+	"spex/internal/spex"
+	"spex/internal/targets"
+)
+
+// campaignFor generates the full misconfiguration list for one target.
+func campaignFor(t testing.TB, sys sim.System) []confgen.Misconf {
+	t.Helper()
+	res, err := spex.InferSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return confgen.NewRegistry().Generate(res.Set, tmpl)
+}
+
+// TestParallelCampaignMatchesSequential drives the Table 5 campaign for
+// every target both sequentially and with 4 workers and requires the
+// reports to match outcome-for-outcome. Run under -race this doubles as
+// the engine's full-campaign race test: every boot, functional test,
+// and substrate operation of all seven targets executes concurrently.
+func TestParallelCampaignMatchesSequential(t *testing.T) {
+	for _, sys := range targets.All() {
+		sys := sys
+		t.Run(sys.Name(), func(t *testing.T) {
+			t.Parallel() // cross-target concurrency on top of intra-campaign workers
+			ms := campaignFor(t, sys)
+			seq, err := inject.Run(sys, ms, inject.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := inject.DefaultOptions()
+			opts.Workers = 4
+			par, err := inject.Run(sys, ms, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Outcomes) != len(seq.Outcomes) {
+				t.Fatalf("parallel report has %d outcomes, sequential %d", len(par.Outcomes), len(seq.Outcomes))
+			}
+			for i := range seq.Outcomes {
+				if !reflect.DeepEqual(par.Outcomes[i], seq.Outcomes[i]) {
+					t.Errorf("outcome %d (%s) differs:\nparallel  : %+v\nsequential: %+v",
+						i, seq.Outcomes[i].Misconf.ID, par.Outcomes[i], seq.Outcomes[i])
+				}
+			}
+			if par.TotalSimCost != seq.TotalSimCost {
+				t.Errorf("sim cost: parallel %d, sequential %d", par.TotalSimCost, seq.TotalSimCost)
+			}
+		})
+	}
+}
+
+// TestAnalyzeAllParallelMatchesSequential checks the full seven-system
+// evaluation pipeline at the report layer.
+func TestAnalyzeAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	seq, err := report.AnalyzeAllContext(context.Background(), report.AnalyzeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := report.AnalyzeAllContext(context.Background(), report.AnalyzeOptions{Workers: 7, CampaignWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Table5(seq) != report.Table5(par) {
+		t.Error("Table 5 differs between sequential and parallel analysis")
+	}
+	if report.Table11(seq) != report.Table11(par) {
+		t.Error("Table 11 differs between sequential and parallel analysis")
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i].Campaign.Outcomes, par[i].Campaign.Outcomes) {
+			t.Errorf("%s: campaign outcomes differ", seq[i].Sys.Name())
+		}
+	}
+}
+
+// TestIncrementalCampaignOnRealTarget replays a mydb campaign through
+// the incremental cache: a no-op revision must replay everything and a
+// real report must be reproduced exactly.
+func TestIncrementalCampaignOnRealTarget(t *testing.T) {
+	sys := targets.ByName("mydb")
+	res, err := spex.InferSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := campaignFor(t, sys)
+	full, err := inject.Run(sys, ms, inject.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := inject.NewResultCache()
+	inject.SeedCache(cache, full)
+	d := inject.Diff(res.Set, res.Set) // no-op revision
+	opts := inject.DefaultOptions()
+	opts.Workers = 4
+	inc, err := inject.RunIncremental(context.Background(), sys, ms, d, cache, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Replayed != len(ms) {
+		t.Fatalf("no-op revision replayed %d of %d outcomes", inc.Replayed, len(ms))
+	}
+	if inc.TotalSimCost != 0 {
+		t.Fatalf("no-op revision re-executed work: cost %d", inc.TotalSimCost)
+	}
+	if !reflect.DeepEqual(inc.Outcomes, full.Outcomes) {
+		t.Fatal("incremental report differs from the full campaign")
+	}
+}

@@ -1,0 +1,3 @@
+module spex
+
+go 1.21

@@ -1,0 +1,213 @@
+// Package engine is the concurrent campaign scheduler shared by the
+// injection harness (internal/inject) and the inference drivers
+// (internal/spex, internal/report, cmd/...). It runs a fixed set of
+// indexed tasks on a bounded worker pool with three guarantees the
+// campaign layers rely on:
+//
+//   - Determinism: results come back indexed by input position, so a
+//     parallel campaign reassembles into the exact report a sequential
+//     run produces.
+//   - Cancellation: a cancelled context stops dispatching immediately;
+//     tasks already in flight finish and their results are kept, tasks
+//     never started carry the context error.
+//   - Incrementality: an optional keyed Cache replays previously
+//     recorded results instead of re-executing the task — the basis of
+//     SPEX-INJ's incremental retesting mode (paper §3.1).
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Result is the outcome of one task.
+type Result[T any] struct {
+	// Index is the task's position in the input order.
+	Index int
+	Value T
+	// Err is the task's own error, or the context error for tasks the
+	// scheduler never started.
+	Err error
+	// Cached reports that Value was replayed from the cache.
+	Cached bool
+}
+
+// Options tune one Run.
+type Options[T any] struct {
+	// Workers bounds parallelism. Values <= 1 run sequentially on the
+	// calling pattern (still through the pool, with one worker);
+	// DefaultWorkers picks a hardware-sized pool.
+	Workers int
+	// OnResult, if set, streams every result as it completes (completion
+	// order, not input order). Calls are serialized by the scheduler, so
+	// the callback needs no locking of its own.
+	OnResult func(Result[T])
+	// Cache, if set together with KeyOf, replays recorded results for
+	// tasks whose key is present and records successful results for
+	// tasks that ran.
+	Cache *Cache[T]
+	// KeyOf returns the cache key for task i. An empty key bypasses the
+	// cache (the task always executes and is never recorded).
+	KeyOf func(i int) string
+}
+
+// DefaultWorkers is the pool size used when Options.Workers is 0 in the
+// top-level drivers: one worker per CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes n tasks through a bounded worker pool and returns their
+// results in input order. fn receives the run context and the task index.
+// Run returns ctx.Err() if the context was cancelled before every task
+// finished; the result slice is still fully populated (unstarted tasks
+// carry the context error).
+func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts Options[T]) ([]Result[T], error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Workers > n {
+		opts.Workers = n
+	}
+	results := make([]Result[T], n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+
+	var (
+		emitMu sync.Mutex
+		wg     sync.WaitGroup
+	)
+	emit := func(r Result[T]) {
+		results[r.Index] = r
+		if opts.OnResult != nil {
+			emitMu.Lock()
+			opts.OnResult(r)
+			emitMu.Unlock()
+		}
+	}
+
+	indices := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				key := ""
+				if opts.Cache != nil && opts.KeyOf != nil {
+					key = opts.KeyOf(i)
+					if key != "" {
+						if v, ok := opts.Cache.Get(key); ok {
+							emit(Result[T]{Index: i, Value: v, Cached: true})
+							continue
+						}
+					}
+				}
+				v, err := fn(ctx, i)
+				if err == nil && key != "" {
+					opts.Cache.Put(key, v)
+				}
+				emit(Result[T]{Index: i, Value: v, Err: err})
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Mark everything not yet dispatched as cancelled. The
+			// current index i was not sent.
+			for j := i; j < n; j++ {
+				emit(Result[T]{Index: j, Err: ctx.Err()})
+			}
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// Values unwraps a result slice into its values, in input order. The
+// second return lists the indices whose tasks errored.
+func Values[T any](rs []Result[T]) ([]T, []int) {
+	out := make([]T, len(rs))
+	var errs []int
+	for i, r := range rs {
+		out[i] = r.Value
+		if r.Err != nil {
+			errs = append(errs, i)
+		}
+	}
+	return out, errs
+}
+
+// FirstError returns the first error in input order, or nil.
+func FirstError[T any](rs []Result[T]) error {
+	for _, r := range rs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Cache is a concurrency-safe keyed result store. The injection layer
+// keys it by misconfiguration identity (violated-constraint ID + rule +
+// injected values) so that an unchanged constraint replays its recorded
+// outcome across campaign runs.
+type Cache[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+// NewCache returns an empty cache.
+func NewCache[T any]() *Cache[T] {
+	return &Cache[T]{m: make(map[string]T)}
+}
+
+// Get returns the cached value for key, if present.
+func (c *Cache[T]) Get(key string) (T, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put records a value under key, replacing any previous entry.
+func (c *Cache[T]) Put(key string, v T) {
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+}
+
+// Delete removes key from the cache (used to force re-execution of
+// entries an incremental delta invalidated).
+func (c *Cache[T]) Delete(key string) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}
+
+// Retain drops every entry whose key is not in keep, returning the
+// number of entries dropped (stale results from removed constraints).
+func (c *Cache[T]) Retain(keep map[string]bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for k := range c.m {
+		if !keep[k] {
+			delete(c.m, k)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[T]) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

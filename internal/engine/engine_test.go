@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunPreservesInputOrder(t *testing.T) {
+	n := 100
+	rs, err := Run(context.Background(), n, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	}, Options[int]{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Index != i || r.Value != i*i || r.Err != nil {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestRunSequentialEqualsParallel(t *testing.T) {
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("task-%03d", i), nil
+	}
+	seq, err := Run(context.Background(), 50, fn, Options[string]{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), 50, fn, Options[string]{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("result %d differs: sequential %+v, parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunBoundsParallelism(t *testing.T) {
+	var cur, peak atomic.Int32
+	_, err := Run(context.Background(), 64, func(_ context.Context, _ int) (struct{}, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	}, Options[struct{}]{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("observed %d concurrent tasks, worker bound is 4", p)
+	}
+}
+
+func TestRunRecordsPerTaskErrors(t *testing.T) {
+	boom := errors.New("boom")
+	rs, err := Run(context.Background(), 10, func(_ context.Context, i int) (int, error) {
+		if i%3 == 0 {
+			return 0, boom
+		}
+		return i, nil
+	}, Options[int]{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		wantErr := i%3 == 0
+		if (r.Err != nil) != wantErr {
+			t.Fatalf("task %d err = %v, want error: %v", i, r.Err, wantErr)
+		}
+	}
+	if _, errIdx := Values(rs); len(errIdx) != 4 {
+		t.Fatalf("Values reported %d errored tasks, want 4", len(errIdx))
+	}
+	if got := FirstError(rs); got != boom {
+		t.Fatalf("FirstError = %v, want %v", got, boom)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	release := make(chan struct{})
+	rs, err := Run(ctx, 100, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if started.Load() == 2 {
+			cancel()
+		}
+		<-release
+		return i, nil
+	}, Options[int]{Workers: 2, OnResult: func(r Result[int]) {
+		// Unblock in-flight tasks once cancellation has marked the rest.
+		select {
+		case <-release:
+		default:
+			if r.Err != nil {
+				close(release)
+			}
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var ran, cancelled int
+	for _, r := range rs {
+		if r.Err == nil {
+			ran++
+		} else if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if ran == 0 || cancelled == 0 || ran+cancelled != 100 {
+		t.Fatalf("ran=%d cancelled=%d, want a partial run covering all 100", ran, cancelled)
+	}
+}
+
+func TestRunStreamsEveryResult(t *testing.T) {
+	seen := map[int]bool{}
+	_, err := Run(context.Background(), 32, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}, Options[int]{Workers: 5, OnResult: func(r Result[int]) {
+		seen[r.Index] = true // serialized by the scheduler
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 32 {
+		t.Fatalf("streamed %d results, want 32", len(seen))
+	}
+}
+
+func TestCacheReplaysRecordedResults(t *testing.T) {
+	cache := NewCache[int]()
+	var executions atomic.Int32
+	fn := func(_ context.Context, i int) (int, error) {
+		executions.Add(1)
+		return i * 10, nil
+	}
+	opts := Options[int]{
+		Workers: 4,
+		Cache:   cache,
+		KeyOf:   func(i int) string { return fmt.Sprintf("k%d", i) },
+	}
+	if _, err := Run(context.Background(), 20, fn, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 20 {
+		t.Fatalf("first run executed %d tasks, want 20", got)
+	}
+	rs, err := Run(context.Background(), 20, fn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 20 {
+		t.Fatalf("second run executed %d extra tasks, want full replay", got-20)
+	}
+	for i, r := range rs {
+		if !r.Cached || r.Value != i*10 {
+			t.Fatalf("result %d = %+v, want cached %d", i, r, i*10)
+		}
+	}
+	cache.Delete("k7")
+	if _, err := Run(context.Background(), 20, fn, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 21 {
+		t.Fatalf("after eviction %d total executions, want 21", got)
+	}
+}
+
+func TestCacheSkipsErrorsAndEmptyKeys(t *testing.T) {
+	cache := NewCache[int]()
+	boom := errors.New("boom")
+	var executions atomic.Int32
+	fn := func(_ context.Context, i int) (int, error) {
+		executions.Add(1)
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	}
+	opts := Options[int]{
+		Workers: 2,
+		Cache:   cache,
+		KeyOf: func(i int) string {
+			if i == 0 {
+				return "" // uncacheable
+			}
+			return fmt.Sprintf("k%d", i)
+		},
+	}
+	for run := 0; run < 2; run++ {
+		if _, err := Run(context.Background(), 3, fn, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Task 0 (empty key) and task 1 (errored) execute both times; task 2
+	// replays on the second run.
+	if got := executions.Load(); got != 5 {
+		t.Fatalf("executions = %d, want 5", got)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+}

@@ -1,10 +1,15 @@
 package inject
 
 import (
+	"context"
+	"fmt"
 	"sort"
+	"strings"
 
 	"spex/internal/confgen"
 	"spex/internal/constraint"
+	"spex/internal/engine"
+	"spex/internal/sim"
 )
 
 // The paper notes that the campaign cost is a one-time cost because
@@ -74,6 +79,84 @@ func (d Delta) AffectedParams() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ResultCache stores campaign outcomes keyed by misconfiguration
+// identity (CacheKey). Seeded from a previous campaign's report, it lets
+// an incremental rerun replay every outcome whose constraint the code
+// revision did not touch.
+type ResultCache = engine.Cache[Outcome]
+
+// NewResultCache returns an empty incremental result cache.
+func NewResultCache() *ResultCache { return engine.NewCache[Outcome]() }
+
+// CacheKey is the stable identity of a misconfiguration for incremental
+// retesting: the violated constraint's identity (which changes whenever
+// the constraint's kind-specific payload changes), the generation rule,
+// and the injected values and environment actions. Two analysis runs
+// that infer the same constraint produce the same key, so the recorded
+// outcome replays; a changed constraint yields a new key and re-executes.
+func CacheKey(m confgen.Misconf) string {
+	var b strings.Builder
+	// Every free-form component is length-prefixed so injected values
+	// containing the separator characters cannot collide two distinct
+	// misconfigurations into one key.
+	field := func(s string) { fmt.Fprintf(&b, "|%d:%s", len(s), s) }
+	if m.Violates != nil {
+		field(m.Violates.ID())
+	} else {
+		field("")
+	}
+	field(m.ID)
+	keys := make([]string, 0, len(m.Values))
+	for k := range m.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		field(k)
+		field(m.Values[k])
+	}
+	for _, a := range m.Env {
+		fmt.Fprintf(&b, "|env:%d:%d", a.Kind, a.Port)
+		field(a.Path)
+	}
+	return b.String()
+}
+
+// SeedCache records every successfully tested outcome of a previous
+// campaign, so the next incremental run can replay them.
+func SeedCache(c *ResultCache, rep *Report) {
+	for _, o := range rep.Outcomes {
+		if o.Err != "" {
+			continue // failed to test: always retry
+		}
+		c.Put(CacheKey(o.Misconf), o)
+	}
+}
+
+// RunIncremental reruns a campaign after a code revision changed the
+// constraint set (paper §3.1: "only the constraints affected by the
+// modification need to be retested"). Misconfigurations selected by the
+// delta — violating an added constraint or touching an affected
+// parameter — are evicted from the cache and re-executed; everything
+// else replays its recorded outcome. The cache is pruned to the current
+// misconfiguration list and updated with the fresh outcomes, so it is
+// ready to seed the next revision's run.
+func RunIncremental(ctx context.Context, sys sim.System, ms []confgen.Misconf, d Delta, cache *ResultCache, opts Options) (*Report, error) {
+	if cache == nil {
+		cache = NewResultCache()
+	}
+	for _, m := range SelectRetests(ms, d) {
+		cache.Delete(CacheKey(m))
+	}
+	current := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		current[CacheKey(m)] = true
+	}
+	cache.Retain(current)
+	opts.Cache = cache
+	return RunContext(ctx, sys, ms, opts)
 }
 
 // SelectRetests filters a full misconfiguration list down to the ones an

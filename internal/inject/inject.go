@@ -8,6 +8,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"spex/internal/conffile"
 	"spex/internal/confgen"
 	"spex/internal/constraint"
+	"spex/internal/engine"
 	"spex/internal/sim"
 	"spex/internal/vfs"
 )
@@ -83,20 +85,34 @@ type Outcome struct {
 	Loc constraint.SourceLoc
 	// SimCost is the simulated testing cost in test-weight units.
 	SimCost int
+	// Err records a harness-level failure (not a system reaction): the
+	// misconfiguration could not be tested. Errored outcomes stay in the
+	// report but are excluded from the reaction tallies.
+	Err string
 }
 
 // Report aggregates a campaign over one system.
 type Report struct {
 	System   string
 	Outcomes []Outcome
-	// TotalSimCost is the simulated campaign duration in weight units.
+	// TotalSimCost is the simulated campaign duration in weight units,
+	// counting only outcomes that actually executed (replayed outcomes
+	// cost nothing — the point of incremental retesting).
 	TotalSimCost int
+	// Replayed counts outcomes served from the incremental result cache.
+	Replayed int
+	// ReplayedSimCost is the simulated cost the cache avoided.
+	ReplayedSimCost int
 }
 
-// CountByReaction tallies outcomes per reaction (Table 5a row).
+// CountByReaction tallies outcomes per reaction (Table 5a row). Errored
+// outcomes are not reactions and are excluded.
 func (r *Report) CountByReaction() map[Reaction]int {
 	out := make(map[Reaction]int)
 	for _, o := range r.Outcomes {
+		if o.Err != "" {
+			continue
+		}
 		out[o.Reaction]++
 	}
 	return out
@@ -106,7 +122,21 @@ func (r *Report) CountByReaction() map[Reaction]int {
 func (r *Report) Vulnerabilities() []Outcome {
 	var out []Outcome
 	for _, o := range r.Outcomes {
+		if o.Err != "" {
+			continue
+		}
 		if o.Reaction.Vulnerability() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Errors returns the outcomes the harness failed to test.
+func (r *Report) Errors() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Err != "" {
 			out = append(out, o)
 		}
 	}
@@ -118,7 +148,7 @@ func (r *Report) Vulnerabilities() []Outcome {
 func (r *Report) UniqueLocations() int {
 	seen := map[string]bool{}
 	for _, o := range r.Outcomes {
-		if !o.Reaction.Vulnerability() {
+		if o.Err != "" || !o.Reaction.Vulnerability() {
 			continue
 		}
 		key := fmt.Sprintf("%s:%d", o.Loc.File, o.Loc.Line)
@@ -136,6 +166,29 @@ type Options struct {
 	StopOnFirstFailure bool
 	// SortTests runs the shortest test first (paper optimization 2).
 	SortTests bool
+	// SimCostDelay converts simulated cost units into real time: after
+	// testing a misconfiguration the worker sleeps SimCost × this
+	// duration, modeling the paper's real-server campaign where booting
+	// the target once per misconfiguration dominates the cost (§3.1,
+	// "under 10 hours"). Zero (the default) runs at full simulation
+	// speed. The engine overlaps these delays across workers, so a
+	// parallel campaign's wall-clock time shrinks toward
+	// TotalSimCost/Workers — the speedup the paper's optimizations and
+	// this scheduler exist to deliver.
+	SimCostDelay time.Duration
+	// Workers bounds campaign parallelism: how many misconfigurations
+	// are in flight at once. Zero or one runs sequentially. Outcomes are
+	// always reassembled in input order, so a parallel report is
+	// identical to a sequential one.
+	Workers int
+	// Progress, if set, streams campaign progress as outcomes complete.
+	// Calls are serialized by the scheduler.
+	Progress func(done, total int)
+	// Cache, if set, replays recorded outcomes for misconfigurations
+	// whose identity (violated constraint, rule, injected values) is
+	// unchanged, and records fresh outcomes for the ones that ran —
+	// SPEX-INJ's incremental retesting mode (paper §3.1).
+	Cache *ResultCache
 }
 
 // DefaultOptions enables both paper optimizations.
@@ -146,23 +199,72 @@ func DefaultOptions() Options {
 // Run executes a full campaign: every misconfiguration in ms against the
 // target system.
 func Run(sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
+	return RunContext(context.Background(), sys, ms, opts)
+}
+
+// RunContext executes a full campaign under a context. Misconfigurations
+// are dispatched through the engine worker pool (opts.Workers wide);
+// outcomes are reassembled in input order so the report is identical to
+// a sequential run. A harness-level failure on one misconfiguration is
+// recorded on its outcome (Outcome.Err) and the campaign keeps going.
+// On cancellation the partial report is returned together with the
+// context error: finished outcomes are kept, unstarted ones carry the
+// context error.
+func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
 	if opts.HangDeadline == 0 {
 		opts.HangDeadline = 250 * time.Millisecond
 	}
 	tmplText := sys.DefaultConfig()
-	rep := &Report{System: sys.Name()}
-	for _, m := range ms {
-		out, err := runOne(sys, tmplText, m, opts)
-		if err != nil {
-			return nil, fmt.Errorf("inject: %s: %w", m.ID, err)
+	total := len(ms)
+
+	eopts := engine.Options[Outcome]{Workers: opts.Workers}
+	if opts.Progress != nil {
+		done := 0
+		eopts.OnResult = func(engine.Result[Outcome]) {
+			done++
+			opts.Progress(done, total)
+		}
+	}
+	if opts.Cache != nil {
+		eopts.Cache = opts.Cache
+		eopts.KeyOf = func(i int) string { return CacheKey(ms[i]) }
+	}
+
+	// A runOne error is returned as the task error (not folded into the
+	// outcome) so the engine never records errored or cancelled outcomes
+	// in the cache — they must retry on the next run.
+	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (Outcome, error) {
+		out, err := runOne(ctx, sys, tmplText, ms[i], opts)
+		if err == nil && opts.SimCostDelay > 0 {
+			sleepCost(ctx, out.SimCost, opts.SimCostDelay)
+		}
+		return out, err
+	}, eopts)
+
+	rep := &Report{System: sys.Name(), Outcomes: make([]Outcome, 0, total)}
+	for i, r := range results {
+		out := r.Value
+		if r.Err != nil { // errored, cancelled mid-run, or never started
+			// Per-outcome error: keep the campaign going, keep the
+			// outcome out of the reaction tallies.
+			out.Misconf = ms[i]
+			out.Err = r.Err.Error()
 		}
 		rep.Outcomes = append(rep.Outcomes, out)
-		rep.TotalSimCost += out.SimCost
+		if r.Cached {
+			rep.Replayed++
+			rep.ReplayedSimCost += out.SimCost
+		} else if out.Err == "" {
+			rep.TotalSimCost += out.SimCost
+		}
+	}
+	if cancelErr != nil {
+		return rep, fmt.Errorf("inject: %s: %w", sys.Name(), cancelErr)
 	}
 	return rep, nil
 }
 
-func runOne(sys sim.System, tmplText string, m confgen.Misconf, opts Options) (Outcome, error) {
+func runOne(ctx context.Context, sys sim.System, tmplText string, m confgen.Misconf, opts Options) (Outcome, error) {
 	out := Outcome{Misconf: m}
 	if m.Violates != nil {
 		out.Loc = m.Violates.Loc
@@ -172,8 +274,16 @@ func runOne(sys sim.System, tmplText string, m confgen.Misconf, opts Options) (O
 		return out, err
 	}
 	cfg := tmpl.Clone()
-	for p, v := range m.Values {
-		cfg.Set(p, v)
+	// Apply the injected values in sorted order so the rendered config —
+	// and with it every downstream log line — is deterministic even for
+	// multi-parameter misconfigurations.
+	params := make([]string, 0, len(m.Values))
+	for p := range m.Values {
+		params = append(params, p)
+	}
+	sort.Strings(params)
+	for _, p := range params {
+		cfg.Set(p, m.Values[p])
 	}
 
 	env := sim.NewEnv()
@@ -182,7 +292,10 @@ func runOne(sys sim.System, tmplText string, m confgen.Misconf, opts Options) (O
 		return out, err
 	}
 
-	started := sim.MonitorStart(sys, env, cfg, opts.HangDeadline)
+	started := sim.MonitorStartContext(ctx, sys, env, cfg, opts.HangDeadline)
+	if started.Kind == sim.StartCancelled {
+		return out, started.Err
+	}
 	out.SimCost = 1 // boot cost
 	line, _ := cfg.LineOf(m.Param)
 	injected := m.Values[m.Param]
@@ -258,6 +371,18 @@ func runOne(sys sim.System, tmplText string, m confgen.Misconf, opts Options) (O
 		out.Reaction = ReactionTolerated
 	}
 	return out, nil
+}
+
+// sleepCost realizes a tested misconfiguration's simulated cost as wall
+// time (SimCostDelay per unit), returning early if the campaign is
+// cancelled — the outcome itself is already measured.
+func sleepCost(ctx context.Context, units int, perUnit time.Duration) {
+	t := time.NewTimer(time.Duration(units) * perUnit)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 func sameValue(a, b string) bool {

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -30,9 +31,17 @@ func runScenario(sc scenario) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Walk the injected values in sorted order so the rendered figure is
+	// deterministic across runs.
+	params := make([]string, 0, len(sc.Values))
+	for p := range sc.Values {
+		params = append(params, p)
+	}
+	sort.Strings(params)
 	var kv []string
 	var anyParam string
-	for p, v := range sc.Values {
+	for _, p := range params {
+		v := sc.Values[p]
 		cfg.Set(p, v)
 		kv = append(kv, fmt.Sprintf("%s = %s", p, v))
 		anyParam = p

@@ -8,6 +8,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"spex/internal/confgen"
 	"spex/internal/constraint"
 	"spex/internal/designcheck"
+	"spex/internal/engine"
 	"spex/internal/inject"
 	"spex/internal/sim"
 	"spex/internal/spex"
@@ -33,8 +35,35 @@ type SystemResult struct {
 	Accuracy  map[constraint.Kind]spex.Accuracy
 }
 
+// Progress is one streamed analysis event: system completed its full
+// pipeline (Stage is currently always "campaigned") as the done-th of
+// total systems.
+type Progress struct {
+	System string
+	Stage  string
+	Done   int
+	Total  int
+}
+
+// AnalyzeOptions tune AnalyzeAll's scheduling.
+type AnalyzeOptions struct {
+	// Workers bounds how many systems are analyzed at once (0 = one per
+	// CPU).
+	Workers int
+	// CampaignWorkers bounds intra-campaign parallelism per system
+	// (0 or 1 = sequential campaign).
+	CampaignWorkers int
+	// OnProgress, if set, streams per-system analysis events. Calls are
+	// serialized by the scheduler.
+	OnProgress func(Progress)
+}
+
 // Analyze runs the full pipeline for one system.
 func Analyze(sys sim.System) (*SystemResult, error) {
+	return analyze(context.Background(), sys, 0)
+}
+
+func analyze(ctx context.Context, sys sim.System, campaignWorkers int) (*SystemResult, error) {
 	res, err := spex.InferSystem(sys)
 	if err != nil {
 		return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
@@ -44,7 +73,9 @@ func Analyze(sys sim.System) (*SystemResult, error) {
 		return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
 	}
 	ms := confgen.NewRegistry().Generate(res.Set, tmpl)
-	rep, err := inject.Run(sys, ms, inject.DefaultOptions())
+	opts := inject.DefaultOptions()
+	opts.Workers = campaignWorkers
+	rep, err := inject.RunContext(ctx, sys, ms, opts)
 	if err != nil {
 		return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
 	}
@@ -59,31 +90,56 @@ func Analyze(sys sim.System) (*SystemResult, error) {
 
 // AnalyzeAll runs the pipeline over all seven targets.
 func AnalyzeAll() ([]*SystemResult, error) {
-	var out []*SystemResult
-	for _, sys := range targets.All() {
-		r, err := Analyze(sys)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	return AnalyzeAllContext(context.Background(), AnalyzeOptions{})
+}
+
+// AnalyzeAllContext runs the pipeline over all seven targets through the
+// engine scheduler: systems fan out opts.Workers wide, each campaign
+// runs opts.CampaignWorkers wide, and results come back in the paper's
+// Table 4/5 order regardless of completion order.
+func AnalyzeAllContext(ctx context.Context, opts AnalyzeOptions) ([]*SystemResult, error) {
+	systems := targets.All()
+	total := len(systems)
+	eopts := engine.Options[*SystemResult]{Workers: opts.Workers}
+	if eopts.Workers == 0 {
+		eopts.Workers = engine.DefaultWorkers()
 	}
+	if opts.OnProgress != nil {
+		done := 0
+		eopts.OnResult = func(r engine.Result[*SystemResult]) {
+			done++
+			name := systems[r.Index].Name()
+			opts.OnProgress(Progress{System: name, Stage: "campaigned", Done: done, Total: total})
+		}
+	}
+	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (*SystemResult, error) {
+		return analyze(ctx, systems[i], opts.CampaignWorkers)
+	}, eopts)
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
+	out, _ := engine.Values(results)
 	return out, nil
 }
 
 // InferOnly runs inference (no campaign) over all targets — enough for
 // Tables 1, 4, 6, 7, 8, 11, 12.
 func InferOnly() ([]*SystemResult, error) {
+	systems := targets.All()
+	rs, err := spex.InferAll(context.Background(), systems, 0)
+	if err != nil {
+		return nil, err
+	}
 	var out []*SystemResult
-	for _, sys := range targets.All() {
-		res, err := spex.InferSystem(sys)
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range rs {
 		out = append(out, &SystemResult{
-			Sys:       sys,
+			Sys:       systems[i],
 			Inference: res,
 			Audit:     designcheck.Run(res),
-			Accuracy:  spex.Score(res.Set, sys.GroundTruth()),
+			Accuracy:  spex.Score(res.Set, systems[i].GroundTruth()),
 		})
 	}
 	return out, nil

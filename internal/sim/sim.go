@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -144,6 +145,9 @@ const (
 	StartHang
 	// StartError: Start returned an unexpected non-exit error.
 	StartError
+	// StartCancelled: the campaign context was cancelled while the boot
+	// was in flight; the outcome carries the context error.
+	StartCancelled
 )
 
 func (k StartKind) String() string {
@@ -158,6 +162,8 @@ func (k StartKind) String() string {
 		return "hang"
 	case StartError:
 		return "error"
+	case StartCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("StartKind(%d)", int(k))
 }
@@ -174,8 +180,21 @@ type StartOutcome struct {
 // MonitorStart boots the system under observation, recovering panics and
 // enforcing a hang deadline. Targets that hang block on a channel rather
 // than sleeping, so the deadline can be short; the goroutine of a hung
-// start is abandoned (it holds no locks by construction of the targets).
+// start is abandoned, which is safe only because of a construction rule
+// every target must follow: hang points (sim.Hang or equivalent blocking)
+// must sit outside any lock — in particular outside the per-target boot
+// mutex that serializes the global-config parse phase. A target that
+// hung while holding its boot lock would wedge every later boot of that
+// target.
 func MonitorStart(sys System, env *Env, cfg *conffile.File, deadline time.Duration) StartOutcome {
+	return MonitorStartContext(context.Background(), sys, env, cfg, deadline)
+}
+
+// MonitorStartContext is MonitorStart under a campaign context: a
+// cancelled context abandons the in-flight boot the same way a hang
+// deadline does and reports StartCancelled, so a parallel campaign can
+// be stopped mid-misconfiguration without waiting out the deadline.
+func MonitorStartContext(ctx context.Context, sys System, env *Env, cfg *conffile.File, deadline time.Duration) StartOutcome {
 	type result struct {
 		inst     Instance
 		err      error
@@ -194,6 +213,8 @@ func MonitorStart(sys System, env *Env, cfg *conffile.File, deadline time.Durati
 		}()
 		res.inst, res.err = sys.Start(env, cfg)
 	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
 	select {
 	case res := <-ch:
 		switch {
@@ -208,8 +229,10 @@ func MonitorStart(sys System, env *Env, cfg *conffile.File, deadline time.Durati
 		default:
 			return StartOutcome{Kind: StartOK, Instance: res.inst}
 		}
-	case <-time.After(deadline):
+	case <-timer.C:
 		return StartOutcome{Kind: StartHang}
+	case <-ctx.Done():
+		return StartOutcome{Kind: StartCancelled, Err: ctx.Err()}
 	}
 }
 

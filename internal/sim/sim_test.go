@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -142,5 +143,41 @@ func TestStartKindStrings(t *testing.T) {
 		if k.String() != want {
 			t.Errorf("%d = %q, want %q", int(k), k.String(), want)
 		}
+	}
+}
+
+func TestMonitorStartContextCancelled(t *testing.T) {
+	env := NewEnv()
+	cfg, err := conffile.Parse("a = 1\n", conffile.SyntaxEquals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release := make(chan struct{})
+	defer close(release)
+	out := MonitorStartContext(ctx, &stubSystem{start: func(env *Env, cfg *conffile.File) (Instance, error) {
+		<-release
+		return &stubInstance{}, nil
+	}}, env, cfg, time.Second)
+	if out.Kind != StartCancelled {
+		t.Fatalf("outcome = %s, want cancelled", out.Kind)
+	}
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", out.Err)
+	}
+}
+
+func TestMonitorStartContextUncancelledBehavesAsMonitorStart(t *testing.T) {
+	env := NewEnv()
+	cfg, err := conffile.Parse("a = 1\n", conffile.SyntaxEquals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := MonitorStartContext(context.Background(), &stubSystem{start: func(env *Env, cfg *conffile.File) (Instance, error) {
+		return &stubInstance{}, nil
+	}}, env, cfg, time.Second)
+	if out.Kind != StartOK {
+		t.Fatalf("outcome = %s, want ok", out.Kind)
 	}
 }

@@ -7,6 +7,7 @@
 package spex
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"spex/internal/apispec"
 	"spex/internal/constraint"
 	"spex/internal/dataflow"
+	"spex/internal/engine"
 	"spex/internal/frontend"
 	"spex/internal/mapping"
 	"spex/internal/sim"
@@ -634,4 +636,25 @@ func InferSystem(sys sim.System) (*Result, error) {
 		imp.ImportAPIs(db)
 	}
 	return Infer(sys.Name(), sys.Sources(), sys.Annotations(), sys.Manual(), db, DefaultOptions())
+}
+
+// InferAll analyzes several target systems through the engine scheduler,
+// workers wide (0 = one per CPU). Results come back in input order; the
+// first inference error (in input order) aborts with that error, as the
+// sequential loop it replaces did.
+func InferAll(ctx context.Context, systems []sim.System, workers int) ([]*Result, error) {
+	if workers == 0 {
+		workers = engine.DefaultWorkers()
+	}
+	results, cancelErr := engine.Run(ctx, len(systems), func(_ context.Context, i int) (*Result, error) {
+		return InferSystem(systems[i])
+	}, engine.Options[*Result]{Workers: workers})
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
+	out, _ := engine.Values(results)
+	return out, nil
 }

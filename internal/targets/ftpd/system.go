@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/conffile"
 	"spex/internal/constraint"
@@ -93,14 +94,25 @@ func (i *instance) Effective(param string) (string, bool) {
 
 func (i *instance) Stop() { i.env.Net.ReleaseOwner("ftpd") }
 
+// bootMu serializes the boot: the corpus models VSFTP's real global
+// tunable variables (and snapshot reads them through the option table),
+// so concurrent Starts must not interleave until the instance detaches.
+// Hang points must never sit inside this lock (see sim.MonitorStart).
+var bootMu sync.Mutex
+
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	bootMu.Lock()
+	defer bootMu.Unlock()
 	*fcfg = ftpConfig{}
 	applyFtpOptions(cfg.Map())
 	st, err := startFtpd(env, fcfg)
 	if err != nil {
 		return nil, err
 	}
-	return &instance{st: st, effective: snapshot(), env: env}, nil
+	eff := snapshot()
+	c := *fcfg
+	st.conf = &c // detach: the functional tests run outside the boot lock
+	return &instance{st: st, effective: eff, env: env}, nil
 }
 
 func snapshot() map[string]string {

@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/conffile"
 	"spex/internal/constraint"
@@ -87,12 +88,31 @@ func (i *instance) Effective(param string) (string, bool) {
 
 func (i *instance) Stop() { i.env.Net.ReleaseOwner("httpd") }
 
+// bootMu serializes the directive-handler phase: the corpus models
+// Apache's real global core config, so concurrent boots must not
+// interleave until the parsed values are copied out of the global.
+var bootMu sync.Mutex
+
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
-	*acfg = coreConfig{}
+	c := loadConfig(env, cfg)
+	st, err := startHTTPD(env, c)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{st: st, effective: snapshot(c), env: env}, nil
+}
+
+// loadConfig runs the directive handlers against the global core config
+// under bootMu and hands back a private copy; the boot and the
+// functional tests operate on the copy.
+func loadConfig(env *sim.Env, cfg *conffile.File) *coreConfig {
 	byName := map[string]func(*sim.Env, string){}
 	for _, c := range coreCmds {
 		byName[c.name] = c.handler
 	}
+	bootMu.Lock()
+	defer bootMu.Unlock()
+	*acfg = coreConfig{}
 	for _, ln := range cfg.Lines {
 		if ln.Kind != conffile.LineDirective {
 			continue
@@ -101,11 +121,8 @@ func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
 			h(env, ln.Value)
 		}
 	}
-	st, err := startHTTPD(env, acfg)
-	if err != nil {
-		return nil, err
-	}
-	return &instance{st: st, effective: snapshot(acfg), env: env}, nil
+	c := *acfg
+	return &c
 }
 
 func snapshot(c *coreConfig) map[string]string {

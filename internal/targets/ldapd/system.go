@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/conffile"
 	"spex/internal/constraint"
@@ -74,7 +75,26 @@ func (i *instance) Effective(param string) (string, bool) {
 
 func (i *instance) Stop() { i.env.Net.ReleaseOwner("ldapd") }
 
+// bootMu serializes the config-parse phase: the corpus models OpenLDAP's
+// real global config (including the shared ConfigArgs scratch), so
+// concurrent boots must not interleave until the values are copied out.
+var bootMu sync.Mutex
+
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	c := loadConfig(cfg)
+	st, err := startSlapd(env, c)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{st: st, effective: snapshot(c), env: env}, nil
+}
+
+// loadConfig parses slapd.conf through the global config and scratch
+// under bootMu and hands back a private copy; the boot and the
+// functional tests operate on the copy.
+func loadConfig(cfg *conffile.File) *ldapConfig {
+	bootMu.Lock()
+	defer bootMu.Unlock()
 	*lcfg = ldapConfig{}
 	*ca = configArgs{}
 	applyGlobals(cfg.Map())
@@ -83,11 +103,8 @@ func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
 			parseSlapdConfig(ln.Key, ln.Value)
 		}
 	}
-	st, err := startSlapd(env, lcfg)
-	if err != nil {
-		return nil, err
-	}
-	return &instance{st: st, effective: snapshot(lcfg), env: env}, nil
+	c := *lcfg
+	return &c
 }
 
 func snapshot(c *ldapConfig) map[string]string {

@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/conffile"
 	"spex/internal/constraint"
@@ -106,20 +107,39 @@ func (i *instance) Stop() {
 	i.env.Net.ReleaseOwner("mydb")
 }
 
+// bootMu serializes the option-table parse phase: the corpus models
+// MySQL's real package-level config variables, so concurrent boots must
+// not interleave until the parsed values are copied out of the globals.
+var bootMu sync.Mutex
+
 // Start parses, validates, and boots mydb on the given substrates.
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	c, err := loadConfig(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(env, c); err != nil {
+		return nil, err
+	}
+	st, err := startServer(env, c)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{st: st, effective: snapshot(c), env: env}, nil
+}
+
+// loadConfig runs the global-config parse under bootMu and hands back a
+// private copy; validation, boot, and the functional tests all operate
+// on the copy and may run concurrently with other boots.
+func loadConfig(env *sim.Env, cfg *conffile.File) (*dbConfig, error) {
+	bootMu.Lock()
+	defer bootMu.Unlock()
 	*conf = dbConfig{} // reset in place: the option tables hold field pointers
 	if err := applyConfig(env, cfg.Map()); err != nil {
 		return nil, err
 	}
-	if err := validate(env, conf); err != nil {
-		return nil, err
-	}
-	st, err := startServer(env, conf)
-	if err != nil {
-		return nil, err
-	}
-	return &instance{st: st, effective: snapshot(conf), env: env}, nil
+	c := *conf
+	return &c, nil
 }
 
 func snapshot(c *dbConfig) map[string]string {

@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/conffile"
 	"spex/internal/constraint"
@@ -93,7 +94,14 @@ func (i *instance) Effective(param string) (string, bool) {
 
 func (i *instance) Stop() { i.env.Net.ReleaseOwner("pgdb") }
 
+// bootMu serializes the boot: the corpus models PostgreSQL's real global
+// GUC variables (and snapshot reads them through the GUC tables), so
+// concurrent Starts must not interleave until the instance detaches.
+var bootMu sync.Mutex
+
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	bootMu.Lock()
+	defer bootMu.Unlock()
 	*pg = pgConfig{}
 	if err := applyGUC(env, cfg.Map()); err != nil {
 		return nil, err
@@ -102,7 +110,10 @@ func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &instance{st: st, effective: snapshot(), env: env}, nil
+	eff := snapshot()
+	c := *pg
+	st.conf = &c // detach: the functional tests run outside the boot lock
+	return &instance{st: st, effective: eff, env: env}, nil
 }
 
 func snapshot() map[string]string {

@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/conffile"
 	"spex/internal/constraint"
@@ -100,18 +101,34 @@ func (i *instance) Effective(param string) (string, bool) {
 
 func (i *instance) Stop() { i.env.Net.ReleaseOwner("proxyd") }
 
+// bootMu serializes the config-parse phase: the corpus models Squid's
+// real global Config, so concurrent boots must not interleave until the
+// parsed values are copied out of the global.
+var bootMu sync.Mutex
+
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	c := loadConfig(cfg)
+	st, err := startProxy(env, c)
+	if err != nil {
+		return nil, err
+	}
+	return &instance{st: st, effective: snapshot(c), env: env}, nil
+}
+
+// loadConfig parses the directives through the global config under
+// bootMu and hands back a private copy; the boot and the functional
+// tests operate on the copy.
+func loadConfig(cfg *conffile.File) *proxyConfig {
+	bootMu.Lock()
+	defer bootMu.Unlock()
 	*pcfg = proxyConfig{}
 	for _, ln := range cfg.Lines {
 		if ln.Kind == conffile.LineDirective {
 			loadProxyConfig(ln.Key, ln.Value)
 		}
 	}
-	st, err := startProxy(env, pcfg)
-	if err != nil {
-		return nil, err
-	}
-	return &instance{st: st, effective: snapshot(pcfg), env: env}, nil
+	c := *pcfg
+	return &c
 }
 
 func snapshot(c *proxyConfig) map[string]string {

@@ -4,6 +4,7 @@ import (
 	_ "embed"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"spex/internal/apispec"
 	"spex/internal/conffile"
@@ -112,14 +113,26 @@ func (i *instance) Effective(param string) (string, bool) {
 
 func (i *instance) Stop() { i.env.Net.ReleaseOwner("storagea") }
 
+// bootMu serializes the boot: the corpus models the appliance's real
+// global registry options (and snapshot reads them through the option
+// table), so concurrent Starts must not interleave until the instance
+// detaches. Hang points must never sit inside this lock (see
+// sim.MonitorStart).
+var bootMu sync.Mutex
+
 func (s *System) Start(env *sim.Env, cfg *conffile.File) (sim.Instance, error) {
+	bootMu.Lock()
+	defer bootMu.Unlock()
 	*scfg = saConfig{}
 	applyOptions(cfg.Map())
 	st, err := startAppliance(env, scfg)
 	if err != nil {
 		return nil, err
 	}
-	return &instance{st: st, effective: snapshot(scfg), env: env}, nil
+	eff := snapshot(scfg)
+	c := *scfg
+	st.conf = &c // detach: the functional tests run outside the boot lock
+	return &instance{st: st, effective: eff, env: env}, nil
 }
 
 func snapshot(c *saConfig) map[string]string {
