@@ -4,7 +4,10 @@
 //
 // The seven per-system pipelines (inference, campaign, audit) fan out on
 // the engine worker pool; pass -workers 1 to force the sequential order.
-// The rendered tables are identical either way.
+// The rendered tables are identical either way. With -state <dir> the
+// campaign phase is incremental across runs: each system's outcomes are
+// persisted as a snapshot (internal/campaignstore) and replayed on the
+// next run, re-executing only what the constraint delta selects.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 //	spexeval -table 5      # one table
 //	spexeval -figure 7     # one figure
 //	spexeval -workers 8 -progress
+//	spexeval -state /var/lib/spex   # persistent incremental campaigns
 package main
 
 import (
@@ -29,15 +33,16 @@ func main() {
 		tableN   = flag.Int("table", 0, "render only this table (1-12)")
 		figureN  = flag.Int("figure", 0, "render only this figure (1-7)")
 		workers  = flag.Int("workers", 0, "parallel per-system pipelines (0 = one per CPU)")
-		campaign = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 = sequential; systems already fan out)")
+		campaign = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 or 1 = sequential; systems already fan out)")
 		progress = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
+		state    = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign}
+	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state}
 	if *progress {
 		opts.OnProgress = func(p report.Progress) {
 			fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
@@ -47,6 +52,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
 		os.Exit(1)
+	}
+	for _, r := range results {
+		if r.StateErr != nil {
+			fmt.Fprintf(os.Stderr, "spexeval: warning: %s: snapshot not saved: %v\n", r.Sys.Name(), r.StateErr)
+		}
 	}
 
 	fail := func(err error) {

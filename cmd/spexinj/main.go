@@ -6,21 +6,40 @@
 //
 // Campaigns run on the engine worker pool: misconfigurations of one system
 // execute -workers wide, and with -all the seven targets fan out as well.
-// Ctrl-C cancels the campaign; outcomes already measured are reported.
+// Ctrl-C cancels the campaign; outcomes already measured are reported and
+// misconfigurations never started are counted as skipped (they do not
+// inflate the progress stream).
+//
+// # Persistent incremental campaigns
+//
+// With -state <dir> the campaign is incremental across process runs,
+// making the paper's "the campaign is a one-time cost" claim hold end to
+// end. Each run loads the system's snapshot from the state directory,
+// Diffs the freshly inferred constraint set against the snapshot's
+// stored set, re-executes only the delta-selected misconfigurations
+// (replaying everything else at zero simulated cost), and atomically
+// saves the updated snapshot. A snapshot is a versioned JSON document
+// (internal/campaignstore); missing, corrupt, or schema-stale snapshots
+// never replay — the run falls back to a full campaign and rebuilds the
+// snapshot. A cancelled run saves its finished outcomes, so the next run
+// resumes with exactly the unfinished misconfigurations.
 //
 // Usage:
 //
 //	spexinj -system proxyd [-reports] [-max 5] [-workers 8]
+//	spexinj -system proxyd -state /var/lib/spex   # incremental across runs
 //	spexinj -all
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 
+	"spex/internal/campaignstore"
 	"spex/internal/conffile"
 	"spex/internal/confgen"
 	"spex/internal/engine"
@@ -39,6 +58,7 @@ func main() {
 		noOpt    = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
 		workers  = flag.Int("workers", 0, "parallelism: campaigns with -all, misconfigurations for a single system (0 = one per CPU)")
 		progress = flag.Bool("progress", false, "stream campaign progress to stderr")
+		state    = flag.String("state", "", "state directory for persistent incremental campaigns: replay saved outcomes, retest only the constraint delta, save the updated snapshot")
 	)
 	flag.Parse()
 
@@ -57,17 +77,26 @@ func main() {
 		opts.StopOnFirstFailure = false
 		opts.SortTests = false
 	}
-	if *workers == 0 {
-		*workers = engine.DefaultWorkers()
-	}
 	// One budget, spent where it helps: with -all the systems fan out
 	// and each campaign stays sequential; for a single system the
-	// campaign itself runs -workers wide.
+	// campaign itself runs -workers wide (0 = hardware-sized, resolved
+	// by the engine).
 	fanout := 1
 	if len(systems) > 1 {
 		fanout = *workers
+		opts.Workers = 1
 	} else {
 		opts.Workers = *workers
+	}
+
+	var store *campaignstore.Store
+	if *state != "" {
+		var err error
+		store, err = campaignstore.Open(*state)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -77,6 +106,7 @@ func main() {
 		sys sim.System
 		ms  []confgen.Misconf
 		rep *inject.Report
+		st  campaignstore.Status
 	}
 	results, cancelErr := engine.Run(ctx, len(systems), func(ctx context.Context, i int) (campaign, error) {
 		sys := systems[i]
@@ -95,14 +125,28 @@ func main() {
 				fmt.Fprintf(os.Stderr, "spexinj: %s %d/%d\r", sys.Name(), done, total)
 			}
 		}
-		rep, err := inject.RunContext(ctx, sys, ms, sysOpts)
-		if err != nil && rep == nil {
-			return campaign{}, err
-		}
 		// On cancellation keep the partial report: outcomes already
-		// measured are reported (unstarted rows carry the context error
-		// and are excluded from the tallies).
-		return campaign{sys: sys, ms: ms, rep: rep}, nil
+		// measured are reported (unstarted rows are counted as skipped
+		// and excluded from the tallies). With -state the partial
+		// snapshot is saved too, so the next run resumes the campaign.
+		var rep *inject.Report
+		var st campaignstore.Status
+		if store != nil {
+			rep, st, err = campaignstore.Campaign(ctx, store, sys, res.Set, ms, sysOpts)
+		} else {
+			rep, err = inject.RunContext(ctx, sys, ms, sysOpts)
+		}
+		if err != nil {
+			if rep == nil {
+				return campaign{}, err
+			}
+			if !errors.Is(err, context.Canceled) {
+				// Partial result with a non-cancellation error (e.g. the
+				// snapshot could not be saved): report it, keep the data.
+				fmt.Fprintf(os.Stderr, "spexinj: %s: %v\n", sys.Name(), err)
+			}
+		}
+		return campaign{sys: sys, ms: ms, rep: rep, st: st}, nil
 	}, engine.Options[campaign]{Workers: fanout})
 	if cancelErr != nil {
 		fmt.Fprintf(os.Stderr, "spexinj: cancelled: %v\n", cancelErr)
@@ -135,8 +179,34 @@ func main() {
 		if errs := rep.Errors(); len(errs) > 0 {
 			fmt.Printf("  ! %-20s %d (harness failures, excluded from tallies)\n", "untestable", len(errs))
 		}
-		fmt.Printf("  vulnerabilities: %d at %d unique code locations; simulated cost %d units\n\n",
+		if rep.Skipped > 0 {
+			fmt.Printf("    %-20s %d (cancelled before start, excluded from tallies)\n", "skipped", rep.Skipped)
+		}
+		fmt.Printf("  vulnerabilities: %d at %d unique code locations; simulated cost %d units\n",
 			len(rep.Vulnerabilities()), rep.UniqueLocations(), rep.TotalSimCost)
+		if store != nil {
+			// Executed = outcomes that genuinely ran to completion this
+			// run; errored and cancelled-in-flight rows re-execute next
+			// run and are not counted.
+			finished := 0
+			for _, o := range rep.Outcomes {
+				if o.Err == "" {
+					finished++
+				}
+			}
+			executed := finished - rep.Replayed
+			if c.st.Fallback != "" {
+				fmt.Printf("  state: full campaign — %s\n", c.st.Fallback)
+			} else {
+				fmt.Printf("  state: incremental, %d delta retests\n", c.st.Retests)
+			}
+			fmt.Printf("  state: replayed %d/%d, executed %d, fresh sim cost %d (saved %d)\n",
+				rep.Replayed, len(c.ms), executed, rep.TotalSimCost, rep.ReplayedSimCost)
+			if c.st.Saved {
+				fmt.Printf("  state: snapshot saved to %s\n", c.st.Path)
+			}
+		}
+		fmt.Println()
 
 		if *reports {
 			printed := 0

@@ -40,6 +40,32 @@
 //     outcomes for unchanged constraints and re-executes only the
 //     added/affected ones (§3.1's incremental retesting).
 //
+// # Persistent campaign snapshots
+//
+// internal/campaignstore persists that incremental mode across process
+// runs, completing the paper's "campaign cost is a one-time cost"
+// argument: a snapshot is a versioned JSON document holding the
+// inferred constraint set (in constraint.Set's stable serialized form,
+// sorted by constraint identity), the set's fingerprint, and every
+// recorded outcome keyed by inject.CacheKey. Snapshots are saved
+// atomically (temp file + rename), one file per system under a state
+// directory (the -state flag of cmd/spexinj and cmd/spexeval, or
+// report.AnalyzeOptions.StateDir).
+//
+// Each run loads the snapshot, Diffs a fresh inference against the
+// stored set, re-executes only the delta-selected misconfigurations,
+// and saves the updated snapshot. Loading is fail-safe by construction:
+// the snapshot embeds a schema fingerprint covering the store layout
+// version and every encoding the data depends on (env-action kinds,
+// reaction values, constraint kinds), plus the identity of the
+// outcome-affecting campaign options; a missing, corrupt, truncated,
+// fingerprint-stale or options-mismatched snapshot is never replayed —
+// the run falls back to a full campaign and rebuilds it. Cancelled runs
+// persist only their
+// finished outcomes (errored, cancelled and never-started ones are
+// never cached), so a resumed campaign re-executes exactly the
+// unfinished misconfigurations.
+//
 // The simulated targets model the real systems' package-global config
 // variables, so each target serializes its boot phase under a package
 // mutex and detaches the parsed configuration into the instance before

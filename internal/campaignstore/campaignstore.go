@@ -1,0 +1,291 @@
+// Package campaignstore persists SPEX-INJ campaign state across process
+// runs, making the paper's "the campaign is a one-time cost" claim
+// (§3.1) hold end to end: a snapshot records the inferred constraint
+// set together with every recorded outcome, so the next run Diffs a
+// fresh inference against the stored set and re-executes only the
+// constraints the revision touched. Everything else replays from the
+// snapshot at zero simulated cost.
+//
+// A snapshot is a versioned JSON document saved atomically (write to a
+// temporary file, then rename) under a state directory, one file per
+// target system. Loading is fail-safe: a missing, corrupt, truncated or
+// schema-stale snapshot never replays outcomes — Load reports why, and
+// the drivers fall back to a full campaign that rebuilds the snapshot.
+//
+// The schema fingerprint covers every encoding a snapshot depends on:
+// the store's own layout version, the numeric values of the env-action
+// kinds (embedded raw in inject.CacheKey), the reaction encoding
+// (persisted inside each Outcome), and the constraint-kind encoding
+// (behind constraint IDs and the diff). Renumbering any of them would
+// silently remap old snapshots onto wrong meanings, so the fingerprint
+// makes such snapshots stale instead.
+package campaignstore
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spex/internal/confgen"
+	"spex/internal/constraint"
+	"spex/internal/inject"
+	"spex/internal/sim"
+)
+
+// SchemaVersion is the snapshot layout version. Bump it on any change
+// to the Snapshot structure or the meaning of its fields; old snapshots
+// then fail safe into a full campaign.
+const SchemaVersion = 1
+
+var (
+	// ErrNotExist reports that no snapshot has been saved for the system
+	// yet — the normal first-run condition.
+	ErrNotExist = errors.New("campaignstore: no snapshot")
+	// ErrStale reports that a snapshot exists but was written under a
+	// different schema fingerprint and must not be replayed.
+	ErrStale = errors.New("campaignstore: snapshot schema is stale")
+)
+
+// SchemaFingerprint identifies the encodings this build persists. A
+// snapshot whose fingerprint differs was written by an incompatible
+// build and is treated as stale.
+func SchemaFingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaignstore schema v%d\n", SchemaVersion)
+	// CacheKey embeds raw env-action kind values; renumbering the iota
+	// must invalidate old snapshots.
+	fmt.Fprintf(h, "env-kinds OccupyPort=%d MakeDir=%d MakeUnreadable=%d EnsureMissing=%d\n",
+		confgen.EnvOccupyPort, confgen.EnvMakeDir, confgen.EnvMakeUnreadable, confgen.EnvEnsureMissing)
+	// Reactions are persisted as integers inside each Outcome.
+	for r := inject.ReactionCrash; r <= inject.ReactionTolerated; r++ {
+		fmt.Fprintf(h, "reaction %d=%s\n", int(r), r)
+	}
+	// Constraint kinds sit behind both constraint identity and the diff.
+	for k := constraint.KindBasicType; k <= constraint.KindValueRel; k++ {
+		fmt.Fprintf(h, "kind %d=%s\n", int(k), k)
+	}
+	return fmt.Sprintf("v%d-%s", SchemaVersion, hex.EncodeToString(h.Sum(nil))[:16])
+}
+
+// Snapshot is one system's persisted campaign state.
+type Snapshot struct {
+	// Schema is the writing build's SchemaFingerprint.
+	Schema string `json:"schema"`
+	// System is the target system's name.
+	System string `json:"system"`
+	// SavedAt records when the snapshot was written.
+	SavedAt time.Time `json:"saved_at"`
+	// Options identifies the campaign options the outcomes were recorded
+	// under (OptionsID). A run with different outcome-affecting options
+	// must not replay them — e.g. a -no-optimizations run measures
+	// different SimCost/FailedTest data than an optimized one.
+	Options string `json:"options"`
+	// SetFingerprint is Constraints.Fingerprint() at save time, both a
+	// corruption guard and a cheap "did anything change?" signal.
+	SetFingerprint string `json:"set_fingerprint"`
+	// Constraints is the inferred constraint set the outcomes were
+	// recorded under; a fresh inference run is Diffed against it.
+	Constraints *constraint.Set `json:"constraints"`
+	// Outcomes holds every recorded outcome keyed by inject.CacheKey.
+	Outcomes map[string]inject.Outcome `json:"outcomes"`
+}
+
+// OptionsID renders the outcome-affecting campaign options as a stable
+// identity string. Scheduling knobs (Workers, Progress, SimCostDelay,
+// Cache) are excluded — they change how outcomes are measured, not what
+// is measured.
+func OptionsID(opts inject.Options) string {
+	hang := opts.HangDeadline
+	if hang == 0 {
+		hang = inject.DefaultHangDeadline // what RunContext will apply
+	}
+	return fmt.Sprintf("stop-on-first=%v sort-tests=%v hang=%s keep-all-logs=%v",
+		opts.StopOnFirstFailure, opts.SortTests, hang, opts.KeepAllLogs)
+}
+
+// New assembles a snapshot for the system from the constraint set and
+// campaign options the outcomes were recorded under and the result
+// cache's exported entries.
+func New(system string, set *constraint.Set, opts inject.Options, outcomes map[string]inject.Outcome) *Snapshot {
+	return &Snapshot{
+		Schema:         SchemaFingerprint(),
+		System:         system,
+		SavedAt:        time.Now().UTC(),
+		Options:        OptionsID(opts),
+		SetFingerprint: set.Fingerprint(),
+		Constraints:    set,
+		Outcomes:       outcomes,
+	}
+}
+
+// Store is a state directory holding one snapshot file per system.
+type Store struct {
+	dir string
+}
+
+// Open prepares a store rooted at dir, creating the directory if
+// needed. A Store is safe for concurrent use across systems — each
+// system reads and writes only its own file.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("campaignstore: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Path returns the snapshot file for the named system.
+func (s *Store) Path(system string) string {
+	// System names are short identifiers; flatten anything that would
+	// escape the state directory.
+	safe := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':':
+			return '_'
+		}
+		return r
+	}, system)
+	return filepath.Join(s.dir, safe+".campaign.json")
+}
+
+// Load reads and validates the system's snapshot. It returns ErrNotExist
+// when no snapshot was saved yet, ErrStale when the snapshot was written
+// under a different schema fingerprint, and a descriptive error for a
+// corrupt file. In every error case the returned snapshot is nil and the
+// caller must run a full campaign — outcomes are never replayed from a
+// snapshot that fails validation.
+func (s *Store) Load(system string) (*Snapshot, error) {
+	data, err := os.ReadFile(s.Path(system))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w for %s", ErrNotExist, system)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("campaignstore: corrupt snapshot for %s: %w", system, err)
+	}
+	if snap.Schema != SchemaFingerprint() {
+		return nil, fmt.Errorf("%w: snapshot %q, this build %q", ErrStale, snap.Schema, SchemaFingerprint())
+	}
+	if snap.System != system {
+		return nil, fmt.Errorf("campaignstore: snapshot names system %q, want %q", snap.System, system)
+	}
+	if snap.Constraints == nil {
+		return nil, fmt.Errorf("campaignstore: snapshot for %s has no constraint set", system)
+	}
+	if fp := snap.Constraints.Fingerprint(); fp != snap.SetFingerprint {
+		return nil, fmt.Errorf("campaignstore: snapshot for %s fails its constraint fingerprint (%s != %s)",
+			system, fp, snap.SetFingerprint)
+	}
+	return &snap, nil
+}
+
+// Save writes the snapshot atomically: the document lands in a
+// temporary file in the state directory and is renamed over the final
+// path, so a crash mid-write can never leave a half-written snapshot
+// where Load would find it.
+func (s *Store) Save(snap *Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	final := s.Path(snap.System)
+	tmp, err := os.CreateTemp(s.dir, filepath.Base(final)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	return nil
+}
+
+// Status describes how one Campaign call used the store.
+type Status struct {
+	// Replayed reports that a valid snapshot was loaded and the run was
+	// incremental.
+	Replayed bool
+	// Fallback explains why the run was a full campaign instead ("" when
+	// Replayed). A plain first run reads "no snapshot (first run)".
+	Fallback string
+	// Retests is the number of misconfigurations the constraint delta
+	// selected for re-execution (0 on a full campaign).
+	Retests int
+	// Saved reports that the updated snapshot was written back.
+	Saved bool
+	// Path is the snapshot file the run loaded from / saved to.
+	Path string
+}
+
+// Campaign runs one system's injection campaign against the store: load
+// the snapshot, Diff the stored constraint set against set (the fresh
+// inference), re-execute only the delta-selected misconfigurations, and
+// save the updated snapshot. When the snapshot is missing, fails
+// validation, or was recorded under different outcome-affecting options
+// (OptionsID), the campaign runs in full and the snapshot is rebuilt.
+//
+// Cancellation keeps the persisted state consistent: outcomes that
+// errored, were cancelled mid-boot, or never started are never cached
+// (the engine records only err-free results), so the snapshot saved
+// after a cancelled run holds exactly the finished outcomes and the
+// next run re-executes exactly the unfinished ones.
+func Campaign(ctx context.Context, store *Store, sys sim.System, set *constraint.Set, ms []confgen.Misconf, opts inject.Options) (*inject.Report, Status, error) {
+	st := Status{Path: store.Path(sys.Name())}
+	cache := inject.NewResultCache()
+
+	var rep *inject.Report
+	var runErr error
+	snap, err := store.Load(sys.Name())
+	if err == nil && snap.Options != OptionsID(opts) {
+		snap, err = nil, fmt.Errorf("campaign options changed (snapshot %q, this run %q)",
+			snap.Options, OptionsID(opts))
+	}
+	if err == nil {
+		cache.LoadSnapshot(snap.Outcomes)
+		d := inject.Diff(snap.Constraints, set)
+		retests := inject.SelectRetests(ms, d)
+		st.Replayed = true
+		st.Retests = len(retests)
+		rep, runErr = inject.RunSelected(ctx, sys, ms, retests, cache, opts)
+	} else {
+		if errors.Is(err, ErrNotExist) {
+			st.Fallback = "no snapshot (first run)"
+		} else {
+			st.Fallback = err.Error()
+		}
+		opts.Cache = cache
+		rep, runErr = inject.RunContext(ctx, sys, ms, opts)
+	}
+
+	if rep != nil {
+		// Save even after cancellation: the cache holds only finished
+		// outcomes, so the next run resumes where this one stopped.
+		if err := store.Save(New(sys.Name(), set, opts, cache.Snapshot())); err != nil {
+			if runErr != nil {
+				return rep, st, fmt.Errorf("%w (and saving the snapshot failed: %v)", runErr, err)
+			}
+			return rep, st, err
+		}
+		st.Saved = true
+	}
+	return rep, st, runErr
+}

@@ -11,6 +11,9 @@
 package constraint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -539,3 +542,51 @@ func (s *Set) Params() []string {
 
 // Len returns the number of constraints in the set.
 func (s *Set) Len() int { return len(s.Constraints) }
+
+// setJSON is the stable serialized form of a Set: the constraints are
+// sorted by identity, so two sets holding the same constraints marshal
+// byte-for-byte equal regardless of insertion order. Persistent campaign
+// snapshots (internal/campaignstore) store this form and Diff a fresh
+// inference run against it.
+type setJSON struct {
+	System      string        `json:"system"`
+	Constraints []*Constraint `json:"constraints"`
+}
+
+// MarshalJSON renders the set in its stable serialized form.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	cs := append([]*Constraint(nil), s.Constraints...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID() < cs[j].ID() })
+	return json.Marshal(setJSON{System: s.System, Constraints: cs})
+}
+
+// UnmarshalJSON rebuilds the set, including its deduplication index.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var sj setJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return err
+	}
+	*s = Set{System: sj.System, byID: make(map[string]*Constraint)}
+	for _, c := range sj.Constraints {
+		s.Add(c)
+	}
+	return nil
+}
+
+// Fingerprint returns a short stable hash of the set's identity: the
+// sorted constraint IDs. Two inference runs that produce the same
+// constraints (in any order) share a fingerprint, and any identity
+// change — the same signal Diff keys on — changes it.
+func (s *Set) Fingerprint() string {
+	ids := make([]string, 0, len(s.Constraints))
+	for _, c := range s.Constraints {
+		ids = append(ids, c.ID())
+	}
+	sort.Strings(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"encoding/json"
 	"testing"
 	"testing/quick"
 )
@@ -207,5 +208,80 @@ func TestConstraintString(t *testing.T) {
 		if got := tc.c.String(); got != tc.want {
 			t.Errorf("String() = %q, want %q", got, tc.want)
 		}
+	}
+}
+
+func TestSetJSONRoundTripIsStable(t *testing.T) {
+	mk := func(order ...int) *Set {
+		cs := []*Constraint{
+			{Kind: KindBasicType, Param: "threads", Basic: BasicInt32,
+				Loc: SourceLoc{File: "a.go", Line: 10, Func: "parse"}},
+			{Kind: KindRange, Param: "threads",
+				Intervals: []Interval{{HasMin: true, Min: 1, HasMax: true, Max: 64, Valid: true}}},
+			{Kind: KindControlDep, Param: "cache-size", Peer: "cache", Cond: OpEQ, Value: "on",
+				Confidence: 0.9},
+		}
+		s := NewSet("sys")
+		for _, i := range order {
+			s.Add(cs[i])
+		}
+		return s
+	}
+	a := mk(0, 1, 2)
+	b := mk(2, 0, 1)
+
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("insertion order leaked into the serialized form:\n%s\n%s", ja, jb)
+	}
+
+	var back Set
+	if err := json.Unmarshal(ja, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.System != "sys" || back.Len() != 3 {
+		t.Fatalf("round trip lost data: system=%q len=%d", back.System, back.Len())
+	}
+	for _, c := range a.Constraints {
+		found := false
+		for _, d := range back.Constraints {
+			if d.ID() == c.ID() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("constraint %s missing after round trip", c.ID())
+		}
+	}
+	// The dedup index is rebuilt: re-adding an existing constraint
+	// returns the canonical one instead of growing the set.
+	dup := &Constraint{Kind: KindBasicType, Param: "threads", Basic: BasicInt32}
+	if back.Add(dup) == dup || back.Len() != 3 {
+		t.Fatal("round-tripped set lost its deduplication index")
+	}
+}
+
+func TestSetFingerprint(t *testing.T) {
+	a := NewSet("s")
+	a.Add(&Constraint{Kind: KindBasicType, Param: "p", Basic: BasicBool})
+	a.Add(&Constraint{Kind: KindRange, Param: "p",
+		Intervals: []Interval{{HasMin: true, Min: 0, Valid: true}}})
+	b := NewSet("s")
+	b.Add(&Constraint{Kind: KindRange, Param: "p",
+		Intervals: []Interval{{HasMin: true, Min: 0, Valid: true}}})
+	b.Add(&Constraint{Kind: KindBasicType, Param: "p", Basic: BasicBool})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on insertion order")
+	}
+	b.Add(&Constraint{Kind: KindBasicType, Param: "q", Basic: BasicBool})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint missed an added constraint")
 	}
 }

@@ -8,8 +8,9 @@
 //     parallel campaign reassembles into the exact report a sequential
 //     run produces.
 //   - Cancellation: a cancelled context stops dispatching immediately;
-//     tasks already in flight finish and their results are kept, tasks
-//     never started carry the context error.
+//     tasks already in flight finish and their results are kept, cached
+//     results are still replayed, and tasks never started carry the
+//     context error (marked Skipped).
 //   - Incrementality: an optional keyed Cache replays previously
 //     recorded results instead of re-executing the task — the basis of
 //     SPEX-INJ's incremental retesting mode (paper §3.1).
@@ -31,13 +32,19 @@ type Result[T any] struct {
 	Err error
 	// Cached reports that Value was replayed from the cache.
 	Cached bool
+	// Skipped reports that the scheduler never started the task: the run
+	// was cancelled before the task was dispatched. Err carries the
+	// context error. Tasks that were already in flight when the context
+	// was cancelled are not Skipped — they ran, even if they returned
+	// early with the context error.
+	Skipped bool
 }
 
 // Options tune one Run.
 type Options[T any] struct {
-	// Workers bounds parallelism. Values <= 1 run sequentially on the
-	// calling pattern (still through the pool, with one worker);
-	// DefaultWorkers picks a hardware-sized pool.
+	// Workers bounds parallelism. The zero value picks a hardware-sized
+	// pool (DefaultWorkers); negative values run sequentially through a
+	// single worker, as does Workers == 1.
 	Workers int
 	// OnResult, if set, streams every result as it completes (completion
 	// order, not input order). Calls are serialized by the scheduler, so
@@ -52,8 +59,8 @@ type Options[T any] struct {
 	KeyOf func(i int) string
 }
 
-// DefaultWorkers is the pool size used when Options.Workers is 0 in the
-// top-level drivers: one worker per CPU.
+// DefaultWorkers is the pool size used when Options.Workers is 0: one
+// worker per CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Run executes n tasks through a bounded worker pool and returns their
@@ -62,6 +69,9 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // finished; the result slice is still fully populated (unstarted tasks
 // carry the context error).
 func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts Options[T]) ([]Result[T], error) {
+	if opts.Workers == 0 {
+		opts.Workers = DefaultWorkers()
+	}
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
@@ -111,16 +121,38 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 		}()
 	}
 
+	// flush handles every index from from onward that was never
+	// dispatched because the run was cancelled: cached results are still
+	// served — a replay costs nothing, so cancellation only skips tasks
+	// that would have had to execute.
+	flush := func(from int) {
+		for j := from; j < n; j++ {
+			if opts.Cache != nil && opts.KeyOf != nil {
+				if key := opts.KeyOf(j); key != "" {
+					if v, ok := opts.Cache.Get(key); ok {
+						emit(Result[T]{Index: j, Value: v, Cached: true})
+						continue
+					}
+				}
+			}
+			emit(Result[T]{Index: j, Err: ctx.Err(), Skipped: true})
+		}
+	}
+
 dispatch:
 	for i := 0; i < n; i++ {
+		// Check cancellation with priority: a ready worker must not win
+		// the race against an already-cancelled context.
 		select {
-		case indices <- i:
 		case <-ctx.Done():
-			// Mark everything not yet dispatched as cancelled. The
-			// current index i was not sent.
-			for j := i; j < n; j++ {
-				emit(Result[T]{Index: j, Err: ctx.Err()})
-			}
+			flush(i)
+			break dispatch
+		default:
+		}
+		select {
+		case indices <- i: // the current index i was sent
+		case <-ctx.Done():
+			flush(i)
 			break dispatch
 		}
 	}
@@ -210,4 +242,30 @@ func (c *Cache[T]) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Snapshot copies the cache contents into a plain map, the export half
+// of cache persistence (internal/campaignstore). The copy is taken under
+// the read lock, so it is a consistent point-in-time view; concurrent
+// Put calls are not reflected in it.
+func (c *Cache[T]) Snapshot() map[string]T {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]T, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// LoadSnapshot replaces the cache contents with entries, the import half
+// of cache persistence. The map is copied, so the caller may keep
+// mutating its own copy afterwards.
+func (c *Cache[T]) LoadSnapshot(entries map[string]T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]T, len(entries))
+	for k, v := range entries {
+		c.m[k] = v
+	}
 }

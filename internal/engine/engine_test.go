@@ -181,6 +181,134 @@ func TestCacheReplaysRecordedResults(t *testing.T) {
 	}
 }
 
+func TestRunMarksNeverStartedAsSkipped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	rs, err := Run(ctx, 50, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			cancel()
+		}
+		<-release
+		return i, nil
+	}, Options[int]{Workers: 1, OnResult: func(r Result[int]) {
+		select {
+		case <-release:
+		default:
+			if r.Skipped {
+				close(release)
+			}
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var ran, skipped int
+	for _, r := range rs {
+		switch {
+		case r.Skipped:
+			skipped++
+			if r.Err == nil {
+				t.Fatalf("skipped result %d carries no error", r.Index)
+			}
+		case r.Err == nil:
+			ran++
+		}
+	}
+	if ran == 0 || skipped == 0 || ran+skipped != 50 {
+		t.Fatalf("ran=%d skipped=%d, want every unstarted task marked skipped", ran, skipped)
+	}
+}
+
+func TestCancellationStillReplaysCachedResults(t *testing.T) {
+	cache := NewCache[int]()
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			cache.Put(fmt.Sprintf("k%d", i), i*10)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: everything goes through the flush path
+	rs, err := Run(ctx, 100, func(_ context.Context, i int) (int, error) {
+		t.Errorf("task %d executed after cancellation", i)
+		return 0, nil
+	}, Options[int]{Workers: 2, Cache: cache, KeyOf: func(i int) string { return fmt.Sprintf("k%d", i) }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range rs {
+		if i%2 == 0 {
+			if !r.Cached || r.Skipped || r.Value != i*10 {
+				t.Fatalf("cached task %d not replayed on cancellation: %+v", i, r)
+			}
+		} else if !r.Skipped {
+			t.Fatalf("uncached task %d not skipped: %+v", i, r)
+		}
+	}
+}
+
+func TestWorkersZeroUsesDefaultPool(t *testing.T) {
+	if DefaultWorkers() < 2 {
+		t.Skip("needs >= 2 CPUs to observe parallelism")
+	}
+	// Two tasks that rendezvous with each other can only finish if the
+	// zero value really maps to a multi-worker pool; a single worker
+	// would run them one after the other and time out.
+	meet := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), 2, func(_ context.Context, i int) (int, error) {
+			select {
+			case meet <- struct{}{}:
+			case <-meet:
+			case <-time.After(5 * time.Second):
+				return 0, errors.New("rendezvous timed out: tasks did not overlap")
+			}
+			return i, nil
+		}, Options[int]{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run with Workers == 0 did not finish: pool is not parallel")
+	}
+}
+
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	cache := NewCache[string]()
+	cache.Put("a", "alpha")
+	cache.Put("b", "beta")
+	snap := cache.Snapshot()
+	if len(snap) != 2 || snap["a"] != "alpha" || snap["b"] != "beta" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// The snapshot is a copy: later cache mutations don't leak in.
+	cache.Put("c", "gamma")
+	if _, ok := snap["c"]; ok {
+		t.Fatal("snapshot aliases the live cache")
+	}
+	restored := NewCache[string]()
+	restored.Put("stale", "dropped on load")
+	restored.LoadSnapshot(snap)
+	if restored.Len() != 2 {
+		t.Fatalf("restored cache holds %d entries, want 2", restored.Len())
+	}
+	if v, ok := restored.Get("a"); !ok || v != "alpha" {
+		t.Fatalf("restored entry a = %q, %v", v, ok)
+	}
+	if _, ok := restored.Get("stale"); ok {
+		t.Fatal("LoadSnapshot kept a pre-existing entry")
+	}
+	// And LoadSnapshot copies too.
+	snap["a"] = "mutated"
+	if v, _ := restored.Get("a"); v != "alpha" {
+		t.Fatal("LoadSnapshot aliases the caller's map")
+	}
+}
+
 func TestCacheSkipsErrorsAndEmptyKeys(t *testing.T) {
 	cache := NewCache[int]()
 	boom := errors.New("boom")

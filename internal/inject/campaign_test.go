@@ -223,3 +223,164 @@ func TestIncrementalReplaysUnchangedConstraints(t *testing.T) {
 // stripBookkeeping compares campaign substance, ignoring the incremental
 // accounting fields.
 func stripBookkeeping(r *Report) []Outcome { return r.Outcomes }
+
+// Regression: cancelling a campaign must not drive progress to N/N. The
+// dispatcher flushes a Result for every never-started index; those are
+// marked Skipped and must be reported as skipped work, not done work.
+func TestProgressOnCancellationReportsSkippedNotDone(t *testing.T) {
+	sys := &fakeSystem{}
+	ms := campaignMisconfs(40)
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := DefaultOptions()
+	opts.Workers = 1
+	var lastDone int
+	opts.Progress = func(done, total int) {
+		lastDone = done
+		if done == 2 {
+			cancel()
+		}
+	}
+	rep, err := RunContext(ctx, sys, ms, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if lastDone >= len(ms) {
+		t.Fatalf("progress jumped to %d/%d on cancellation", lastDone, len(ms))
+	}
+	if rep.Skipped == 0 {
+		t.Fatal("no outcomes tallied as skipped")
+	}
+	if got := len(rep.SkippedOutcomes()); got != rep.Skipped {
+		t.Fatalf("SkippedOutcomes lists %d, tally says %d", got, rep.Skipped)
+	}
+	// Progress reported exactly the outcomes that were attempted (done or
+	// errored in flight), never the flushed remainder.
+	attempted := 0
+	for _, o := range rep.Outcomes {
+		if !o.Skipped {
+			attempted++
+		}
+	}
+	if lastDone != attempted {
+		t.Fatalf("progress ended at %d, want the %d attempted outcomes", lastDone, attempted)
+	}
+	// Skipped outcomes are not harness failures.
+	for _, o := range rep.Errors() {
+		if o.Skipped {
+			t.Fatalf("skipped outcome listed as a harness error: %+v", o)
+		}
+	}
+}
+
+// Regression (satellite of the persistent store): a campaign cancelled
+// mid-run must not cache cancelled or errored outcomes — SeedCache's Err
+// filter and the engine's no-record-on-error rule guard the runOne
+// StartCancelled path — and a follow-up RunIncremental must re-execute
+// exactly the unfinished misconfigurations.
+func TestCancelThenResumeReexecutesOnlyUnfinished(t *testing.T) {
+	sys := &fakeSystem{}
+	c := basic("p", constraint.BasicString)
+	var ms []confgen.Misconf
+	for i := 0; i < 20; i++ {
+		ms = append(ms, confgen.Misconf{
+			ID: fmt.Sprintf("m%02d", i), Param: "p",
+			Values: map[string]string{"p": "good"}, Violates: c,
+		})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := DefaultOptions()
+	opts.Workers = 1
+	opts.Cache = NewResultCache()
+	opts.Progress = func(done, total int) {
+		if done == 5 {
+			cancel()
+		}
+	}
+	rep, err := RunContext(ctx, sys, ms, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var finished []string
+	for _, o := range rep.Outcomes {
+		if o.Err == "" {
+			finished = append(finished, o.Misconf.ID)
+		}
+	}
+	if len(finished) == 0 || len(finished) == len(ms) {
+		t.Fatalf("finished %d/%d, want a genuine partial run", len(finished), len(ms))
+	}
+	// The live cache holds exactly the finished outcomes...
+	if got := opts.Cache.Len(); got != len(finished) {
+		t.Fatalf("cache holds %d outcomes, want the %d finished", got, len(finished))
+	}
+	// ...and seeding a fresh cache from the partial report agrees: the
+	// Err filter drops cancelled and skipped outcomes.
+	seeded := NewResultCache()
+	SeedCache(seeded, rep)
+	if got := seeded.Len(); got != len(finished) {
+		t.Fatalf("SeedCache recorded %d outcomes, want %d", got, len(finished))
+	}
+
+	// Resume with an empty delta: finished outcomes replay, the rest
+	// re-execute.
+	rep2, err := RunIncremental(context.Background(), sys, ms, Delta{}, opts.Cache, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Replayed != len(finished) {
+		t.Fatalf("resume replayed %d outcomes, want %d", rep2.Replayed, len(finished))
+	}
+	fresh := 0
+	for i, o := range rep2.Outcomes {
+		if o.Err != "" {
+			t.Fatalf("resume left outcome %d unfinished: %+v", i, o)
+		}
+		if !contains(finished, o.Misconf.ID) {
+			fresh++
+		}
+	}
+	if fresh != len(ms)-len(finished) {
+		t.Fatalf("resume executed %d fresh outcomes, want %d", fresh, len(ms)-len(finished))
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Satellite: log dumps are retained only for vulnerability outcomes by
+// default, so the result cache and persisted snapshots stay bounded.
+func TestLogDumpRetainedOnlyForVulnerabilities(t *testing.T) {
+	sys := &fakeSystem{}
+	ms := []confgen.Misconf{
+		mk("p", "exit-silent", nil),   // early termination: vulnerability
+		mk("p", "benign", nil),        // tolerated
+		mk("p", "exit-pinpoint", nil), // good reaction
+	}
+	rep, err := Run(sys, ms, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes[0].LogDump == "" {
+		t.Error("vulnerability outcome lost its log dump")
+	}
+	if rep.Outcomes[1].LogDump != "" || rep.Outcomes[2].LogDump != "" {
+		t.Error("non-vulnerability outcomes kept their log dumps")
+	}
+	// Opting in retains everything.
+	opts := DefaultOptions()
+	opts.KeepAllLogs = true
+	rep, err = Run(sys, ms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Outcomes[2].LogDump == "" {
+		t.Error("KeepAllLogs did not retain the good reaction's log dump")
+	}
+}

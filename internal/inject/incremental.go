@@ -125,11 +125,13 @@ func CacheKey(m confgen.Misconf) string {
 }
 
 // SeedCache records every successfully tested outcome of a previous
-// campaign, so the next incremental run can replay them.
+// campaign, so the next incremental run can replay them. Outcomes that
+// errored, were cancelled mid-boot, or never started (Skipped) carry a
+// non-empty Err and are excluded — they must re-execute on the next run.
 func SeedCache(c *ResultCache, rep *Report) {
 	for _, o := range rep.Outcomes {
 		if o.Err != "" {
-			continue // failed to test: always retry
+			continue // failed to test (or never started): always retry
 		}
 		c.Put(CacheKey(o.Misconf), o)
 	}
@@ -144,10 +146,19 @@ func SeedCache(c *ResultCache, rep *Report) {
 // misconfiguration list and updated with the fresh outcomes, so it is
 // ready to seed the next revision's run.
 func RunIncremental(ctx context.Context, sys sim.System, ms []confgen.Misconf, d Delta, cache *ResultCache, opts Options) (*Report, error) {
+	return RunSelected(ctx, sys, ms, SelectRetests(ms, d), cache, opts)
+}
+
+// RunSelected is RunIncremental with a precomputed retest selection, for
+// callers that already ran SelectRetests (e.g. to report its size):
+// retests are evicted from the cache and re-execute, everything else in
+// ms replays, and the cache is pruned to the current misconfiguration
+// list.
+func RunSelected(ctx context.Context, sys sim.System, ms []confgen.Misconf, retests []confgen.Misconf, cache *ResultCache, opts Options) (*Report, error) {
 	if cache == nil {
 		cache = NewResultCache()
 	}
-	for _, m := range SelectRetests(ms, d) {
+	for _, m := range retests {
 		cache.Delete(CacheKey(m))
 	}
 	current := make(map[string]bool, len(ms))

@@ -89,6 +89,11 @@ type Outcome struct {
 	// misconfiguration could not be tested. Errored outcomes stay in the
 	// report but are excluded from the reaction tallies.
 	Err string
+	// Skipped marks an outcome the scheduler never started because the
+	// campaign was cancelled first. Skipped outcomes carry the context
+	// error in Err but are not harness failures: they are reported as
+	// skipped work, not as untestable misconfigurations.
+	Skipped bool
 }
 
 // Report aggregates a campaign over one system.
@@ -103,6 +108,9 @@ type Report struct {
 	Replayed int
 	// ReplayedSimCost is the simulated cost the cache avoided.
 	ReplayedSimCost int
+	// Skipped counts misconfigurations the scheduler never started
+	// because the campaign was cancelled (distinct from harness errors).
+	Skipped int
 }
 
 // CountByReaction tallies outcomes per reaction (Table 5a row). Errored
@@ -132,11 +140,25 @@ func (r *Report) Vulnerabilities() []Outcome {
 	return out
 }
 
-// Errors returns the outcomes the harness failed to test.
+// Errors returns the outcomes the harness failed to test. Outcomes a
+// cancellation skipped before they started are not failures and are
+// listed by SkippedOutcomes instead.
 func (r *Report) Errors() []Outcome {
 	var out []Outcome
 	for _, o := range r.Outcomes {
-		if o.Err != "" {
+		if o.Err != "" && !o.Skipped {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SkippedOutcomes returns the outcomes a cancellation prevented from
+// starting.
+func (r *Report) SkippedOutcomes() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if o.Skipped {
 			out = append(out, o)
 		}
 	}
@@ -177,23 +199,39 @@ type Options struct {
 	// this scheduler exist to deliver.
 	SimCostDelay time.Duration
 	// Workers bounds campaign parallelism: how many misconfigurations
-	// are in flight at once. Zero or one runs sequentially. Outcomes are
-	// always reassembled in input order, so a parallel report is
+	// are in flight at once. Zero (the zero value) sizes the pool to the
+	// hardware (engine.DefaultWorkers); one runs sequentially. Outcomes
+	// are always reassembled in input order, so a parallel report is
 	// identical to a sequential one.
 	Workers int
 	// Progress, if set, streams campaign progress as outcomes complete.
-	// Calls are serialized by the scheduler.
+	// Calls are serialized by the scheduler. Outcomes a cancellation
+	// skipped before they started are not reported as done — they are
+	// tallied on Report.Skipped instead, so a cancelled campaign's
+	// progress stays at the work actually performed.
 	Progress func(done, total int)
 	// Cache, if set, replays recorded outcomes for misconfigurations
 	// whose identity (violated constraint, rule, injected values) is
 	// unchanged, and records fresh outcomes for the ones that ran —
 	// SPEX-INJ's incremental retesting mode (paper §3.1).
 	Cache *ResultCache
+	// KeepAllLogs retains Outcome.LogDump for every outcome. By default
+	// dumps are kept only for vulnerability outcomes and harness errors:
+	// good/tolerated reactions never render their logs (ErrorReport is
+	// only produced for vulnerabilities), and dropping them keeps the
+	// in-memory result cache and persisted campaign snapshots small.
+	KeepAllLogs bool
 }
+
+// DefaultHangDeadline is the Start deadline applied when
+// Options.HangDeadline is zero. Campaign snapshots key replay identity
+// on the effective deadline (campaignstore.OptionsID), so it lives in
+// one place.
+const DefaultHangDeadline = 250 * time.Millisecond
 
 // DefaultOptions enables both paper optimizations.
 func DefaultOptions() Options {
-	return Options{HangDeadline: 250 * time.Millisecond, StopOnFirstFailure: true, SortTests: true}
+	return Options{HangDeadline: DefaultHangDeadline, StopOnFirstFailure: true, SortTests: true}
 }
 
 // Run executes a full campaign: every misconfiguration in ms against the
@@ -209,10 +247,11 @@ func Run(sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
 // recorded on its outcome (Outcome.Err) and the campaign keeps going.
 // On cancellation the partial report is returned together with the
 // context error: finished outcomes are kept, unstarted ones carry the
-// context error.
+// context error and are marked Skipped (tallied on Report.Skipped, not
+// reported as progress or harness failures).
 func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
 	if opts.HangDeadline == 0 {
-		opts.HangDeadline = 250 * time.Millisecond
+		opts.HangDeadline = DefaultHangDeadline
 	}
 	tmplText := sys.DefaultConfig()
 	total := len(ms)
@@ -220,7 +259,12 @@ func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts 
 	eopts := engine.Options[Outcome]{Workers: opts.Workers}
 	if opts.Progress != nil {
 		done := 0
-		eopts.OnResult = func(engine.Result[Outcome]) {
+		eopts.OnResult = func(r engine.Result[Outcome]) {
+			if r.Skipped {
+				// Never-started task flushed by a cancellation: not work
+				// done — reported on Report.Skipped instead.
+				return
+			}
 			done++
 			opts.Progress(done, total)
 		}
@@ -235,6 +279,12 @@ func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts 
 	// in the cache — they must retry on the next run.
 	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (Outcome, error) {
 		out, err := runOne(ctx, sys, tmplText, ms[i], opts)
+		if err == nil && !opts.KeepAllLogs && !out.Reaction.Vulnerability() {
+			// Good/tolerated reactions never render their logs; dropping
+			// the dump keeps the result cache and persisted snapshots
+			// bounded by the vulnerability count, not the campaign size.
+			out.LogDump = ""
+		}
 		if err == nil && opts.SimCostDelay > 0 {
 			sleepCost(ctx, out.SimCost, opts.SimCostDelay)
 		}
@@ -244,11 +294,30 @@ func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts 
 	rep := &Report{System: sys.Name(), Outcomes: make([]Outcome, 0, total)}
 	for i, r := range results {
 		out := r.Value
+		if r.Cached {
+			// The cache key guarantees identity (constraint ID, rule ID,
+			// injected values, env actions) but not metadata: a code
+			// revision can move the constraint's source location without
+			// changing its identity. Refresh the replayed outcome — and
+			// the cache entry the next snapshot will persist — from the
+			// current misconfiguration.
+			out.Misconf = ms[i]
+			if ms[i].Violates != nil {
+				out.Loc = ms[i].Violates.Loc
+			}
+			if opts.Cache != nil {
+				opts.Cache.Put(CacheKey(ms[i]), out)
+			}
+		}
 		if r.Err != nil { // errored, cancelled mid-run, or never started
 			// Per-outcome error: keep the campaign going, keep the
 			// outcome out of the reaction tallies.
 			out.Misconf = ms[i]
 			out.Err = r.Err.Error()
+			out.Skipped = r.Skipped
+			if r.Skipped {
+				rep.Skipped++
+			}
 		}
 		rep.Outcomes = append(rep.Outcomes, out)
 		if r.Cached {

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"spex/internal/campaignstore"
 	"spex/internal/casedb"
 	"spex/internal/conffile"
 	"spex/internal/confgen"
@@ -33,6 +34,11 @@ type SystemResult struct {
 	Campaign  *inject.Report
 	Audit     *designcheck.Audit
 	Accuracy  map[constraint.Kind]spex.Accuracy
+	// StateErr records a non-fatal persistent-store failure: the
+	// campaign completed and the tables are valid, but its snapshot
+	// could not be saved (AnalyzeOptions.StateDir). Drivers should
+	// surface it as a warning.
+	StateErr error
 }
 
 // Progress is one streamed analysis event: system completed its full
@@ -50,20 +56,29 @@ type AnalyzeOptions struct {
 	// Workers bounds how many systems are analyzed at once (0 = one per
 	// CPU).
 	Workers int
-	// CampaignWorkers bounds intra-campaign parallelism per system
-	// (0 or 1 = sequential campaign).
+	// CampaignWorkers bounds intra-campaign parallelism per system.
+	// Zero and one both run campaigns sequentially — the systems already
+	// fan out Workers wide, so the zero value deliberately does not
+	// compound to a per-CPU pool per system.
 	CampaignWorkers int
 	// OnProgress, if set, streams per-system analysis events. Calls are
 	// serialized by the scheduler.
 	OnProgress func(Progress)
+	// StateDir, when set, persists each system's campaign snapshot under
+	// this directory (internal/campaignstore): campaigns replay recorded
+	// outcomes across spexeval runs and re-execute only the
+	// misconfigurations the constraint delta selects. Missing, corrupt
+	// or schema-stale snapshots fall back to a full campaign and are
+	// rebuilt.
+	StateDir string
 }
 
 // Analyze runs the full pipeline for one system.
 func Analyze(sys sim.System) (*SystemResult, error) {
-	return analyze(context.Background(), sys, 0)
+	return analyze(context.Background(), sys, AnalyzeOptions{})
 }
 
-func analyze(ctx context.Context, sys sim.System, campaignWorkers int) (*SystemResult, error) {
+func analyze(ctx context.Context, sys sim.System, aopts AnalyzeOptions) (*SystemResult, error) {
 	res, err := spex.InferSystem(sys)
 	if err != nil {
 		return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
@@ -74,10 +89,32 @@ func analyze(ctx context.Context, sys sim.System, campaignWorkers int) (*SystemR
 	}
 	ms := confgen.NewRegistry().Generate(res.Set, tmpl)
 	opts := inject.DefaultOptions()
-	opts.Workers = campaignWorkers
-	rep, err := inject.RunContext(ctx, sys, ms, opts)
-	if err != nil {
-		return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
+	opts.Workers = aopts.CampaignWorkers
+	if opts.Workers == 0 {
+		opts.Workers = 1 // see AnalyzeOptions.CampaignWorkers
+	}
+	var rep *inject.Report
+	var stateErr error
+	if aopts.StateDir != "" {
+		store, err := campaignstore.Open(aopts.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
+		}
+		rep, _, err = campaignstore.Campaign(ctx, store, sys, res.Set, ms, opts)
+		if err != nil {
+			// A completed campaign whose snapshot failed to save is
+			// still a full analysis — the tables matter more than the
+			// store. Record the failure instead of discarding the data.
+			if rep == nil || ctx.Err() != nil {
+				return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
+			}
+			stateErr = err
+		}
+	} else {
+		rep, err = inject.RunContext(ctx, sys, ms, opts)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
+		}
 	}
 	return &SystemResult{
 		Sys:       sys,
@@ -85,6 +122,7 @@ func analyze(ctx context.Context, sys sim.System, campaignWorkers int) (*SystemR
 		Campaign:  rep,
 		Audit:     designcheck.Run(res),
 		Accuracy:  spex.Score(res.Set, sys.GroundTruth()),
+		StateErr:  stateErr,
 	}, nil
 }
 
@@ -101,9 +139,6 @@ func AnalyzeAllContext(ctx context.Context, opts AnalyzeOptions) ([]*SystemResul
 	systems := targets.All()
 	total := len(systems)
 	eopts := engine.Options[*SystemResult]{Workers: opts.Workers}
-	if eopts.Workers == 0 {
-		eopts.Workers = engine.DefaultWorkers()
-	}
 	if opts.OnProgress != nil {
 		done := 0
 		eopts.OnResult = func(r engine.Result[*SystemResult]) {
@@ -113,7 +148,7 @@ func AnalyzeAllContext(ctx context.Context, opts AnalyzeOptions) ([]*SystemResul
 		}
 	}
 	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (*SystemResult, error) {
-		return analyze(ctx, systems[i], opts.CampaignWorkers)
+		return analyze(ctx, systems[i], opts)
 	}, eopts)
 	if cancelErr != nil {
 		return nil, cancelErr
