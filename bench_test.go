@@ -18,10 +18,12 @@ import (
 	"spex/internal/confgen"
 	"spex/internal/constraint"
 	"spex/internal/designcheck"
+	"spex/internal/engine"
 	"spex/internal/frontend"
 	"spex/internal/inject"
 	"spex/internal/mapping"
 	"spex/internal/report"
+	"spex/internal/shard"
 	"spex/internal/sim"
 	"spex/internal/spex"
 	"spex/internal/targets"
@@ -184,6 +186,77 @@ func BenchmarkCampaignParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkGlobalScheduler compares the two -all scheduling shapes over
+// the full seven-target injection workload with the paper's
+// boot-dominated cost shape (SimCostDelay, as in
+// BenchmarkCampaignParallel): "per-target" fans the systems out on the
+// pool with each campaign sequential inside (the pre-shard spexinj
+// -all), "global" flattens every system's misconfigurations into one
+// round-robin interleaved queue (internal/shard). Per-target wall-clock
+// is bounded below by the single largest campaign — once the small
+// targets drain, workers idle; global keeps the pool busy until the
+// whole queue drains. The utilization metric is busy time over pool
+// capacity (1.0 = no idle workers); the reports are identical either
+// way, so utilization is the entire difference.
+func BenchmarkGlobalScheduler(b *testing.B) {
+	rs := analyzed(b)
+	ws := make([]shard.Workload, 0, len(rs))
+	for _, r := range rs {
+		tmpl, err := conffile.Parse(r.Sys.DefaultConfig(), r.Sys.Syntax())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := confgen.NewRegistry().Generate(r.Inference.Set, tmpl)
+		ws = append(ws, shard.Workload{Sys: r.Sys, Set: r.Inference.Set, Ms: ms})
+	}
+	const workers = 4
+	const delay = 200 * time.Microsecond
+	utilization := func(cost int, elapsed time.Duration) float64 {
+		busy := time.Duration(cost) * delay
+		return busy.Seconds() / (elapsed.Seconds() * workers)
+	}
+
+	b.Run("per-target", func(b *testing.B) {
+		opts := inject.DefaultOptions()
+		opts.SimCostDelay = delay
+		opts.Workers = 1
+		cost := 0
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			results, _ := engine.Run(context.Background(), len(ws),
+				func(ctx context.Context, j int) (*inject.Report, error) {
+					return inject.RunContext(ctx, ws[j].Sys, ws[j].Ms, opts)
+				}, engine.Options[*inject.Report]{Workers: workers})
+			if err := engine.FirstError(results); err != nil {
+				b.Fatal(err)
+			}
+			cost = 0
+			for _, r := range results {
+				cost += r.Value.TotalSimCost
+			}
+		}
+		b.ReportMetric(utilization(cost*b.N, time.Since(start)), "utilization")
+	})
+	b.Run("global", func(b *testing.B) {
+		opts := inject.DefaultOptions()
+		opts.SimCostDelay = delay
+		cost := 0
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			reps, err := shard.RunGlobal(context.Background(), ws,
+				shard.Options{Workers: workers, Inject: opts})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost = 0
+			for _, rep := range reps {
+				cost += rep.TotalSimCost
+			}
+		}
+		b.ReportMetric(utilization(cost*b.N, time.Since(start)), "utilization")
+	})
 }
 
 // BenchmarkAnalyzeAllParallel runs the full seven-system evaluation

@@ -3,8 +3,10 @@
 // targets and printed next to the paper's published numbers.
 //
 // The seven per-system pipelines (inference, campaign, audit) fan out on
-// the engine worker pool; pass -workers 1 to force the sequential order.
-// The rendered tables are identical either way. With -state <dir> the
+// the engine worker pool; pass -workers 1 to force the sequential order,
+// or -global to interleave all seven campaigns on one cross-target pool
+// (internal/shard) so small targets draining early do not idle workers.
+// The rendered tables are identical in every mode. With -state <dir> the
 // campaign phase is incremental across runs: each system's outcomes are
 // persisted as a snapshot (internal/campaignstore) and replayed on the
 // next run, re-executing only what the constraint delta selects.
@@ -15,6 +17,7 @@
 //	spexeval -table 5      # one table
 //	spexeval -figure 7     # one figure
 //	spexeval -workers 8 -progress
+//	spexeval -global -workers 8     # one cross-target campaign pool
 //	spexeval -state /var/lib/spex   # persistent incremental campaigns
 package main
 
@@ -36,13 +39,14 @@ func main() {
 		campaign = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 or 1 = sequential; systems already fan out)")
 		progress = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
 		state    = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
+		global   = flag.Bool("global", false, "interleave all campaigns on one cross-target worker pool (tables are identical; -campaign-workers is ignored)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state}
+	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global}
 	if *progress {
 		opts.OnProgress = func(p report.Progress) {
 			fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)

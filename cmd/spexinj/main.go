@@ -4,11 +4,15 @@
 // target's own test suite, classifies reactions, and prints error reports
 // for the exposed vulnerabilities.
 //
-// Campaigns run on the engine worker pool: misconfigurations of one system
-// execute -workers wide, and with -all the seven targets fan out as well.
-// Ctrl-C cancels the campaign; outcomes already measured are reported and
-// misconfigurations never started are counted as skipped (they do not
-// inflate the progress stream).
+// Campaigns run on the global cross-target scheduler (internal/shard):
+// with -all the seven targets' misconfigurations flatten into one task
+// queue feeding a single -workers wide pool, interleaved round-robin
+// across targets so no target's serialized boot phase starves the pool
+// and small targets draining early do not idle workers. A single
+// -system campaign is the one-workload special case of the same
+// scheduler. Ctrl-C cancels the campaign; outcomes already measured are
+// reported and misconfigurations never started are counted as skipped
+// (they do not inflate the progress stream).
 //
 // # Persistent incremental campaigns
 //
@@ -24,11 +28,23 @@
 // snapshot. A cancelled run saves its finished outcomes, so the next run
 // resumes with exactly the unfinished misconfigurations.
 //
+// # Distributed campaign sharding
+//
+// With -shard i/N the process executes only its deterministic 1/N
+// partition of the workload (stable hash of each misconfiguration's
+// replay identity — every shard computes the same partition from the
+// same inference, no coordinator needed) and saves its outcomes as
+// per-shard snapshots under -state, which -shard therefore requires.
+// Shards run as separate processes or machines; spexmerge folds their
+// state directories into one canonical store whose replayed report is
+// identical to an unsharded run's.
+//
 // Usage:
 //
 //	spexinj -system proxyd [-reports] [-max 5] [-workers 8]
 //	spexinj -system proxyd -state /var/lib/spex   # incremental across runs
-//	spexinj -all
+//	spexinj -all                                  # one global pool, all targets
+//	spexinj -all -shard 1/4 -state /tmp/shard1    # one shard of a 4-way split
 package main
 
 import (
@@ -38,12 +54,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"spex/internal/campaignstore"
-	"spex/internal/conffile"
-	"spex/internal/confgen"
-	"spex/internal/engine"
 	"spex/internal/inject"
+	"spex/internal/shard"
 	"spex/internal/sim"
 	"spex/internal/spex"
 	"spex/internal/targets"
@@ -51,14 +66,15 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "", "target system (see spex -list)")
-		all      = flag.Bool("all", false, "run the campaign on every target")
-		reports  = flag.Bool("reports", false, "print full error reports for vulnerabilities")
-		max      = flag.Int("max", 10, "maximum error reports to print")
-		noOpt    = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
-		workers  = flag.Int("workers", 0, "parallelism: campaigns with -all, misconfigurations for a single system (0 = one per CPU)")
-		progress = flag.Bool("progress", false, "stream campaign progress to stderr")
-		state    = flag.String("state", "", "state directory for persistent incremental campaigns: replay saved outcomes, retest only the constraint delta, save the updated snapshot")
+		system    = flag.String("system", "", "target system (see spex -list)")
+		all       = flag.Bool("all", false, "run the campaign on every target through one global pool")
+		reports   = flag.Bool("reports", false, "print full error reports for vulnerabilities")
+		max       = flag.Int("max", 10, "maximum error reports to print")
+		noOpt     = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
+		workers   = flag.Int("workers", 0, "width of the global worker pool (0 = one per CPU)")
+		progress  = flag.Bool("progress", false, "stream one aggregate progress line (plus per-system counts) to stderr")
+		state     = flag.String("state", "", "state directory for persistent incremental campaigns: replay saved outcomes, retest only the constraint delta, save the updated snapshot")
+		shardFlag = flag.String("shard", "", "execute one shard i/N of the workload (requires -state; merge shard directories with spexmerge)")
 	)
 	flag.Parse()
 
@@ -77,16 +93,19 @@ func main() {
 		opts.StopOnFirstFailure = false
 		opts.SortTests = false
 	}
-	// One budget, spent where it helps: with -all the systems fan out
-	// and each campaign stays sequential; for a single system the
-	// campaign itself runs -workers wide (0 = hardware-sized, resolved
-	// by the engine).
-	fanout := 1
-	if len(systems) > 1 {
-		fanout = *workers
-		opts.Workers = 1
-	} else {
-		opts.Workers = *workers
+
+	var plan shard.Plan
+	if *shardFlag != "" {
+		var err error
+		plan, err = shard.ParsePlan(*shardFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			os.Exit(2)
+		}
+		if *state == "" {
+			fmt.Fprintln(os.Stderr, "spexinj: -shard requires -state (the shard's outcomes are its snapshot directory)")
+			os.Exit(2)
+		}
 	}
 
 	var store *campaignstore.Store
@@ -102,68 +121,53 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	type campaign struct {
-		sys sim.System
-		ms  []confgen.Misconf
-		rep *inject.Report
-		st  campaignstore.Status
+	// Inference fans out on the engine pool, then every system's
+	// misconfigurations (shard-filtered under a -shard plan) interleave
+	// on one global pool.
+	results, err := spex.InferAll(ctx, systems, *workers)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "spexinj: cancelled: %v\n", err)
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+		os.Exit(1)
 	}
-	results, cancelErr := engine.Run(ctx, len(systems), func(ctx context.Context, i int) (campaign, error) {
-		sys := systems[i]
-		res, err := spex.InferSystem(sys)
-		if err != nil {
-			return campaign{}, err
-		}
-		tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
-		if err != nil {
-			return campaign{}, err
-		}
-		ms := confgen.NewRegistry().Generate(res.Set, tmpl)
-		sysOpts := opts
-		if *progress {
-			sysOpts.Progress = func(done, total int) {
-				fmt.Fprintf(os.Stderr, "spexinj: %s %d/%d\r", sys.Name(), done, total)
-			}
-		}
-		// On cancellation keep the partial report: outcomes already
-		// measured are reported (unstarted rows are counted as skipped
-		// and excluded from the tallies). With -state the partial
-		// snapshot is saved too, so the next run resumes the campaign.
-		var rep *inject.Report
-		var st campaignstore.Status
-		if store != nil {
-			rep, st, err = campaignstore.Campaign(ctx, store, sys, res.Set, ms, sysOpts)
-		} else {
-			rep, err = inject.RunContext(ctx, sys, ms, sysOpts)
-		}
-		if err != nil {
-			if rep == nil {
-				return campaign{}, err
-			}
-			if !errors.Is(err, context.Canceled) {
-				// Partial result with a non-cancellation error (e.g. the
-				// snapshot could not be saved): report it, keep the data.
-				fmt.Fprintf(os.Stderr, "spexinj: %s: %v\n", sys.Name(), err)
-			}
-		}
-		return campaign{sys: sys, ms: ms, rep: rep, st: st}, nil
-	}, engine.Options[campaign]{Workers: fanout})
-	if cancelErr != nil {
-		fmt.Fprintf(os.Stderr, "spexinj: cancelled: %v\n", cancelErr)
-	}
-	if err := engine.FirstError(results); err != nil && cancelErr == nil {
+	ws, totals, err := shard.BuildWorkloads(systems, results, plan)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
 		os.Exit(1)
 	}
 
-	for _, r := range results {
-		if r.Err != nil {
-			continue
+	gopts := shard.Options{Workers: *workers, Inject: opts}
+	if *progress {
+		gopts.OnProgress = progressLine(ws)
+	}
+	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
+	if *progress {
+		fmt.Fprintln(os.Stderr) // terminate the \r progress line
+	}
+	cancelled := runErr != nil && errors.Is(runErr, context.Canceled)
+	if runErr != nil && !cancelled {
+		fmt.Fprintf(os.Stderr, "spexinj: %v\n", runErr)
+	}
+	if cancelled {
+		fmt.Fprintf(os.Stderr, "spexinj: cancelled: %v\n", runErr)
+	}
+
+	for i, run := range runs {
+		rep := run.Report
+		if run.Err != nil {
+			// Non-fatal store failure: the campaign data is intact.
+			fmt.Fprintf(os.Stderr, "spexinj: %s: %v\n", run.Sys.Name(), run.Err)
 		}
-		c := r.Value
-		rep := c.rep
 		counts := rep.CountByReaction()
-		fmt.Printf("=== %s: %d misconfigurations injected ===\n", c.sys.Name(), len(c.ms))
+		if plan.Enabled() {
+			fmt.Printf("=== %s: %d misconfigurations injected (shard %s of %d) ===\n",
+				run.Sys.Name(), len(ws[i].Ms), plan, totals[i])
+		} else {
+			fmt.Printf("=== %s: %d misconfigurations injected ===\n", run.Sys.Name(), len(ws[i].Ms))
+		}
 		order := []inject.Reaction{
 			inject.ReactionCrash, inject.ReactionEarlyTerm, inject.ReactionFuncFailure,
 			inject.ReactionSilentViolation, inject.ReactionSilentIgnorance,
@@ -195,15 +199,15 @@ func main() {
 				}
 			}
 			executed := finished - rep.Replayed
-			if c.st.Fallback != "" {
-				fmt.Printf("  state: full campaign — %s\n", c.st.Fallback)
+			if run.Status.Fallback != "" {
+				fmt.Printf("  state: full campaign — %s\n", run.Status.Fallback)
 			} else {
-				fmt.Printf("  state: incremental, %d delta retests\n", c.st.Retests)
+				fmt.Printf("  state: incremental, %d delta retests\n", run.Status.Retests)
 			}
 			fmt.Printf("  state: replayed %d/%d, executed %d, fresh sim cost %d (saved %d)\n",
-				rep.Replayed, len(c.ms), executed, rep.TotalSimCost, rep.ReplayedSimCost)
-			if c.st.Saved {
-				fmt.Printf("  state: snapshot saved to %s\n", c.st.Path)
+				rep.Replayed, len(ws[i].Ms), executed, rep.TotalSimCost, rep.ReplayedSimCost)
+			if run.Status.Saved {
+				fmt.Printf("  state: snapshot saved to %s\n", run.Status.Path)
 			}
 		}
 		fmt.Println()
@@ -220,7 +224,32 @@ func main() {
 			}
 		}
 	}
-	if cancelErr != nil {
+	if cancelled {
 		os.Exit(130)
+	}
+}
+
+// progressLine returns a shard.Progress sink that rewrites one stderr
+// status line per event: the aggregate done/total followed by every
+// system's own count, in campaign order. One \r-terminated line instead
+// of interleaved per-campaign lines, so concurrent campaigns cannot
+// overwrite each other's progress.
+func progressLine(ws []shard.Workload) func(shard.Progress) {
+	idx := make(map[string]int, len(ws))
+	done := make([]int, len(ws))
+	for i, w := range ws {
+		idx[w.Sys.Name()] = i
+	}
+	return func(p shard.Progress) {
+		done[idx[p.System]] = p.SystemDone
+		var b strings.Builder
+		fmt.Fprintf(&b, "spexinj: %d/%d", p.Done, p.Total)
+		sep := " ("
+		for j, w := range ws {
+			fmt.Fprintf(&b, "%s%s %d/%d", sep, w.Sys.Name(), done[j], len(w.Ms))
+			sep = ", "
+		}
+		b.WriteString(")\r")
+		fmt.Fprint(os.Stderr, b.String())
 	}
 }

@@ -1,0 +1,57 @@
+// Command spexmerge folds per-shard campaign state directories into one
+// canonical store — the merge step of a distributed injection campaign
+// (internal/shard, paper §3.1 scaled across processes/machines).
+//
+// Each `spexinj -shard i/N -state <dir>` process saves its partition's
+// outcomes as campaignstore snapshots under its own directory; spexmerge
+// unions them per system into a single snapshot that replays exactly
+// like an unsharded run's. The merge is validating, not trusting: every
+// shard of a system must carry this build's schema fingerprint, the
+// same inferred constraint set, and the same outcome-affecting campaign
+// options (an optimized shard never silently blends with a
+// -no-optimizations one). Duplicate outcome keys — overlapping ad-hoc
+// shards, or a shard re-run — resolve freshest-wins by snapshot save
+// time.
+//
+// Usage:
+//
+//	spexmerge -out /var/lib/spex /tmp/shard1 /tmp/shard2 [...]
+//	spexinj -all -state /var/lib/spex     # replays the merged campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spex/internal/shard"
+)
+
+func main() {
+	out := flag.String("out", "", "destination state directory for the merged store (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "spexmerge: -out is required")
+		os.Exit(2)
+	}
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "spexmerge: no shard directories given")
+		os.Exit(2)
+	}
+
+	stats, err := shard.Merge(*out, dirs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spexmerge: %v\n", err)
+		os.Exit(1)
+	}
+	for _, st := range stats {
+		fmt.Printf("%-10s %d outcomes from %d shard(s)", st.System, st.Outcomes, st.Shards)
+		if st.Duplicates > 0 {
+			fmt.Printf(", %d duplicate keys resolved freshest-wins", st.Duplicates)
+		}
+		fmt.Printf(" -> %s\n", st.Path)
+		fmt.Printf("%-10s store fingerprint %s\n", "", st.Fingerprint)
+	}
+}

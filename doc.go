@@ -75,6 +75,57 @@
 // as wall time so the scheduler's overlap is measurable
 // (BenchmarkCampaignParallel).
 //
+// # Distributed campaign sharding
+//
+// internal/shard scales the campaign beyond one worker pool and beyond
+// one process, in a plan → execute → merge lifecycle:
+//
+//   - Global cross-target scheduling (shard.RunGlobal and the
+//     store-backed shard.CampaignAll). Instead of one engine.Run per
+//     system, every target's misconfigurations flatten into a single
+//     task queue feeding one pool. The fairness rule is round-robin
+//     interleaving (shard.Interleave): consecutive tasks address
+//     different targets, so the in-flight set spans as many targets as
+//     the pool is wide — no single target's mutex-serialized boot
+//     phase backs up every worker, and a small target draining early
+//     leaves the rest of the rotation instead of idle workers
+//     (BenchmarkGlobalScheduler measures the utilization gap). Each
+//     per-system report is reassembled through inject.Assemble, the
+//     same code path a standalone campaign uses, so going global
+//     changes utilization, never results. This scheduler sits under
+//     `spexinj -all`, `spexinj -system X` (the one-workload special
+//     case), and `spexeval -global`.
+//
+//   - Plan: `spexinj -shard i/N -state dir` executes one deterministic
+//     partition of the workload. shard.Plan hashes each
+//     misconfiguration's replay identity (inject.CacheKey, salted with
+//     the system name) with FNV-1a mod N, so every process computes
+//     the same partition from the same inference with no coordinator,
+//     each key belongs to exactly one shard, and a shard's -state
+//     re-run replays its own outcomes incrementally.
+//
+//   - Merge: `spexmerge -out dir shard1 shard2 ...` (shard.Merge)
+//     folds per-shard state directories into one canonical store. The
+//     merge validates before it folds — all shards of a system must
+//     carry this build's schema fingerprint, the same constraint-set
+//     fingerprint, and the same outcome-affecting options identity
+//     (OptionsID) — and resolves duplicate outcome keys freshest-wins
+//     by each outcome's own stamp (when it was last executed or
+//     re-validated, not when its snapshot was saved — a shard that
+//     merely carried a peer's outcome through its save can never
+//     shadow the peer's fresher retest). The merged store replays
+//     byte-identically
+//     to an unsharded run's (campaignstore.Snapshot.Fingerprint is the
+//     equivalence check: it covers everything replay-relevant and
+//     nothing time-dependent).
+//
+// Example: split a campaign across two machines and fold it back.
+//
+//	machine1$ spexinj -all -shard 1/2 -state /tmp/shard1
+//	machine2$ spexinj -all -shard 2/2 -state /tmp/shard2
+//	$ spexmerge -out /var/lib/spex /tmp/shard1 /tmp/shard2
+//	$ spexinj -all -state /var/lib/spex    # 100% replay, zero sim cost
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package spex

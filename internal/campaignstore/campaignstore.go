@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,7 +43,11 @@ import (
 // SchemaVersion is the snapshot layout version. Bump it on any change
 // to the Snapshot structure or the meaning of its fields; old snapshots
 // then fail safe into a full campaign.
-const SchemaVersion = 1
+//
+// v2 added per-outcome freshness stamps (Snapshot.Stamps) so a sharded
+// campaign's merge resolves duplicate keys by when each outcome was
+// actually established, not by whole-snapshot save time.
+const SchemaVersion = 2
 
 var (
 	// ErrNotExist reports that no snapshot has been saved for the system
@@ -95,6 +100,40 @@ type Snapshot struct {
 	Constraints *constraint.Set `json:"constraints"`
 	// Outcomes holds every recorded outcome keyed by inject.CacheKey.
 	Outcomes map[string]inject.Outcome `json:"outcomes"`
+	// Stamps records, per outcome key, when that outcome was last
+	// executed or re-validated against the current constraint set. A
+	// snapshot's own save time says nothing per key once shards carry
+	// their peers' outcomes through a save (shard.Workload.Keep): a
+	// carried copy keeps its original stamp, so the shard merge's
+	// freshest-wins resolution never lets a stale carried copy beat the
+	// owning shard's genuinely fresher retest. Keys missing a stamp
+	// default to SavedAt on load.
+	Stamps map[string]time.Time `json:"stamps,omitempty"`
+}
+
+// Fingerprint hashes the snapshot's replay-relevant content: the schema
+// fingerprint, system, options identity, constraint-set fingerprint,
+// and every outcome keyed by inject.CacheKey — but not SavedAt. Two
+// snapshots that would replay identically fingerprint identically, so
+// a sharded campaign's merged store can be checked byte-for-byte
+// equivalent to an unsharded run's (internal/shard's acceptance test).
+func (s *Snapshot) Fingerprint() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema %s\nsystem %s\noptions %s\nset %s\n",
+		s.Schema, s.System, s.Options, s.SetFingerprint)
+	keys := make([]string, 0, len(s.Outcomes))
+	for k := range s.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		data, err := json.Marshal(s.Outcomes[k])
+		if err != nil {
+			return "", fmt.Errorf("campaignstore: %w", err)
+		}
+		fmt.Fprintf(h, "outcome %d:%s %d:%s\n", len(k), k, len(data), data)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
 }
 
 // OptionsID renders the outcome-affecting campaign options as a stable
@@ -112,16 +151,25 @@ func OptionsID(opts inject.Options) string {
 
 // New assembles a snapshot for the system from the constraint set and
 // campaign options the outcomes were recorded under and the result
-// cache's exported entries.
+// cache's exported entries. Every outcome is stamped with the save
+// time — correct for a run that executed or re-validated its whole key
+// set; a caller carrying peer outcomes through the save (the shard
+// layer) overrides the carried keys' stamps afterwards.
 func New(system string, set *constraint.Set, opts inject.Options, outcomes map[string]inject.Outcome) *Snapshot {
+	now := time.Now().UTC()
+	stamps := make(map[string]time.Time, len(outcomes))
+	for k := range outcomes {
+		stamps[k] = now
+	}
 	return &Snapshot{
 		Schema:         SchemaFingerprint(),
 		System:         system,
-		SavedAt:        time.Now().UTC(),
+		SavedAt:        now,
 		Options:        OptionsID(opts),
 		SetFingerprint: set.Fingerprint(),
 		Constraints:    set,
 		Outcomes:       outcomes,
+		Stamps:         stamps,
 	}
 }
 
@@ -157,6 +205,36 @@ func (s *Store) Path(system string) string {
 	return filepath.Join(s.dir, safe+".campaign.json")
 }
 
+// decodeSnapshot unmarshals and validates one snapshot document — the
+// shared half of Load and LoadAll. label names the source in errors.
+func decodeSnapshot(data []byte, label string) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("campaignstore: corrupt snapshot for %s: %w", label, err)
+	}
+	if snap.Schema != SchemaFingerprint() {
+		return nil, fmt.Errorf("%w: snapshot %q, this build %q", ErrStale, snap.Schema, SchemaFingerprint())
+	}
+	if snap.Constraints == nil {
+		return nil, fmt.Errorf("campaignstore: snapshot for %s has no constraint set", label)
+	}
+	if fp := snap.Constraints.Fingerprint(); fp != snap.SetFingerprint {
+		return nil, fmt.Errorf("campaignstore: snapshot for %s fails its constraint fingerprint (%s != %s)",
+			label, fp, snap.SetFingerprint)
+	}
+	// Outcomes missing a per-key stamp inherit the snapshot save time —
+	// the pre-Stamps freshness granularity.
+	if snap.Stamps == nil {
+		snap.Stamps = make(map[string]time.Time, len(snap.Outcomes))
+	}
+	for k := range snap.Outcomes {
+		if _, ok := snap.Stamps[k]; !ok {
+			snap.Stamps[k] = snap.SavedAt
+		}
+	}
+	return &snap, nil
+}
+
 // Load reads and validates the system's snapshot. It returns ErrNotExist
 // when no snapshot was saved yet, ErrStale when the snapshot was written
 // under a different schema fingerprint, and a descriptive error for a
@@ -171,30 +249,58 @@ func (s *Store) Load(system string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaignstore: %w", err)
 	}
-	var snap Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return nil, fmt.Errorf("campaignstore: corrupt snapshot for %s: %w", system, err)
-	}
-	if snap.Schema != SchemaFingerprint() {
-		return nil, fmt.Errorf("%w: snapshot %q, this build %q", ErrStale, snap.Schema, SchemaFingerprint())
+	snap, err := decodeSnapshot(data, system)
+	if err != nil {
+		return nil, err
 	}
 	if snap.System != system {
 		return nil, fmt.Errorf("campaignstore: snapshot names system %q, want %q", snap.System, system)
 	}
-	if snap.Constraints == nil {
-		return nil, fmt.Errorf("campaignstore: snapshot for %s has no constraint set", system)
+	return snap, nil
+}
+
+// LoadAll reads and validates every snapshot in the store in one pass,
+// sorted by system name — the shard-merge path, which needs the full
+// documents and must not parse each file twice (once to list, once to
+// load). Unlike List it is strict: an unreadable, corrupt, stale, or
+// misfiled snapshot fails the whole call, because a merge must never
+// silently skip a shard's data.
+func (s *Store) LoadAll() ([]*Snapshot, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
 	}
-	if fp := snap.Constraints.Fingerprint(); fp != snap.SetFingerprint {
-		return nil, fmt.Errorf("campaignstore: snapshot for %s fails its constraint fingerprint (%s != %s)",
-			system, fp, snap.SetFingerprint)
+	var snaps []*Snapshot
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".campaign.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("campaignstore: %w", err)
+		}
+		snap, err := decodeSnapshot(data, e.Name())
+		if err != nil {
+			return nil, err
+		}
+		if want := filepath.Base(s.Path(snap.System)); want != e.Name() {
+			return nil, fmt.Errorf("campaignstore: %s names system %q, which belongs in %s",
+				e.Name(), snap.System, want)
+		}
+		snaps = append(snaps, snap)
 	}
-	return &snap, nil
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].System < snaps[j].System })
+	return snaps, nil
 }
 
 // Save writes the snapshot atomically: the document lands in a
-// temporary file in the state directory and is renamed over the final
-// path, so a crash mid-write can never leave a half-written snapshot
-// where Load would find it.
+// temporary file in the state directory, is fsynced, and is renamed
+// over the final path. The fsync before the rename matters as much as
+// the rename itself: without it a crash shortly after Save could leave
+// the rename durable but the data not, and Load would find a
+// zero-length snapshot at the final path on every subsequent run. With
+// it, the final path only ever holds a complete document (or the
+// previous one).
 func (s *Store) Save(snap *Snapshot) error {
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
@@ -210,13 +316,54 @@ func (s *Store) Save(snap *Snapshot) error {
 		tmp.Close()
 		return fmt.Errorf("campaignstore: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaignstore: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("campaignstore: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		return fmt.Errorf("campaignstore: %w", err)
 	}
+	// Make the rename itself durable. Directory fsync is best-effort:
+	// not every platform supports it, and the data fsync above already
+	// rules out the dangerous half (durable rename, lost data).
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
 	return nil
+}
+
+// List returns the name of every system with a snapshot in the store,
+// sorted. File names are flattened (Path), so the name is read from
+// each snapshot document; files that do not minimally parse are
+// skipped — Load will report them properly when asked.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	var systems []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".campaign.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var head struct {
+			System string `json:"system"`
+		}
+		if json.Unmarshal(data, &head) != nil || head.System == "" {
+			continue
+		}
+		systems = append(systems, head.System)
+	}
+	sort.Strings(systems)
+	return systems, nil
 }
 
 // Status describes how one Campaign call used the store.
@@ -236,6 +383,65 @@ type Status struct {
 	Path string
 }
 
+// Prepare seeds cache for an incremental run of ms against the system's
+// stored snapshot and returns the Status describing the decision: on a
+// valid snapshot recorded under the same outcome-affecting options
+// (OptionsID) the recorded outcomes load into the cache, the stored
+// constraint set Diffs against set (the fresh inference), the
+// delta-selected retests are evicted so they re-execute, and stale
+// entries are pruned; on a missing, invalid, or options-mismatched
+// snapshot the cache stays empty and Status.Fallback says why — the
+// caller runs a full campaign either way, with the cache deciding what
+// replays. This is the one copy of the snapshot-replay policy, shared
+// by Campaign (per-system) and the global cross-target scheduler
+// (internal/shard CampaignAll).
+//
+// keep lists cache keys outside ms that must survive the prune: a shard
+// process running against a store that also holds its peers' outcomes
+// (a merged store, or a full store being refreshed one shard at a time)
+// must carry the other shards' work through its save, not discard it.
+//
+// The second return value holds the loaded snapshot's per-key freshness
+// stamps (nil on fallback): a caller that carries keys through its save
+// re-applies their original stamps so carried copies never masquerade
+// as fresh.
+func (s *Store) Prepare(system string, set *constraint.Set, ms []confgen.Misconf, opts inject.Options, keep map[string]bool, cache *inject.ResultCache) (Status, map[string]time.Time) {
+	st := Status{Path: s.Path(system)}
+	snap, err := s.Load(system)
+	if err == nil && snap.Options != OptionsID(opts) {
+		snap, err = nil, fmt.Errorf("campaign options changed (snapshot %q, this run %q)",
+			snap.Options, OptionsID(opts))
+	}
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			st.Fallback = "no snapshot (first run)"
+		} else {
+			st.Fallback = err.Error()
+		}
+		return st, nil
+	}
+	cache.LoadSnapshot(snap.Outcomes)
+	d := inject.Diff(snap.Constraints, set)
+	retests := inject.SelectRetests(ms, d)
+	st.Replayed = true
+	st.Retests = len(retests)
+	// The cache prep of inject.RunSelected: evict the delta so it
+	// re-executes, prune entries that left the campaign — but never the
+	// keys the caller vouched for.
+	for _, m := range retests {
+		cache.Delete(inject.CacheKey(m))
+	}
+	current := make(map[string]bool, len(ms)+len(keep))
+	for _, m := range ms {
+		current[inject.CacheKey(m)] = true
+	}
+	for k := range keep {
+		current[k] = true
+	}
+	cache.Retain(current)
+	return st, snap.Stamps
+}
+
 // Campaign runs one system's injection campaign against the store: load
 // the snapshot, Diff the stored constraint set against set (the fresh
 // inference), re-execute only the delta-selected misconfigurations, and
@@ -249,32 +455,10 @@ type Status struct {
 // after a cancelled run holds exactly the finished outcomes and the
 // next run re-executes exactly the unfinished ones.
 func Campaign(ctx context.Context, store *Store, sys sim.System, set *constraint.Set, ms []confgen.Misconf, opts inject.Options) (*inject.Report, Status, error) {
-	st := Status{Path: store.Path(sys.Name())}
 	cache := inject.NewResultCache()
-
-	var rep *inject.Report
-	var runErr error
-	snap, err := store.Load(sys.Name())
-	if err == nil && snap.Options != OptionsID(opts) {
-		snap, err = nil, fmt.Errorf("campaign options changed (snapshot %q, this run %q)",
-			snap.Options, OptionsID(opts))
-	}
-	if err == nil {
-		cache.LoadSnapshot(snap.Outcomes)
-		d := inject.Diff(snap.Constraints, set)
-		retests := inject.SelectRetests(ms, d)
-		st.Replayed = true
-		st.Retests = len(retests)
-		rep, runErr = inject.RunSelected(ctx, sys, ms, retests, cache, opts)
-	} else {
-		if errors.Is(err, ErrNotExist) {
-			st.Fallback = "no snapshot (first run)"
-		} else {
-			st.Fallback = err.Error()
-		}
-		opts.Cache = cache
-		rep, runErr = inject.RunContext(ctx, sys, ms, opts)
-	}
+	st, _ := store.Prepare(sys.Name(), set, ms, opts, nil, cache)
+	opts.Cache = cache
+	rep, runErr := inject.RunContext(ctx, sys, ms, opts)
 
 	if rep != nil {
 		// Save even after cancellation: the cache holds only finished

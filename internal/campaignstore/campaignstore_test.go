@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"spex/internal/conffile"
 	"spex/internal/confgen"
@@ -451,5 +452,102 @@ func TestCampaignCancelThenResume(t *testing.T) {
 	}
 	if got, want := int(sys.boots.Load()-boots), len(ms)-finished; got != want {
 		t.Fatalf("resume booted %d times, want exactly the %d unfinished", got, want)
+	}
+}
+
+// TestLoadRejectsZeroLengthSnapshot: the fail-safe the fsync in Save
+// protects — if a crash ever did leave an empty file at the final path,
+// Load must refuse it (falling the run back to a full campaign) instead
+// of replaying garbage or erroring forever.
+func TestLoadRejectsZeroLengthSnapshot(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path("storefake"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("storefake"); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("Load of zero-length snapshot = %v, want a corrupt-snapshot error", err)
+	}
+}
+
+// TestSaveSurvivesReplacement: Save over an existing snapshot goes
+// through the temp+fsync+rename path and leaves a loadable document.
+func TestSaveSurvivesReplacement(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := mkSet(basicC("p"))
+	for i := 0; i < 3; i++ {
+		snap := New("storefake", set, inject.DefaultOptions(), map[string]inject.Outcome{})
+		if err := store.Save(snap); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	if _, err := store.Load("storefake"); err != nil {
+		t.Fatalf("load after repeated saves: %v", err)
+	}
+}
+
+// TestFingerprintIgnoresSavedAt: the replay-equivalence fingerprint must
+// be stable across save times (shards save at different moments) but
+// sensitive to outcome content.
+func TestFingerprintIgnoresSavedAt(t *testing.T) {
+	set := mkSet(basicC("p"))
+	c := set.Constraints[0]
+	ms := misconfs(c, 2)
+	outcomes := map[string]inject.Outcome{
+		inject.CacheKey(ms[0]): {Misconf: ms[0], Reaction: inject.ReactionGood},
+	}
+	a := New("storefake", set, inject.DefaultOptions(), outcomes)
+	b := New("storefake", set, inject.DefaultOptions(), outcomes)
+	b.SavedAt = b.SavedAt.Add(48 * time.Hour)
+	fa, err := a.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("fingerprint changed with SavedAt: %s vs %s", fa, fb)
+	}
+	b.Outcomes[inject.CacheKey(ms[1])] = inject.Outcome{Misconf: ms[1], Reaction: inject.ReactionCrash}
+	fc, err := b.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc == fa {
+		t.Error("fingerprint did not change with outcome content")
+	}
+}
+
+// TestListReturnsSavedSystems: List names every system with a snapshot,
+// sorted, skipping files that do not parse.
+func TestListReturnsSavedSystems(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"zeta", "alpha"} {
+		snap := New(name, constraint.NewSet(name), inject.DefaultOptions(), map[string]inject.Outcome{})
+		if err := store.Save(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(store.Path("broken"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "zeta"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("List = %v, want %v", got, want)
 	}
 }

@@ -1,5 +1,6 @@
 // Package engine is the concurrent campaign scheduler shared by the
-// injection harness (internal/inject) and the inference drivers
+// injection harness (internal/inject), the global cross-target
+// scheduler (internal/shard), and the inference drivers
 // (internal/spex, internal/report, cmd/...). It runs a fixed set of
 // indexed tasks on a bounded worker pool with three guarantees the
 // campaign layers rely on:

@@ -240,58 +240,62 @@ func Run(sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
 	return RunContext(context.Background(), sys, ms, opts)
 }
 
-// RunContext executes a full campaign under a context. Misconfigurations
-// are dispatched through the engine worker pool (opts.Workers wide);
-// outcomes are reassembled in input order so the report is identical to
-// a sequential run. A harness-level failure on one misconfiguration is
-// recorded on its outcome (Outcome.Err) and the campaign keeps going.
-// On cancellation the partial report is returned together with the
-// context error: finished outcomes are kept, unstarted ones carry the
-// context error and are marked Skipped (tallied on Report.Skipped, not
-// reported as progress or harness failures).
-func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
+// Runner executes individual misconfigurations of one system — the unit
+// of work the schedulers dispatch. RunContext wraps one runner in a
+// worker pool; the global cross-target scheduler (internal/shard)
+// interleaves many runners' tasks on a single pool.
+type Runner struct {
+	sys      sim.System
+	tmplText string
+	opts     Options
+}
+
+// NewRunner prepares a runner for the system. The options are
+// normalized once here (HangDeadline zero becomes DefaultHangDeadline),
+// so every Test call and every scheduler sees the same effective
+// options.
+func NewRunner(sys sim.System, opts Options) *Runner {
 	if opts.HangDeadline == 0 {
 		opts.HangDeadline = DefaultHangDeadline
 	}
-	tmplText := sys.DefaultConfig()
-	total := len(ms)
+	return &Runner{sys: sys, tmplText: sys.DefaultConfig(), opts: opts}
+}
 
-	eopts := engine.Options[Outcome]{Workers: opts.Workers}
-	if opts.Progress != nil {
-		done := 0
-		eopts.OnResult = func(r engine.Result[Outcome]) {
-			if r.Skipped {
-				// Never-started task flushed by a cancellation: not work
-				// done — reported on Report.Skipped instead.
-				return
-			}
-			done++
-			opts.Progress(done, total)
-		}
+// System returns the runner's target.
+func (r *Runner) System() sim.System { return r.sys }
+
+// Options returns the normalized campaign options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Test executes one misconfiguration end to end: boot on fresh virtual
+// substrates, functional tests, reaction classification, log-dump
+// trimming, and the optional SimCostDelay sleep. A returned error is a
+// harness-level failure (the misconfiguration could not be tested),
+// never a system reaction.
+func (r *Runner) Test(ctx context.Context, m confgen.Misconf) (Outcome, error) {
+	out, err := runOne(ctx, r.sys, r.tmplText, m, r.opts)
+	if err == nil && !r.opts.KeepAllLogs && !out.Reaction.Vulnerability() {
+		// Good/tolerated reactions never render their logs; dropping
+		// the dump keeps the result cache and persisted snapshots
+		// bounded by the vulnerability count, not the campaign size.
+		out.LogDump = ""
 	}
-	if opts.Cache != nil {
-		eopts.Cache = opts.Cache
-		eopts.KeyOf = func(i int) string { return CacheKey(ms[i]) }
+	if err == nil && r.opts.SimCostDelay > 0 {
+		sleepCost(ctx, out.SimCost, r.opts.SimCostDelay)
 	}
+	return out, err
+}
 
-	// A runOne error is returned as the task error (not folded into the
-	// outcome) so the engine never records errored or cancelled outcomes
-	// in the cache — they must retry on the next run.
-	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (Outcome, error) {
-		out, err := runOne(ctx, sys, tmplText, ms[i], opts)
-		if err == nil && !opts.KeepAllLogs && !out.Reaction.Vulnerability() {
-			// Good/tolerated reactions never render their logs; dropping
-			// the dump keeps the result cache and persisted snapshots
-			// bounded by the vulnerability count, not the campaign size.
-			out.LogDump = ""
-		}
-		if err == nil && opts.SimCostDelay > 0 {
-			sleepCost(ctx, out.SimCost, opts.SimCostDelay)
-		}
-		return out, err
-	}, eopts)
-
-	rep := &Report{System: sys.Name(), Outcomes: make([]Outcome, 0, total)}
+// Assemble folds one system's engine results back into a campaign
+// report, in input (ms) order: cached results are replayed with their
+// metadata refreshed from the current misconfiguration list, errored
+// and skipped tasks are recorded per outcome, and the cost tallies
+// split into executed vs replayed. RunContext and the global
+// cross-target scheduler (internal/shard) share this function, which
+// is why a globally scheduled campaign's per-system report is
+// identical to a per-system run's.
+func Assemble(system string, ms []confgen.Misconf, results []engine.Result[Outcome], cache *ResultCache) *Report {
+	rep := &Report{System: system, Outcomes: make([]Outcome, 0, len(ms))}
 	for i, r := range results {
 		out := r.Value
 		if r.Cached {
@@ -305,8 +309,8 @@ func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts 
 			if ms[i].Violates != nil {
 				out.Loc = ms[i].Violates.Loc
 			}
-			if opts.Cache != nil {
-				opts.Cache.Put(CacheKey(ms[i]), out)
+			if cache != nil {
+				cache.Put(CacheKey(ms[i]), out)
 			}
 		}
 		if r.Err != nil { // errored, cancelled mid-run, or never started
@@ -327,6 +331,48 @@ func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts 
 			rep.TotalSimCost += out.SimCost
 		}
 	}
+	return rep
+}
+
+// RunContext executes a full campaign under a context. Misconfigurations
+// are dispatched through the engine worker pool (opts.Workers wide);
+// outcomes are reassembled in input order so the report is identical to
+// a sequential run. A harness-level failure on one misconfiguration is
+// recorded on its outcome (Outcome.Err) and the campaign keeps going.
+// On cancellation the partial report is returned together with the
+// context error: finished outcomes are kept, unstarted ones carry the
+// context error and are marked Skipped (tallied on Report.Skipped, not
+// reported as progress or harness failures).
+func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
+	runner := NewRunner(sys, opts)
+	total := len(ms)
+
+	eopts := engine.Options[Outcome]{Workers: opts.Workers}
+	if opts.Progress != nil {
+		done := 0
+		eopts.OnResult = func(r engine.Result[Outcome]) {
+			if r.Skipped {
+				// Never-started task flushed by a cancellation: not work
+				// done — reported on Report.Skipped instead.
+				return
+			}
+			done++
+			opts.Progress(done, total)
+		}
+	}
+	if opts.Cache != nil {
+		eopts.Cache = opts.Cache
+		eopts.KeyOf = func(i int) string { return CacheKey(ms[i]) }
+	}
+
+	// A Test error is returned as the task error (not folded into the
+	// outcome) so the engine never records errored or cancelled outcomes
+	// in the cache — they must retry on the next run.
+	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (Outcome, error) {
+		return runner.Test(ctx, ms[i])
+	}, eopts)
+
+	rep := Assemble(sys.Name(), ms, results, opts.Cache)
 	if cancelErr != nil {
 		return rep, fmt.Errorf("inject: %s: %w", sys.Name(), cancelErr)
 	}

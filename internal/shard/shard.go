@@ -1,0 +1,267 @@
+// Package shard turns the single-process campaign engine into a
+// multi-backend system: it partitions the global injection workload
+// across processes or machines and merges the shards' persisted state
+// back into one canonical store (the ROADMAP's "campaign sharding
+// across processes/machines" item, scaling the paper's §3.1 campaign
+// beyond one host).
+//
+// The subsystem has two cooperating pieces:
+//
+//   - A global cross-target scheduler (RunGlobal, CampaignAll): instead
+//     of one worker pool per system, every target's misconfigurations
+//     flatten into a single task queue feeding one pool. Tasks are
+//     interleaved round-robin across targets (Interleave), the
+//     boot-lock fairness rule: consecutive tasks hit different targets,
+//     so no single target's serialized boot phase (the per-target boot
+//     mutex in internal/targets) backs up the whole pool, and small
+//     targets draining early no longer idle workers.
+//
+//   - A shard/merge layer (Plan, Merge): Plan deterministically
+//     partitions the workload by stable hash of inject.CacheKey, each
+//     `spexinj -shard i/N -state dir` process executes one partition
+//     and saves per-shard campaignstore snapshots, and Merge folds the
+//     shard state directories into one canonical store whose replayed
+//     report is identical to an unsharded run's.
+//
+// The lifecycle is plan → execute → merge: the plan is pure arithmetic
+// (any process can compute it from the same inference, no coordinator),
+// execution is embarrassingly parallel across shards, and the merge
+// validates that the shards actually belong together (same schema
+// fingerprint, same constraint set, same outcome-affecting options)
+// before folding their outcomes, resolving duplicate keys
+// freshest-wins.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/confgen"
+	"spex/internal/inject"
+)
+
+// Plan identifies one shard of an N-way campaign partition. The zero
+// value is "unsharded" (Enabled reports false, Owns reports true for
+// everything).
+type Plan struct {
+	// Shard is this process's 1-based shard number.
+	Shard int
+	// Of is the total number of shards.
+	Of int
+}
+
+// ParsePlan parses the "i/N" notation of the -shard flag (1-based, so
+// "1/2" and "2/2" together cover a two-way split).
+func ParsePlan(s string) (Plan, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Plan{}, fmt.Errorf("shard: plan %q is not of the form i/N", s)
+	}
+	idx, err1 := strconv.Atoi(s[:i])
+	of, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil {
+		return Plan{}, fmt.Errorf("shard: plan %q is not of the form i/N", s)
+	}
+	p := Plan{Shard: idx, Of: of}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Validate checks the plan's arithmetic: 1 <= Shard <= Of.
+func (p Plan) Validate() error {
+	if p.Of < 1 || p.Shard < 1 || p.Shard > p.Of {
+		return fmt.Errorf("shard: invalid plan %d/%d (want 1 <= i <= N)", p.Shard, p.Of)
+	}
+	return nil
+}
+
+// Enabled reports whether the plan actually partitions (a zero or 1/1
+// plan owns everything).
+func (p Plan) Enabled() bool { return p.Of > 1 }
+
+// String renders the plan in the -shard flag's notation.
+func (p Plan) String() string { return fmt.Sprintf("%d/%d", p.Shard, p.Of) }
+
+// Owns reports whether this shard executes the misconfiguration. The
+// partition is a stable FNV-1a hash of the system name and the
+// misconfiguration's replay identity (inject.CacheKey), so every
+// process that ran the same deterministic inference computes the same
+// partition with no coordination, each key belongs to exactly one
+// shard, and the assignment survives re-runs (a shard's incremental
+// -state re-run replays its own outcomes).
+func (p Plan) Owns(system string, m confgen.Misconf) bool {
+	if p.Of <= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(system))
+	h.Write([]byte{0})
+	h.Write([]byte(inject.CacheKey(m)))
+	return int(h.Sum64()%uint64(p.Of)) == p.Shard-1
+}
+
+// Filter returns the misconfigurations this shard owns, in input order.
+func (p Plan) Filter(system string, ms []confgen.Misconf) []confgen.Misconf {
+	if !p.Enabled() {
+		return ms
+	}
+	var out []confgen.Misconf
+	for _, m := range ms {
+		if p.Owns(system, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MergeStat describes how one system's shards folded together.
+type MergeStat struct {
+	// System is the target system's name.
+	System string
+	// Shards is how many source snapshots contributed.
+	Shards int
+	// Outcomes is the merged snapshot's outcome count.
+	Outcomes int
+	// Duplicates counts outcome keys that appeared in more than one
+	// shard and were resolved freshest-wins (0 in the canonical flow —
+	// a plan assigns each key to exactly one shard and fresh shard
+	// stores hold only their own outcomes; merging refreshed copies of
+	// a merged store, where every snapshot carries every key, produces
+	// them wholesale).
+	Duplicates int
+	// Path is the merged snapshot file.
+	Path string
+	// Fingerprint is the merged snapshot's replay-equivalence hash
+	// (campaignstore.Snapshot.Fingerprint), computed from the in-memory
+	// document — equal to an unsharded run's store fingerprint when the
+	// shards covered the same campaign.
+	Fingerprint string
+}
+
+// Merge folds shard state directories into one canonical store at
+// dstDir: for every system with a snapshot in any source directory, the
+// shards' outcome maps union into a single snapshot. Validation is
+// strict — all of a system's shards must carry this build's schema
+// fingerprint (LoadAll enforces it), the same constraint-set
+// fingerprint, and the same outcome-affecting options identity
+// (campaignstore OptionsID); mixing an optimized shard with a
+// -no-optimizations shard is an error, not a silent blend. Duplicate
+// outcome keys resolve freshest-wins by each outcome's own stamp
+// (Snapshot.Stamps — when it was last executed or re-validated, NOT
+// when its snapshot happened to be saved, so a shard that merely
+// carried a peer's outcome through its save can never shadow the
+// peer's fresher retest; ties go to the later source directory), and
+// the merged snapshot replays exactly like an unsharded run's.
+func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
+	if len(srcDirs) == 0 {
+		return nil, errors.New("shard: no shard directories to merge")
+	}
+	dst, err := campaignstore.Open(dstDir)
+	if err != nil {
+		return nil, err
+	}
+
+	type part struct {
+		dir  string
+		snap *campaignstore.Snapshot
+	}
+	bySystem := map[string][]part{}
+	var systems []string
+	for _, dir := range srcDirs {
+		// Sources must already exist — Open would create a typo'd path
+		// as an empty directory before the "no snapshots" error lands.
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("shard: %s is not a shard state directory", dir)
+		}
+		store, err := campaignstore.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		snaps, err := store.LoadAll()
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", dir, err)
+		}
+		if len(snaps) == 0 {
+			return nil, fmt.Errorf("shard: %s holds no campaign snapshots", dir)
+		}
+		for _, snap := range snaps {
+			if len(bySystem[snap.System]) == 0 {
+				systems = append(systems, snap.System)
+			}
+			bySystem[snap.System] = append(bySystem[snap.System], part{dir: dir, snap: snap})
+		}
+	}
+	sort.Strings(systems)
+
+	var stats []MergeStat
+	for _, system := range systems {
+		parts := bySystem[system]
+		first := parts[0]
+		for _, p := range parts[1:] {
+			if p.snap.Options != first.snap.Options {
+				return nil, fmt.Errorf(
+					"shard: %s: shards disagree on campaign options (%s has %q, %s has %q) — refusing to merge",
+					system, first.dir, first.snap.Options, p.dir, p.snap.Options)
+			}
+			if p.snap.SetFingerprint != first.snap.SetFingerprint {
+				return nil, fmt.Errorf(
+					"shard: %s: shards disagree on the constraint set (%s has %s, %s has %s) — refusing to merge",
+					system, first.dir, first.snap.SetFingerprint, p.dir, p.snap.SetFingerprint)
+			}
+		}
+
+		merged := make(map[string]inject.Outcome)
+		stamps := make(map[string]time.Time)
+		duplicates := 0
+		for _, p := range parts {
+			for key, out := range p.snap.Outcomes {
+				stamp := p.snap.Stamps[key]
+				prev, seen := stamps[key]
+				if seen {
+					duplicates++
+					if stamp.Before(prev) {
+						continue
+					}
+				}
+				merged[key] = out
+				stamps[key] = stamp
+			}
+		}
+
+		snap := &campaignstore.Snapshot{
+			Schema:         campaignstore.SchemaFingerprint(),
+			System:         system,
+			SavedAt:        time.Now().UTC(),
+			Options:        first.snap.Options,
+			SetFingerprint: first.snap.SetFingerprint,
+			Constraints:    first.snap.Constraints,
+			Outcomes:       merged,
+			Stamps:         stamps,
+		}
+		if err := dst.Save(snap); err != nil {
+			return nil, err
+		}
+		fp, err := snap.Fingerprint()
+		if err != nil {
+			return nil, err
+		}
+		stats = append(stats, MergeStat{
+			System:      system,
+			Shards:      len(parts),
+			Outcomes:    len(merged),
+			Duplicates:  duplicates,
+			Path:        dst.Path(system),
+			Fingerprint: fp,
+		})
+	}
+	return stats, nil
+}

@@ -1,0 +1,504 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/constraint"
+	"spex/internal/inject"
+	"spex/internal/sim"
+	"spex/internal/spex"
+	"spex/internal/targets/httpd"
+	"spex/internal/targets/ldapd"
+)
+
+// workloadFor infers a real target and generates its full
+// misconfiguration list — the exact input the drivers feed the
+// scheduler.
+func workloadFor(t testing.TB, sys sim.System) Workload {
+	t.Helper()
+	res, err := spex.InferSystem(sys)
+	if err != nil {
+		t.Fatalf("infer %s: %v", sys.Name(), err)
+	}
+	tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
+	if err != nil {
+		t.Fatalf("parse %s template: %v", sys.Name(), err)
+	}
+	return Workload{Sys: sys, Set: res.Set, Ms: confgen.NewRegistry().Generate(res.Set, tmpl)}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	got := Interleave([]int{3, 1, 2})
+	want := []Task{
+		{0, 0}, {1, 0}, {2, 0}, // round 0: every target
+		{0, 1}, {2, 1}, // round 1: target 1 drained
+		{0, 2}, // round 2: only target 0 left
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Interleave = %v, want %v", got, want)
+	}
+	if len(Interleave(nil)) != 0 {
+		t.Error("Interleave(nil) should be empty")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("2/4")
+	if err != nil || p.Shard != 2 || p.Of != 4 || !p.Enabled() {
+		t.Errorf("ParsePlan(2/4) = %v, %v", p, err)
+	}
+	if p.String() != "2/4" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if q, err := ParsePlan("1/1"); err != nil || q.Enabled() {
+		t.Errorf("ParsePlan(1/1) = %v, %v (1/1 must parse but not partition)", q, err)
+	}
+	for _, bad := range []string{"", "2", "0/4", "5/4", "x/2", "1/x", "-1/2", "1/0"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+// TestPlanPartitionsDisjointAndComplete: every misconfiguration of a
+// real workload belongs to exactly one shard, so N shard processes
+// together execute the whole campaign with no overlap and no gap.
+func TestPlanPartitionsDisjointAndComplete(t *testing.T) {
+	w := workloadFor(t, ldapd.New())
+	for _, n := range []int{2, 3, 7} {
+		owners := 0
+		for _, m := range w.Ms {
+			c := 0
+			for i := 1; i <= n; i++ {
+				if (Plan{Shard: i, Of: n}).Owns(w.Sys.Name(), m) {
+					c++
+				}
+			}
+			if c != 1 {
+				t.Fatalf("N=%d: misconf %s owned by %d shards, want exactly 1", n, m.ID, c)
+			}
+			owners += c
+		}
+		if owners != len(w.Ms) {
+			t.Errorf("N=%d: %d assignments for %d misconfigurations", n, owners, len(w.Ms))
+		}
+		total := 0
+		for i := 1; i <= n; i++ {
+			total += len((Plan{Shard: i, Of: n}).Filter(w.Sys.Name(), w.Ms))
+		}
+		if total != len(w.Ms) {
+			t.Errorf("N=%d: shard filters cover %d of %d misconfigurations", n, total, len(w.Ms))
+		}
+	}
+}
+
+// TestRunGlobalMatchesPerTarget: the global cross-target scheduler must
+// produce, per system, the identical report a standalone per-system
+// campaign produces — interleaving changes utilization, never results.
+func TestRunGlobalMatchesPerTarget(t *testing.T) {
+	ws := []Workload{workloadFor(t, ldapd.New()), workloadFor(t, httpd.New())}
+	ctx := context.Background()
+
+	var want []*inject.Report
+	for _, w := range ws {
+		rep, err := inject.RunContext(ctx, w.Sys, w.Ms, inject.DefaultOptions())
+		if err != nil {
+			t.Fatalf("per-target %s: %v", w.Sys.Name(), err)
+		}
+		want = append(want, rep)
+	}
+	got, err := RunGlobal(ctx, ws, Options{Workers: 8, Inject: inject.DefaultOptions()})
+	if err != nil {
+		t.Fatalf("RunGlobal: %v", err)
+	}
+	for i := range ws {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s: global report differs from per-target report", ws[i].Sys.Name())
+		}
+	}
+}
+
+// TestRunGlobalProgressAggregates: per-outcome events carry consistent
+// aggregate and per-system counters, ending exactly at the totals.
+func TestRunGlobalProgressAggregates(t *testing.T) {
+	ws := []Workload{workloadFor(t, ldapd.New()), workloadFor(t, httpd.New())}
+	total := len(ws[0].Ms) + len(ws[1].Ms)
+	var events []Progress
+	_, err := RunGlobal(context.Background(), ws, Options{
+		Workers: 4, Inject: inject.DefaultOptions(),
+		OnProgress: func(p Progress) { events = append(events, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != total {
+		t.Fatalf("%d progress events for %d tasks", len(events), total)
+	}
+	for i, e := range events {
+		if e.Done != i+1 || e.Total != total {
+			t.Fatalf("event %d: aggregate %d/%d, want %d/%d", i, e.Done, e.Total, i+1, total)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Done != last.Total {
+		t.Errorf("final event %d/%d is not complete", last.Done, last.Total)
+	}
+}
+
+// TestShardMergeMatchesUnsharded is the acceptance criterion: the same
+// workload executed as 1, 2, and 4 separate shard campaigns, merged,
+// yields a store fingerprint identical to the unsharded run's and a
+// replayed report deeply equal to the unsharded replay.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	sys := ldapd.New()
+	w := workloadFor(t, sys)
+	ctx := context.Background()
+	opts := Options{Workers: 4, Inject: inject.DefaultOptions()}
+
+	// Unsharded baseline: full campaign, then a 100%-replay run.
+	usDir := t.TempDir()
+	usStore, err := campaignstore.Open(usDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CampaignAll(ctx, usStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts); err != nil {
+		t.Fatal(err)
+	}
+	usSnap, err := usStore.Load(sys.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	usFP, err := usSnap.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	usReplay, err := CampaignAll(ctx, usStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := usReplay[0].Report.Replayed; got != len(w.Ms) {
+		t.Fatalf("unsharded replay executed work: replayed %d of %d", got, len(w.Ms))
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		var dirs []string
+		for i := 1; i <= n; i++ {
+			plan := Plan{Shard: i, Of: n}
+			dir := t.TempDir()
+			store, err := campaignstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := Workload{Sys: sys, Set: w.Set, Ms: plan.Filter(sys.Name(), w.Ms)}
+			if _, err := CampaignAll(ctx, store, []Workload{sw}, opts); err != nil {
+				t.Fatalf("N=%d shard %d: %v", n, i, err)
+			}
+			dirs = append(dirs, dir)
+		}
+		mergedDir := t.TempDir()
+		stats, err := Merge(mergedDir, dirs)
+		if err != nil {
+			t.Fatalf("N=%d merge: %v", n, err)
+		}
+		if len(stats) != 1 || stats[0].Outcomes != len(w.Ms) || stats[0].Duplicates != 0 {
+			t.Fatalf("N=%d merge stats = %+v, want %d outcomes, 0 duplicates", n, stats, len(w.Ms))
+		}
+		mgStore, err := campaignstore.Open(mergedDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgSnap, err := mgStore.Load(sys.Name())
+		if err != nil {
+			t.Fatalf("N=%d: merged snapshot fails validation: %v", n, err)
+		}
+		mgFP, err := mgSnap.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mgFP != usFP {
+			t.Errorf("N=%d: merged store fingerprint %s != unsharded %s", n, mgFP, usFP)
+		}
+		mgReplay, err := CampaignAll(ctx, mgStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mgReplay[0].Report.Replayed; got != len(w.Ms) {
+			t.Errorf("N=%d: merged replay re-executed work: replayed %d of %d", n, got, len(w.Ms))
+		}
+		if !reflect.DeepEqual(mgReplay[0].Report, usReplay[0].Report) {
+			t.Errorf("N=%d: merged replay report differs from unsharded replay report", n)
+		}
+	}
+}
+
+// TestShardRefreshPreservesPeerOutcomes: re-running one shard against a
+// merged store (Workload.Keep vouching for the full campaign's keys)
+// must replay its own partition and carry the other shards' outcomes
+// through the save, not prune them as stale.
+func TestShardRefreshPreservesPeerOutcomes(t *testing.T) {
+	sys := ldapd.New()
+	w := workloadFor(t, sys)
+	ctx := context.Background()
+	opts := Options{Workers: 4, Inject: inject.DefaultOptions()}
+
+	mergedDir := t.TempDir()
+	var dirs []string
+	for i := 1; i <= 2; i++ {
+		plan := Plan{Shard: i, Of: 2}
+		dir := t.TempDir()
+		store, err := campaignstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := Workload{Sys: sys, Set: w.Set, Ms: plan.Filter(sys.Name(), w.Ms)}
+		if _, err := CampaignAll(ctx, store, []Workload{sw}, opts); err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, dir)
+	}
+	if _, err := Merge(mergedDir, dirs); err != nil {
+		t.Fatal(err)
+	}
+	mgStore, err := campaignstore.Open(mergedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Refresh shard 1 against the merged store, vouching for every key.
+	plan := Plan{Shard: 1, Of: 2}
+	keep := make(map[string]bool, len(w.Ms))
+	for _, m := range w.Ms {
+		keep[inject.CacheKey(m)] = true
+	}
+	sw := Workload{Sys: sys, Set: w.Set, Ms: plan.Filter(sys.Name(), w.Ms), Keep: keep}
+	runs, err := CampaignAll(ctx, mgStore, []Workload{sw}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs[0].Report.Replayed; got != len(sw.Ms) {
+		t.Errorf("shard refresh replayed %d of its %d outcomes", got, len(sw.Ms))
+	}
+	snap, err := mgStore.Load(sys.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Outcomes) != len(w.Ms) {
+		t.Errorf("after a shard-1 refresh the merged store holds %d outcomes, want the full campaign's %d (peer shard's work was pruned)",
+			len(snap.Outcomes), len(w.Ms))
+	}
+}
+
+// Synthetic snapshot fixtures for the merge validation tests.
+
+func synthSet(params ...string) *constraint.Set {
+	s := constraint.NewSet("synth")
+	for _, p := range params {
+		s.Add(&constraint.Constraint{Kind: constraint.KindBasicType, Param: p, Basic: constraint.BasicString})
+	}
+	return s
+}
+
+func synthMisconf(id string, c *constraint.Constraint) confgen.Misconf {
+	return confgen.Misconf{ID: id, Param: c.Param,
+		Values: map[string]string{c.Param: "bad"}, Violates: c}
+}
+
+func saveSnapshot(t *testing.T, dir string, set *constraint.Set, opts inject.Options, outcomes map[string]inject.Outcome, savedAt time.Time) {
+	t.Helper()
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := campaignstore.New("synth", set, opts, outcomes)
+	snap.SavedAt = savedAt
+	for k := range snap.Stamps {
+		snap.Stamps[k] = savedAt
+	}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeCarriedCopyNeverBeatsOwnersRetest: a shard refresh carries
+// its peers' outcomes through its save (Workload.Keep) with their
+// ORIGINAL per-key stamps, and Merge resolves duplicates by those
+// stamps — so a later-saved snapshot holding a stale carried copy of a
+// key must lose to the owning shard's earlier-saved but
+// genuinely-fresher retest of that key.
+func TestMergeCarriedCopyNeverBeatsOwnersRetest(t *testing.T) {
+	set := synthSet("p", "q")
+	opts := inject.DefaultOptions()
+	mK := synthMisconf("mK", set.Constraints[0])
+	mJ := synthMisconf("mJ", set.Constraints[1])
+	keyK, keyJ := inject.CacheKey(mK), inject.CacheKey(mJ)
+	stale := inject.Outcome{Misconf: mK, Reaction: inject.ReactionCrash}
+	fresh := inject.Outcome{Misconf: mK, Reaction: inject.ReactionGood}
+	t0 := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	t2, t3 := t0.Add(2*time.Hour), t0.Add(3*time.Hour)
+
+	// Shard 2 (owner of K) retested K at t2.
+	d2 := t.TempDir()
+	saveSnapshot(t, d2, set, opts, map[string]inject.Outcome{keyK: fresh}, t2)
+
+	// Shard 1 saved LATER (t3) with its own key J plus a stale carried
+	// copy of K still stamped t0.
+	d1 := t.TempDir()
+	store1, err := campaignstore.Open(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1 := campaignstore.New("synth", set, opts, map[string]inject.Outcome{
+		keyJ: {Misconf: mJ, Reaction: inject.ReactionTolerated},
+		keyK: stale,
+	})
+	snap1.SavedAt = t3
+	snap1.Stamps[keyJ] = t3
+	snap1.Stamps[keyK] = t0 // carried, never re-validated by shard 1
+	if err := store1.Save(snap1); err != nil {
+		t.Fatal(err)
+	}
+
+	mergedDir := t.TempDir()
+	if _, err := Merge(mergedDir, []string{d1, d2}); err != nil {
+		t.Fatal(err)
+	}
+	store, err := campaignstore.Open(mergedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Outcomes[keyK].Reaction; got != inject.ReactionGood {
+		t.Errorf("merged K = %v: the stale carried copy (snapshot saved later) beat the owner's fresher retest", got)
+	}
+	if got := snap.Stamps[keyK]; !got.Equal(t2) {
+		t.Errorf("merged K stamp = %v, want the owning retest's %v", got, t2)
+	}
+}
+
+func TestMergeRejectsMixedOptions(t *testing.T) {
+	set := synthSet("p")
+	optimized := inject.DefaultOptions()
+	naive := optimized
+	naive.StopOnFirstFailure = false
+	d1, d2 := t.TempDir(), t.TempDir()
+	saveSnapshot(t, d1, set, optimized, map[string]inject.Outcome{}, time.Now().UTC())
+	saveSnapshot(t, d2, set, naive, map[string]inject.Outcome{}, time.Now().UTC())
+	_, err := Merge(t.TempDir(), []string{d1, d2})
+	if err == nil || !strings.Contains(err.Error(), "options") {
+		t.Errorf("merging mixed-options shards should fail on options, got %v", err)
+	}
+}
+
+func TestMergeRejectsMixedConstraintSets(t *testing.T) {
+	opts := inject.DefaultOptions()
+	d1, d2 := t.TempDir(), t.TempDir()
+	saveSnapshot(t, d1, synthSet("p"), opts, map[string]inject.Outcome{}, time.Now().UTC())
+	saveSnapshot(t, d2, synthSet("p", "q"), opts, map[string]inject.Outcome{}, time.Now().UTC())
+	_, err := Merge(t.TempDir(), []string{d1, d2})
+	if err == nil || !strings.Contains(err.Error(), "constraint set") {
+		t.Errorf("merging mixed-set shards should fail on the constraint set, got %v", err)
+	}
+}
+
+func TestMergeFreshestWins(t *testing.T) {
+	set := synthSet("p")
+	opts := inject.DefaultOptions()
+	c := set.Constraints[0]
+	m := synthMisconf("m0", c)
+	key := inject.CacheKey(m)
+	older := inject.Outcome{Misconf: m, Reaction: inject.ReactionCrash}
+	newer := inject.Outcome{Misconf: m, Reaction: inject.ReactionGood}
+	t0 := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	t1 := t0.Add(time.Hour)
+
+	// The fresher snapshot sits in the EARLIER source directory, so the
+	// test distinguishes freshest-wins from last-directory-wins.
+	d1, d2 := t.TempDir(), t.TempDir()
+	saveSnapshot(t, d1, set, opts, map[string]inject.Outcome{key: newer}, t1)
+	saveSnapshot(t, d2, set, opts, map[string]inject.Outcome{key: older}, t0)
+
+	mergedDir := t.TempDir()
+	stats, err := Merge(mergedDir, []string{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", stats[0].Duplicates)
+	}
+	store, err := campaignstore.Open(mergedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load("synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Outcomes[key].Reaction; got != inject.ReactionGood {
+		t.Errorf("merged outcome reaction = %v, want the fresher snapshot's %v", got, inject.ReactionGood)
+	}
+}
+
+// TestMergeRejectsMisfiledSnapshot: a snapshot saved under a file name
+// that does not match its system (a hand-copied file) must fail the
+// merge with a clear error, not panic or silently double-count.
+func TestMergeRejectsMisfiledSnapshot(t *testing.T) {
+	set := synthSet("p")
+	dir := t.TempDir()
+	saveSnapshot(t, dir, set, inject.DefaultOptions(), map[string]inject.Outcome{}, time.Now().UTC())
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(store.Path("synth"), store.Path("renamed")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Merge(t.TempDir(), []string{dir})
+	if err == nil || !strings.Contains(err.Error(), "belongs in") {
+		t.Errorf("Merge with a misfiled snapshot = %v, want a belongs-in error", err)
+	}
+}
+
+// TestMergeSkipsShardsWithoutTheSystem: a shard that saw none of a
+// system's work (every misconfiguration hashed elsewhere) simply does
+// not contribute to that system's merge.
+func TestMergeSkipsShardsWithoutTheSystem(t *testing.T) {
+	set := synthSet("p")
+	opts := inject.DefaultOptions()
+	c := set.Constraints[0]
+	m := synthMisconf("m0", c)
+	d1, d2 := t.TempDir(), t.TempDir()
+	saveSnapshot(t, d1, set, opts,
+		map[string]inject.Outcome{inject.CacheKey(m): {Misconf: m}}, time.Now().UTC())
+	// d2 holds a snapshot for a different system only.
+	store2, err := campaignstore.Open(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := campaignstore.New("othersys", constraint.NewSet("othersys"), opts, map[string]inject.Outcome{})
+	if err := store2.Save(other); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Merge(t.TempDir(), []string{d1, d2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("merged %d systems, want 2 (synth + othersys)", len(stats))
+	}
+	for _, st := range stats {
+		if st.System == "synth" && st.Shards != 1 {
+			t.Errorf("synth merged from %d shards, want 1", st.Shards)
+		}
+	}
+}

@@ -4,8 +4,20 @@
 // Nginx, OpenSSH, Postfix). Together with the seven simulated systems they
 // reproduce the 18-project parameter-to-variable mapping survey: every
 // project uses the structure, comparison, or container convention (or a
-// hybrid).
+// hybrid). Survey runs the extraction toolkits over every snippet on the
+// engine worker pool and folds the measured conventions back in project
+// order.
 package minicorpus
+
+import (
+	"context"
+	"fmt"
+
+	"spex/internal/annot"
+	"spex/internal/engine"
+	"spex/internal/frontend"
+	"spex/internal/mapping"
+)
 
 // Project is one surveyed project: a corpus snippet plus its mapping
 // annotation.
@@ -16,6 +28,53 @@ type Project struct {
 	Annotations string
 	// WantConvention is the convention Table 1 reports for the project.
 	WantConvention string
+}
+
+// SurveyResult is one project's measured extraction outcome.
+type SurveyResult struct {
+	Project Project
+	// Pairs is the number of parameter-to-variable mapping pairs the
+	// toolkits extracted.
+	Pairs int
+	// Convention is the mapping convention measured from the project's
+	// annotations — the value Table 1 renders (WantConvention is the
+	// paper's published answer it is checked against).
+	Convention string
+}
+
+// Survey runs the 11-project mapping survey through the engine worker
+// pool, workers wide (0 = one per CPU): every project's corpus is
+// parsed (frontend.Parse) and its mapping pairs extracted
+// (mapping.Extract) concurrently, and the results fold back
+// deterministically in Projects() order — the parallel survey renders
+// the exact Table 1 rows the sequential loop did. Any project failing
+// to parse or extract fails the survey.
+func Survey(ctx context.Context, workers int) ([]SurveyResult, error) {
+	projects := Projects()
+	results, cancelErr := engine.Run(ctx, len(projects), func(_ context.Context, i int) (SurveyResult, error) {
+		p := projects[i]
+		proj, err := frontend.Parse(p.Name, p.Sources)
+		if err != nil {
+			return SurveyResult{}, fmt.Errorf("minicorpus: %s: %w", p.Name, err)
+		}
+		af, err := annot.Parse(p.Annotations)
+		if err != nil {
+			return SurveyResult{}, fmt.Errorf("minicorpus: %s: %w", p.Name, err)
+		}
+		pairs, err := mapping.Extract(proj, af)
+		if err != nil {
+			return SurveyResult{}, fmt.Errorf("minicorpus: %s: %w", p.Name, err)
+		}
+		return SurveyResult{Project: p, Pairs: len(pairs), Convention: mapping.Convention(af)}, nil
+	}, engine.Options[SurveyResult]{Workers: workers})
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	if err := engine.FirstError(results); err != nil {
+		return nil, err
+	}
+	out, _ := engine.Values(results)
+	return out, nil
 }
 
 // Projects returns the 11 surveyed snippets.

@@ -1,6 +1,8 @@
 package minicorpus
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"spex/internal/annot"
@@ -33,6 +35,40 @@ func TestEveryProjectExtracts(t *testing.T) {
 				t.Errorf("convention = %q, want %q", got, p.WantConvention)
 			}
 		})
+	}
+}
+
+// TestSurveyShardedMatchesSequential verifies the pooled survey: rows
+// come back in Projects() order regardless of pool width, every
+// measured convention matches the paper's Table 1 answer, and every
+// project extracts at least one pair. Widths 1 and 4 must produce
+// deeply equal results — the determinism the sharded Table 1 relies on.
+func TestSurveyShardedMatchesSequential(t *testing.T) {
+	sequential, err := Survey(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("Survey(1): %v", err)
+	}
+	parallel, err := Survey(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("Survey(4): %v", err)
+	}
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Errorf("sharded survey differs from sequential:\n%+v\nvs\n%+v", parallel, sequential)
+	}
+	projects := Projects()
+	if len(sequential) != len(projects) {
+		t.Fatalf("survey returned %d rows, want %d", len(sequential), len(projects))
+	}
+	for i, s := range sequential {
+		if s.Project.Name != projects[i].Name {
+			t.Errorf("row %d is %s, want %s (input order lost)", i, s.Project.Name, projects[i].Name)
+		}
+		if s.Pairs == 0 {
+			t.Errorf("%s: no mapping pairs extracted", s.Project.Name)
+		}
+		if s.Convention != s.Project.WantConvention {
+			t.Errorf("%s: measured convention %q, want %q", s.Project.Name, s.Convention, s.Project.WantConvention)
+		}
 	}
 }
 
