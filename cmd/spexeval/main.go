@@ -9,7 +9,28 @@
 // The rendered tables are identical in every mode. With -state <dir> the
 // campaign phase is incremental across runs: each system's outcomes are
 // persisted as a snapshot (internal/campaignstore) and replayed on the
-// next run, re-executing only what the constraint delta selects.
+// next run, re-executing only what the constraint delta selects. The
+// state directory is guarded by an exclusive writer lock — a concurrent
+// run fails fast instead of silently racing snapshot saves.
+//
+// # Distributed table pipeline
+//
+// With -shard i/N (requires -state) the campaign phase covers only this
+// process's deterministic partition of every system's
+// misconfigurations — the same FNV-1a partition spexinj -shard uses —
+// and persists per-shard snapshots instead of rendering tables (a
+// partial campaign would render misleading counts). Run one shard per
+// process or machine, fold the shard directories with spexmerge, and
+// render from the merged store:
+//
+//	spexeval -shard 1/2 -state /tmp/s1   # machine 1
+//	spexeval -shard 2/2 -state /tmp/s2   # machine 2
+//	spexmerge -out /var/lib/spex /tmp/s1 /tmp/s2
+//	spexeval -state /var/lib/spex        # replays 100%; tables byte-identical
+//
+// The final render replays every outcome from the merged store at zero
+// fresh simulated cost and produces tables byte-identical to an
+// unsharded run's.
 //
 // Usage:
 //
@@ -19,6 +40,7 @@
 //	spexeval -workers 8 -progress
 //	spexeval -global -workers 8     # one cross-target campaign pool
 //	spexeval -state /var/lib/spex   # persistent incremental campaigns
+//	spexeval -shard 1/2 -state /tmp/s1   # one shard of the campaign phase
 package main
 
 import (
@@ -28,25 +50,61 @@ import (
 	"os"
 	"os/signal"
 
+	"spex/internal/campaignstore"
 	"spex/internal/report"
+	"spex/internal/shard"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		tableN   = flag.Int("table", 0, "render only this table (1-12)")
-		figureN  = flag.Int("figure", 0, "render only this figure (1-7)")
-		workers  = flag.Int("workers", 0, "parallel per-system pipelines (0 = one per CPU)")
-		campaign = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 or 1 = sequential; systems already fan out)")
-		progress = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
-		state    = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
-		global   = flag.Bool("global", false, "interleave all campaigns on one cross-target worker pool (tables are identical; -campaign-workers is ignored)")
+		tableN    = flag.Int("table", 0, "render only this table (1-12)")
+		figureN   = flag.Int("figure", 0, "render only this figure (1-7)")
+		workers   = flag.Int("workers", 0, "parallel per-system pipelines (0 = one per CPU)")
+		campaign  = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 or 1 = sequential; systems already fan out)")
+		progress  = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
+		state     = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
+		global    = flag.Bool("global", false, "interleave all campaigns on one cross-target worker pool (tables are identical; -campaign-workers is ignored)")
+		shardFlag = flag.String("shard", "", "campaign only one shard i/N of every system's workload and persist per-shard snapshots instead of rendering tables (requires -state; merge with spexmerge, then render with -state alone)")
 	)
 	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
+		return 1
+	}
+
+	var plan shard.Plan
+	if *shardFlag != "" {
+		var err error
+		plan, err = shard.ParsePlan(*shardFlag)
+		if err != nil {
+			return fail(err)
+		}
+		if *state == "" {
+			fmt.Fprintln(os.Stderr, "spexeval: -shard requires -state (the shard's outcomes are its snapshot directory)")
+			return 2
+		}
+	}
+
+	if *state != "" {
+		store, err := campaignstore.Open(*state)
+		if err != nil {
+			return fail(err)
+		}
+		// One writer per state directory, same contract as spexinj.
+		lock, err := store.Lock()
+		if err != nil {
+			return fail(err)
+		}
+		defer lock.Unlock()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global}
+	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global, Shard: plan}
 	if *progress {
 		opts.OnProgress = func(p report.Progress) {
 			fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
@@ -54,21 +112,36 @@ func main() {
 	}
 	results, err := report.AnalyzeAllContext(ctx, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
-		os.Exit(1)
+		return fail(err)
 	}
+	saveFailed := false
 	for _, r := range results {
 		if r.StateErr != nil {
+			saveFailed = true
 			fmt.Fprintf(os.Stderr, "spexeval: warning: %s: snapshot not saved: %v\n", r.Sys.Name(), r.StateErr)
 		}
 	}
-
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)
-			os.Exit(1)
-		}
+	if saveFailed && plan.Enabled() {
+		// A shard run's snapshots ARE its output: exiting 0 here would
+		// let a pipeline merge a store silently missing this partition.
+		fmt.Fprintln(os.Stderr, "spexeval: sharded analysis failed to persist its partition")
+		return 1
 	}
+
+	if plan.Enabled() {
+		// A shard's campaign is partial by construction: rendering
+		// Table 3/5 from it would print misleading counts. Summarize
+		// what was persisted and point at the merge step instead.
+		fmt.Printf("=== sharded analysis %s: campaign partition persisted to %s ===\n", plan, *state)
+		for _, r := range results {
+			rep := r.Campaign
+			fmt.Printf("  %-10s %d misconfigurations campaigned (replayed %d, executed %d)\n",
+				r.Sys.Name(), len(rep.Outcomes), rep.Replayed, rep.Finished()-rep.Replayed)
+		}
+		fmt.Printf("merge the shard directories with spexmerge, then render tables with: spexeval -state <merged>\n")
+		return 0
+	}
+
 	tables := map[int]func() string{
 		1:  func() string { return report.Table1(results) },
 		2:  report.Table2,
@@ -97,16 +170,18 @@ func main() {
 	case *tableN != 0:
 		f, ok := tables[*tableN]
 		if !ok {
-			fail(fmt.Errorf("no table %d", *tableN))
+			return fail(fmt.Errorf("no table %d", *tableN))
 		}
 		fmt.Println(f())
 	case *figureN != 0:
 		f, ok := figures[*figureN]
 		if !ok {
-			fail(fmt.Errorf("no figure %d", *figureN))
+			return fail(fmt.Errorf("no figure %d", *figureN))
 		}
 		s, err := f()
-		fail(err)
+		if err != nil {
+			return fail(err)
+		}
 		fmt.Println(s)
 	default:
 		for i := 1; i <= 12; i++ {
@@ -117,8 +192,11 @@ func main() {
 		}
 		for i := 1; i <= 7; i++ {
 			s, err := figures[i]()
-			fail(err)
+			if err != nil {
+				return fail(err)
+			}
 			fmt.Println(s)
 		}
 	}
+	return 0
 }

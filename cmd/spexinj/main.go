@@ -26,7 +26,10 @@
 // (internal/campaignstore); missing, corrupt, or schema-stale snapshots
 // never replay — the run falls back to a full campaign and rebuilds the
 // snapshot. A cancelled run saves its finished outcomes, so the next run
-// resumes with exactly the unfinished misconfigurations.
+// resumes with exactly the unfinished misconfigurations. The state
+// directory is guarded by an exclusive writer lock (a second concurrent
+// run fails fast instead of silently racing snapshot saves; stale locks
+// from crashed runs are taken over automatically).
 //
 // # Distributed campaign sharding
 //
@@ -39,12 +42,36 @@
 // state directories into one canonical store whose replayed report is
 // identical to an unsharded run's.
 //
+// # Coordinated campaigns with work stealing
+//
+// With -coordinate N the process becomes a shard coordinator
+// (internal/coord): it launches N local child spexinj workers, assigns
+// each the same i/N hash partition a static -shard run would compute
+// (persisted as lease files under <state>/coord/), watches per-worker
+// heartbeat files, and rebalances by stealing — when a worker drains
+// while another still has more than -steal-min pending
+// misconfigurations, a deterministic suffix of the laggard's remaining
+// lease moves to the idle worker, which is relaunched on it. The
+// laggard observes its shrunken lease between outcomes and yields the
+// stolen keys instead of executing them, so the slowest shard no
+// longer sets the campaign's wall clock. When every worker drains, the
+// coordinator merges the per-worker stores (<state>/shard<i>/) into
+// the canonical store at the state root and prints the merge stats —
+// the fingerprint matches an unsharded run's byte for byte. An
+// interrupted coordinator resumes: leases and shard snapshots survive,
+// and the rerun re-executes only what was never persisted.
+//
+// Worker processes are spexinj itself in lease mode (-lease <file>,
+// normally set by the coordinator): they execute exactly their lease's
+// keys, heartbeat progress, and watch for steals.
+//
 // Usage:
 //
 //	spexinj -system proxyd [-reports] [-max 5] [-workers 8]
 //	spexinj -system proxyd -state /var/lib/spex   # incremental across runs
 //	spexinj -all                                  # one global pool, all targets
 //	spexinj -all -shard 1/4 -state /tmp/shard1    # one shard of a 4-way split
+//	spexinj -all -coordinate 4 -state /var/lib/spex  # 4 workers + work stealing
 package main
 
 import (
@@ -54,9 +81,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"time"
 
 	"spex/internal/campaignstore"
+	"spex/internal/coord"
 	"spex/internal/inject"
 	"spex/internal/shard"
 	"spex/internal/sim"
@@ -64,17 +94,24 @@ import (
 	"spex/internal/targets"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		system    = flag.String("system", "", "target system (see spex -list)")
-		all       = flag.Bool("all", false, "run the campaign on every target through one global pool")
-		reports   = flag.Bool("reports", false, "print full error reports for vulnerabilities")
-		max       = flag.Int("max", 10, "maximum error reports to print")
-		noOpt     = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
-		workers   = flag.Int("workers", 0, "width of the global worker pool (0 = one per CPU)")
-		progress  = flag.Bool("progress", false, "stream one aggregate progress line (plus per-system counts) to stderr")
-		state     = flag.String("state", "", "state directory for persistent incremental campaigns: replay saved outcomes, retest only the constraint delta, save the updated snapshot")
-		shardFlag = flag.String("shard", "", "execute one shard i/N of the workload (requires -state; merge shard directories with spexmerge)")
+		system     = flag.String("system", "", "target system (see spex -list)")
+		all        = flag.Bool("all", false, "run the campaign on every target through one global pool")
+		reports    = flag.Bool("reports", false, "print full error reports for vulnerabilities")
+		max        = flag.Int("max", 10, "maximum error reports to print")
+		noOpt      = flag.Bool("no-optimizations", false, "disable shortest-test-first and stop-on-first-failure")
+		workers    = flag.Int("workers", 0, "width of the global worker pool (0 = one per CPU)")
+		progress   = flag.Bool("progress", false, "stream one aggregate progress line (plus per-system counts) to stderr")
+		state      = flag.String("state", "", "state directory for persistent incremental campaigns: replay saved outcomes, retest only the constraint delta, save the updated snapshot")
+		shardFlag  = flag.String("shard", "", "execute one shard i/N of the workload (requires -state; merge shard directories with spexmerge)")
+		coordinate = flag.Int("coordinate", 0, "coordinate N local shard workers with work-stealing rebalance (requires -state; merges into it when done)")
+		stealMin   = flag.Int("steal-min", coord.DefaultStealMin, "coordinator: steal only from a laggard with more than this many pending misconfigurations")
+		leaseFlag  = flag.String("lease", "", "worker mode: execute the key set leased in this file (requires -state; normally set by -coordinate)")
+		simDelay   = flag.Duration("sim-delay", 0, "realize each simulated cost unit as this much wall time (scheduling knob for demos and skew experiments; 0 = full speed)")
+		skew       = flag.Int("skew", 1, "coordinator: multiply -sim-delay by this factor for worker 1, modeling a slow machine (demo/CI knob)")
 	)
 	flag.Parse()
 
@@ -85,13 +122,29 @@ func main() {
 		systems = []sim.System{sys}
 	} else {
 		fmt.Fprintf(os.Stderr, "spexinj: unknown system %q\n", *system)
-		os.Exit(2)
+		return 2
 	}
 
 	opts := inject.DefaultOptions()
 	if *noOpt {
 		opts.StopOnFirstFailure = false
 		opts.SortTests = false
+	}
+	opts.SimCostDelay = *simDelay
+
+	modes := 0
+	for _, on := range []bool{*shardFlag != "", *coordinate != 0, *leaseFlag != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "spexinj: -shard, -coordinate and -lease are mutually exclusive")
+		return 2
+	}
+	if (*shardFlag != "" || *coordinate != 0 || *leaseFlag != "") && *state == "" {
+		fmt.Fprintln(os.Stderr, "spexinj: -shard, -coordinate and -lease require -state (the campaign's snapshots live there)")
+		return 2
 	}
 
 	var plan shard.Plan
@@ -100,12 +153,30 @@ func main() {
 		plan, err = shard.ParsePlan(*shardFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
-		if *state == "" {
-			fmt.Fprintln(os.Stderr, "spexinj: -shard requires -state (the shard's outcomes are its snapshot directory)")
-			os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *coordinate != 0 {
+		if *coordinate < 2 {
+			fmt.Fprintln(os.Stderr, "spexinj: -coordinate needs at least 2 workers (a single shard has nobody to steal from)")
+			return 2
 		}
+		if *progress {
+			fmt.Fprintln(os.Stderr, "spexinj: -progress is ignored under -coordinate (lifecycle events stream to stderr; per-worker output is in <state>/coord/worker<i>.log)")
+		}
+		return runCoordinator(ctx, systems, opts, coordArgs{
+			state: *state, workers: *coordinate, pool: *workers,
+			stealMin: *stealMin, all: *all, system: *system,
+			noOpt: *noOpt, simDelay: *simDelay, skew: *skew,
+			reports: *reports, max: *max,
+		})
+	}
+	if *leaseFlag != "" {
+		return runWorker(ctx, *leaseFlag, *state, systems, opts, *workers)
 	}
 
 	var store *campaignstore.Store
@@ -114,12 +185,17 @@ func main() {
 		store, err = campaignstore.Open(*state)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
+		// One writer per state directory: a concurrent run fails fast
+		// here instead of silently losing the race of snapshot saves.
+		lock, err := store.Lock()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			return 1
+		}
+		defer lock.Unlock()
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	// Inference fans out on the engine pool, then every system's
 	// misconfigurations (shard-filtered under a -shard plan) interleave
@@ -128,24 +204,25 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "spexinj: cancelled: %v\n", err)
-			os.Exit(130)
+			return 130
 		}
 		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	ws, totals, err := shard.BuildWorkloads(systems, results, plan)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	gopts := shard.Options{Workers: *workers, Inject: opts}
+	var finishProgress func()
 	if *progress {
-		gopts.OnProgress = progressLine(ws)
+		gopts.OnProgress, finishProgress = progressLine(ws)
 	}
 	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
-	if *progress {
-		fmt.Fprintln(os.Stderr) // terminate the \r progress line
+	if finishProgress != nil {
+		finishProgress()
 	}
 	cancelled := runErr != nil && errors.Is(runErr, context.Canceled)
 	if runErr != nil && !cancelled {
@@ -192,13 +269,7 @@ func main() {
 			// Executed = outcomes that genuinely ran to completion this
 			// run; errored and cancelled-in-flight rows re-execute next
 			// run and are not counted.
-			finished := 0
-			for _, o := range rep.Outcomes {
-				if o.Err == "" {
-					finished++
-				}
-			}
-			executed := finished - rep.Replayed
+			executed := rep.Finished() - rep.Replayed
 			if run.Status.Fallback != "" {
 				fmt.Printf("  state: full campaign — %s\n", run.Status.Fallback)
 			} else {
@@ -225,22 +296,210 @@ func main() {
 		}
 	}
 	if cancelled {
-		os.Exit(130)
+		return 130
 	}
+	return 0
 }
 
-// progressLine returns a shard.Progress sink that rewrites one stderr
-// status line per event: the aggregate done/total followed by every
-// system's own count, in campaign order. One \r-terminated line instead
-// of interleaved per-campaign lines, so concurrent campaigns cannot
-// overwrite each other's progress.
-func progressLine(ws []shard.Workload) func(shard.Progress) {
+// coordArgs carries the CLI knobs the coordinator mode needs.
+type coordArgs struct {
+	state    string
+	workers  int
+	pool     int
+	stealMin int
+	all      bool
+	system   string
+	noOpt    bool
+	simDelay time.Duration
+	skew     int
+	reports  bool
+	max      int
+}
+
+// runCoordinator is `spexinj -coordinate N`: launch N child spexinj
+// workers in lease mode over the shared state directory, rebalance by
+// stealing, merge, and print the canonical store's per-system stats.
+func runCoordinator(ctx context.Context, systems []sim.System, opts inject.Options, a coordArgs) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+		return 1
+	}
+	argvFor := func(worker int) []string {
+		argv := []string{exe, "-lease", "{lease}", "-state", "{state}", "-workers", fmt.Sprint(a.pool)}
+		if a.all {
+			argv = append(argv, "-all")
+		} else {
+			argv = append(argv, "-system", a.system)
+		}
+		if a.noOpt {
+			argv = append(argv, "-no-optimizations")
+		}
+		if a.simDelay > 0 {
+			delay := a.simDelay
+			if worker == 1 && a.skew > 1 {
+				delay *= time.Duration(a.skew) // the induced slow machine
+			}
+			argv = append(argv, "-sim-delay", delay.String())
+		}
+		return argv
+	}
+	cfg := coord.Config{
+		StateDir:    a.state,
+		Workers:     a.workers,
+		Systems:     systems,
+		Inject:      opts,
+		PoolWorkers: a.pool,
+		StealMin:    a.stealMin,
+		Spawn: func(ctx context.Context, spec coord.WorkerSpec) (coord.Handle, error) {
+			return coord.ExecSpawner(argvFor(spec.Worker))(ctx, spec)
+		},
+		OnEvent: func(e coord.Event) {
+			switch e.Kind {
+			case "plan":
+				fmt.Fprintf(os.Stderr, "spexinj: coordinator: planned %d misconfigurations across %d workers\n", e.Keys, a.workers)
+			case "resume":
+				fmt.Fprintf(os.Stderr, "spexinj: coordinator: resuming %d misconfigurations from persisted leases\n", e.Keys)
+			case "spawn":
+				fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d launched on %d keys\n", e.Worker, e.Keys)
+			case "exit":
+				if e.Err != nil {
+					fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d exited: %v\n", e.Worker, e.Err)
+				} else {
+					fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d drained\n", e.Worker)
+				}
+			case "steal":
+				fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d stole %d keys from laggard worker %d\n", e.Worker, e.Keys, e.From)
+			case "merge":
+				fmt.Fprintf(os.Stderr, "spexinj: coordinator: merged %d outcomes into %s\n", e.Keys, a.state)
+			}
+		},
+	}
+	res, err := coord.Run(ctx, cfg)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "spexinj: coordinator cancelled (leases and shard snapshots kept; rerun to resume): %v\n", err)
+			return 130
+		}
+		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+		return 1
+	}
+	fmt.Printf("=== coordinated campaign: %d workers, %d spawns, %d steals ===\n",
+		a.workers, res.Spawns, res.Steals)
+	for _, st := range res.Stats {
+		fmt.Printf("%-10s %d outcomes from %d shard(s)", st.System, st.Outcomes, st.Shards)
+		if st.Duplicates > 0 {
+			fmt.Printf(", %d duplicate keys resolved freshest-wins", st.Duplicates)
+		}
+		fmt.Printf(" -> %s\n", st.Path)
+		fmt.Printf("%-10s store fingerprint %s\n", "", st.Fingerprint)
+	}
+	if a.reports {
+		if err := printMergedReports(a.state, a.max); err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// printMergedReports renders vulnerability error reports from the
+// coordinated campaign's merged store — the -reports flag's meaning
+// under -coordinate, where no single process held the outcomes in
+// memory. Like the plain driver, -max caps reports per system.
+func printMergedReports(stateDir string, max int) error {
+	store, err := campaignstore.Open(stateDir)
+	if err != nil {
+		return err
+	}
+	snaps, err := store.LoadAll()
+	if err != nil {
+		return err
+	}
+	for _, snap := range snaps {
+		keys := make([]string, 0, len(snap.Outcomes))
+		for k := range snap.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var vulns []inject.Outcome
+		for _, k := range keys {
+			o := snap.Outcomes[k]
+			if o.Reaction.Vulnerability() && o.Err == "" {
+				vulns = append(vulns, o)
+			}
+		}
+		for i, o := range vulns {
+			if i >= max {
+				fmt.Printf("  ... (%d more vulnerabilities in %s; raise -max)\n", len(vulns)-i, snap.System)
+				break
+			}
+			fmt.Println(inject.ErrorReport(o))
+		}
+	}
+	return nil
+}
+
+// runWorker is `spexinj -lease <file>`: the coordinator's child
+// process, executing exactly the leased key set against its private
+// shard store and heartbeating progress.
+func runWorker(ctx context.Context, leasePath, stateDir string, systems []sim.System, opts inject.Options, pool int) int {
+	res, err := coord.RunWorker(ctx, leasePath, stateDir, systems, coord.WorkerOptions{
+		Workers: pool, Inject: opts,
+	})
+	cancelled := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !cancelled {
+		fmt.Fprintf(os.Stderr, "spexinj: worker: %v\n", err)
+		if res == nil {
+			return 1
+		}
+	}
+	saveFailed := false
+	if res != nil {
+		fmt.Printf("worker %d: lease generation %d, %d done, %d yielded to steals\n",
+			res.Lease.Worker, res.Lease.Generation, res.Done, res.Yielded)
+		for _, run := range res.Runs {
+			if run.Err != nil {
+				// In worker mode the snapshot IS the output: a save
+				// failure means this partition's outcomes would vanish
+				// from the coordinator's merge, so it is fatal here
+				// even though the plain driver treats it as a warning.
+				saveFailed = true
+				fmt.Fprintf(os.Stderr, "spexinj: worker: %s: %v\n", run.Sys.Name(), run.Err)
+			}
+			rep := run.Report
+			fmt.Printf("  %-10s replayed %d, executed %d, yielded %d, fresh sim cost %d\n",
+				run.Sys.Name(), rep.Replayed, rep.Finished()-rep.Replayed, rep.Yielded, rep.TotalSimCost)
+		}
+	}
+	if cancelled {
+		fmt.Fprintf(os.Stderr, "spexinj: worker cancelled (finished outcomes saved): %v\n", err)
+		return 130
+	}
+	if err != nil || saveFailed {
+		return 1
+	}
+	return 0
+}
+
+// progressLine returns a shard.Progress sink rendering one status line
+// per event — the aggregate done/total followed by every system's own
+// count — plus a finish function to call once the campaign ends.
+//
+// On a terminal the line is rewritten in place (\r). When stderr is not
+// a TTY (CI logs, file redirects) rewriting would smear every update
+// into a separate garbled line, so the sink falls back to throttled
+// newline updates: the first event, then at most one line per second,
+// then the final count.
+func progressLine(ws []shard.Workload) (func(shard.Progress), func()) {
+	tty := isTerminal(os.Stderr)
 	idx := make(map[string]int, len(ws))
 	done := make([]int, len(ws))
 	for i, w := range ws {
 		idx[w.Sys.Name()] = i
 	}
-	return func(p shard.Progress) {
+	var last time.Time
+	emit := func(p shard.Progress) {
 		done[idx[p.System]] = p.SystemDone
 		var b strings.Builder
 		fmt.Fprintf(&b, "spexinj: %d/%d", p.Done, p.Total)
@@ -249,7 +508,28 @@ func progressLine(ws []shard.Workload) func(shard.Progress) {
 			fmt.Fprintf(&b, "%s%s %d/%d", sep, w.Sys.Name(), done[j], len(w.Ms))
 			sep = ", "
 		}
-		b.WriteString(")\r")
-		fmt.Fprint(os.Stderr, b.String())
+		b.WriteString(")")
+		if tty {
+			b.WriteString("\r")
+			fmt.Fprint(os.Stderr, b.String())
+			return
+		}
+		if p.Done == p.Total || last.IsZero() || time.Since(last) >= time.Second {
+			last = time.Now()
+			fmt.Fprintln(os.Stderr, b.String())
+		}
 	}
+	finish := func() {
+		if tty {
+			fmt.Fprintln(os.Stderr) // terminate the \r-rewritten line
+		}
+	}
+	return emit, finish
+}
+
+// isTerminal reports whether f is a character device — the TTY test
+// deciding between in-place progress rewrites and line-oriented output.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

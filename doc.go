@@ -113,8 +113,10 @@
 //     by each outcome's own stamp (when it was last executed or
 //     re-validated, not when its snapshot was saved — a shard that
 //     merely carried a peer's outcome through its save can never
-//     shadow the peer's fresher retest). The merged store replays
-//     byte-identically
+//     shadow the peer's fresher retest; exactly-equal stamps tie-break
+//     to the lexicographically greatest shard directory, so the merge
+//     is a function of the shard set, not the argument order). The
+//     merged store replays byte-identically
 //     to an unsharded run's (campaignstore.Snapshot.Fingerprint is the
 //     equivalence check: it covers everything replay-relevant and
 //     nothing time-dependent).
@@ -125,6 +127,74 @@
 //	machine2$ spexinj -all -shard 2/2 -state /tmp/shard2
 //	$ spexmerge -out /var/lib/spex /tmp/shard1 /tmp/shard2
 //	$ spexinj -all -state /var/lib/spex    # 100% replay, zero sim cost
+//
+// spexeval speaks the same protocol: `spexeval -shard i/N -state dir`
+// campaigns one partition per process (persisting per-shard snapshots
+// instead of rendering partial tables), and after spexmerge a plain
+// `spexeval -state merged` replays the whole campaign and renders every
+// table byte-identical to an unsharded run — the full evaluation
+// pipeline runs distributed.
+//
+// # Coordinated campaigns with work stealing
+//
+// The static i/N partition is coordinator-free but rigid: hash
+// placement balances key counts, not runtimes, so a shard stuck behind
+// slow misconfigurations (or a slow machine) sets the whole campaign's
+// wall clock. internal/coord adds the scheduler the ROADMAP called
+// for: `spexinj -coordinate N -state dir` runs a coordinator whose
+// lifecycle is plan → lease → steal → merge.
+//
+//   - Plan. The coordinator computes the same deterministic workload
+//     every shard process would and assigns each misconfiguration its
+//     i/N hash owner (shard.Owner) — a coordinated campaign starts
+//     from exactly the static partition. The assignment is persisted
+//     as lease files, <state>/coord/worker<i>.lease.json: owner,
+//     generation counter, and the explicit key list in execution
+//     order (the workload's round-robin interleave).
+//
+//   - Lease. N child spexinj processes launch in worker mode
+//     (`spexinj -lease <file> -state <state>/shard<i>`), each
+//     compiling its lease into an explicit key-set plan
+//     (shard.Plan.Keys — the Plan extension beyond i/N hashing),
+//     executing it on the global scheduler against its private shard
+//     store, and writing heartbeat files
+//     (worker<i>.heartbeat.json: lease generation, pid, and the keys
+//     whose outcomes are recorded). Child processes are launched
+//     through a pluggable command template (coord.ExecSpawner expands
+//     {lease}, {state}, {worker}), so an SSH or k8s launcher is the
+//     same protocol over a shared filesystem.
+//
+//   - Steal. When a worker drains while a laggard still has more than
+//     K (-steal-min) keys pending — pending meaning keys that will
+//     cost fresh simulation: neither heartbeat-done nor already
+//     persisted in the laggard's store — the coordinator moves half of
+//     the laggard's remaining keys (the deterministic suffix of its
+//     lease order) to the idle worker and relaunches it. Lease writes
+//     are ordered thief-first so a crash can leave a key in two leases
+//     (harmless: duplicate execution is safe under the merge's
+//     freshest-wins stamps) but never in none. The laggard's lease
+//     watcher observes the shrink between outcomes and its scheduler
+//     gate yields stolen keys (inject.ErrYielded, reported as
+//     Report.Yielded — not harness failures) instead of executing
+//     them. BenchmarkWorkStealing measures the payoff: under a skewed
+//     SimCostDelay (one worker 20x slower), stealing cuts the
+//     campaign's wall clock ~3x vs the static partition.
+//
+//   - Merge. When every worker drains, the coordinator folds the shard
+//     stores into the canonical store at the state root (shard.Merge)
+//     and prints fingerprints — byte-identical to an unsharded run's.
+//
+// Interruption is first-class: SIGINT reaches the workers, each saves
+// its finished outcomes, and the leases stay on disk. A rerun whose
+// campaign identity matches (manifest.json: worker count, schema
+// fingerprint, options identity, constraint-set fingerprints) resumes
+// from the leases, replaying persisted outcomes and executing only the
+// remainder — zero duplicated fresh sim cost; any mismatch re-plans
+// from scratch. Every state directory is guarded by an exclusive
+// writer lock (campaignstore.Store.Lock, an O_EXCL lock file with
+// stale-lock takeover): the coordinator locks the root, each worker
+// its shard directory, and a stray concurrent `spexinj -state` run
+// fails fast instead of silently racing snapshot saves.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"spex/internal/confgen"
@@ -364,6 +365,199 @@ func (s *Store) List() ([]string, error) {
 	}
 	sort.Strings(systems)
 	return systems, nil
+}
+
+// lockName is the store's exclusive-writer mark. It does not end in
+// .campaign.json, so List/LoadAll never mistake it for a snapshot.
+const lockName = ".spex.lock"
+
+// LockStaleAfter bounds how long an unrefreshed lock is honored: a
+// live holder re-stamps its lock file's mtime every quarter of this
+// interval, so a lock whose mtime is older than this belongs to a
+// holder that stopped existing without unlocking — crashed, powered
+// off, or its PID recycled by an unrelated process (which a liveness
+// probe cannot distinguish from the real holder). For foreign hosts
+// the mtime age is the only staleness signal; on the same host a dead
+// PID is stale immediately. Long campaigns are safe at any duration:
+// the refresh keeps a live holder's lock fresh forever.
+var LockStaleAfter = 4 * time.Hour
+
+// lockInfo is the lock file's JSON payload, enough to decide staleness
+// and to name the holder in the conflict error.
+type lockInfo struct {
+	PID        int       `json:"pid"`
+	Host       string    `json:"host"`
+	AcquiredAt time.Time `json:"acquired_at"`
+}
+
+// Lock is a held store writer lock; Unlock releases it. While held, a
+// background refresher re-stamps the lock file so the staleness age
+// bound never evicts a live holder.
+type Lock struct {
+	path string
+	pid  int
+	host string
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Lock acquires the store's exclusive writer lock: a lock file naming
+// this process, created atomically with its payload (hard-linked into
+// place). Two processes writing the same state
+// directory would otherwise silently race their temp+rename saves —
+// each save is atomic, but the last writer's snapshot wins wholesale
+// and the loser's outcomes are gone. With the lock the second writer
+// fails fast with a descriptive error instead.
+//
+// Takeover is automatic for stale locks: a same-host holder that is no
+// longer alive, an unreadable lock file, or any lock left unrefreshed
+// for LockStaleAfter. (Two processes racing the same takeover leave a
+// tiny window in which both can think they won; the snapshot layer
+// stays consistent even then — saves are atomic and the shard merge
+// resolves duplicates freshest-wins — the lock exists to make the race
+// loud and rare, not to be a distributed consensus protocol.)
+//
+// The coordinator's lease layer (internal/coord) reuses this lock: the
+// coordinator locks the campaign root and every shard worker locks its
+// own shard directory.
+func (s *Store) Lock() (*Lock, error) {
+	path := filepath.Join(s.dir, lockName)
+	// The claim must be atomic WITH its payload: an O_EXCL create
+	// followed by a write would expose an empty lock file, which a
+	// concurrent Lock would read as unparsable, deem stale, and delete
+	// — two racing starts would both "win". Writing the payload to a
+	// temp file and hard-linking it into place makes the lock appear
+	// fully formed or not at all.
+	host, _ := os.Hostname()
+	data, err := json.Marshal(lockInfo{PID: os.Getpid(), Host: host, AcquiredAt: time.Now().UTC()})
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, lockName+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		err := os.Link(tmp.Name(), path)
+		if err == nil {
+			l := &Lock{path: path, pid: os.Getpid(), host: host,
+				stop: make(chan struct{}), done: make(chan struct{})}
+			go l.refresh()
+			return l, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("campaignstore: %w", err)
+		}
+		holder, stale := readLock(path)
+		if !stale {
+			return nil, fmt.Errorf(
+				"campaignstore: %s is locked by pid %d on %s since %s (another campaign is writing this state directory; remove %s to force)",
+				s.dir, holder.PID, holder.Host, holder.AcquiredAt.Format(time.RFC3339), path)
+		}
+		// Stale: take it over and retry the exclusive link once.
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("campaignstore: %w", err)
+		}
+	}
+	return nil, fmt.Errorf("campaignstore: lost the takeover race for %s", path)
+}
+
+// refresh re-stamps the lock file's mtime while the lock is held, so
+// the staleness age bound distinguishes a live long-running holder
+// (fresh mtime) from one that ceased to exist without unlocking (mtime
+// frozen at its last heartbeat). Ownership is re-checked before every
+// stamp: after a (documented, tiny-window) takeover race the file is
+// someone else's, and refreshing it would keep their successor's lock
+// alive past its own death.
+func (l *Lock) refresh() {
+	defer close(l.done)
+	ticker := time.NewTicker(LockStaleAfter / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+		}
+		var info lockInfo
+		data, err := os.ReadFile(l.path)
+		if err != nil || json.Unmarshal(data, &info) != nil ||
+			info.PID != l.pid || info.Host != l.host {
+			continue // gone or taken over: nothing of ours to refresh
+		}
+		now := time.Now()
+		_ = os.Chtimes(l.path, now, now)
+	}
+}
+
+// readLock reads the lock file and decides staleness. A missing or
+// unreadable file is stale (the next exclusive-link attempt
+// arbitrates).
+func readLock(path string) (lockInfo, bool) {
+	var info lockInfo
+	data, err := os.ReadFile(path)
+	if err != nil || json.Unmarshal(data, &info) != nil || info.PID == 0 {
+		return info, true
+	}
+	if fi, err := os.Stat(path); err == nil && time.Since(fi.ModTime()) > LockStaleAfter {
+		// The holder stopped re-stamping the file LockStaleAfter ago:
+		// whatever the PID probe would say (a recycled PID reads as
+		// alive), the campaign that took this lock is gone.
+		return info, true
+	}
+	host, _ := os.Hostname()
+	if info.Host == host {
+		// Same host: probe the holder directly. Signal 0 delivers
+		// nothing; it only reports whether the process exists. EPERM
+		// means the process exists but belongs to another user — a
+		// live holder, not a stale one.
+		p, err := os.FindProcess(info.PID)
+		if err != nil {
+			return info, true
+		}
+		sigErr := p.Signal(syscall.Signal(0))
+		return info, sigErr != nil && !errors.Is(sigErr, syscall.EPERM)
+	}
+	return info, false
+}
+
+// Unlock releases the lock — but only if the lock file still names
+// this process. After a stale takeover the file belongs to the
+// successor; removing it unconditionally would strip the successor's
+// protection and reopen the silent save race for a third writer.
+// Releasing twice is harmless.
+func (l *Lock) Unlock() error {
+	if l.stop != nil {
+		select {
+		case <-l.stop:
+		default:
+			close(l.stop)
+			<-l.done
+		}
+	}
+	var info lockInfo
+	data, err := os.ReadFile(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if json.Unmarshal(data, &info) == nil && (info.PID != l.pid || info.Host != l.host) {
+		return nil // taken over: the file is the successor's now
+	}
+	if err := os.Remove(l.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	return nil
 }
 
 // Status describes how one Campaign call used the store.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -549,5 +550,177 @@ func TestListReturnsSavedSystems(t *testing.T) {
 	want := []string{"alpha", "zeta"}
 	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
 		t.Errorf("List = %v, want %v", got, want)
+	}
+}
+
+// TestLockExcludesSecondWriter: the satellite fix for two un-sharded
+// runs silently racing temp+rename saves in one state dir — the second
+// Lock must fail fast with an error naming the holder.
+func TestLockExcludesSecondWriter(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Lock(); err == nil {
+		t.Fatal("second Lock on a held store succeeded")
+	} else if !strings.Contains(err.Error(), "locked by pid") {
+		t.Errorf("conflict error %q does not name the holder", err)
+	}
+	if err := lock.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Released: the next writer acquires immediately.
+	lock2, err := store.Lock()
+	if err != nil {
+		t.Fatalf("Lock after Unlock: %v", err)
+	}
+	if err := lock2.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lock2.Unlock(); err != nil {
+		t.Errorf("double Unlock should be harmless, got %v", err)
+	}
+}
+
+// TestLockStaleTakeover: a lock whose same-host holder is dead (a
+// crashed campaign) and a lock that does not parse are both taken over
+// instead of wedging the state dir forever.
+func TestLockStaleTakeover(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := os.Hostname()
+	// PID 1 is init — alive but not ours; use a PID that cannot exist.
+	dead, err := json.Marshal(lockInfo{PID: 1 << 30, Host: host, AcquiredAt: time.Now().UTC()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, lockName), dead, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lock, err := store.Lock()
+	if err != nil {
+		t.Fatalf("Lock over a dead holder's file: %v", err)
+	}
+	lock.Unlock()
+
+	if err := os.WriteFile(filepath.Join(dir, lockName), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lock, err = store.Lock()
+	if err != nil {
+		t.Fatalf("Lock over an unparsable lock file: %v", err)
+	}
+	lock.Unlock()
+
+	// Age backstop: even a probe-alive same-host PID goes stale once
+	// the lock file stops being refreshed — the PID-reuse escape hatch.
+	// Staleness keys on the file's mtime (live holders re-stamp it), so
+	// the test ages the mtime, not just the recorded AcquiredAt.
+	aged, err := json.Marshal(lockInfo{PID: os.Getpid(), Host: host,
+		AcquiredAt: time.Now().UTC().Add(-2 * LockStaleAfter)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockPath := filepath.Join(dir, lockName)
+	if err := os.WriteFile(lockPath, aged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * LockStaleAfter)
+	if err := os.Chtimes(lockPath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	lock, err = store.Lock()
+	if err != nil {
+		t.Fatalf("Lock over an expired same-host lock: %v", err)
+	}
+	lock.Unlock()
+}
+
+// TestLockForeignHostHonored: a fresh lock from another host cannot be
+// probed and must be honored; only age makes it stale.
+func TestLockForeignHostHonored(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := json.Marshal(lockInfo{PID: 1, Host: "some-other-host", AcquiredAt: time.Now().UTC()})
+	if err := os.WriteFile(filepath.Join(dir, lockName), fresh, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Lock(); err == nil {
+		t.Error("fresh foreign-host lock was not honored")
+	}
+	expired, _ := json.Marshal(lockInfo{PID: 1, Host: "some-other-host",
+		AcquiredAt: time.Now().UTC().Add(-2 * LockStaleAfter)})
+	lockPath := filepath.Join(dir, lockName)
+	if err := os.WriteFile(lockPath, expired, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An unrefreshed lock's mtime freezes at its last heartbeat.
+	frozen := time.Now().Add(-2 * LockStaleAfter)
+	if err := os.Chtimes(lockPath, frozen, frozen); err != nil {
+		t.Fatal(err)
+	}
+	lock, err := store.Lock()
+	if err != nil {
+		t.Errorf("expired foreign-host lock was not taken over: %v", err)
+	} else {
+		lock.Unlock()
+	}
+}
+
+// TestLockFileInvisibleToStore: the lock file must never be mistaken
+// for a snapshot by List or LoadAll.
+func TestLockFileInvisibleToStore(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lock.Unlock()
+	if systems, err := store.List(); err != nil || len(systems) != 0 {
+		t.Errorf("List = %v, %v with only a lock file present", systems, err)
+	}
+	if snaps, err := store.LoadAll(); err != nil || len(snaps) != 0 {
+		t.Errorf("LoadAll = %d snaps, %v with only a lock file present", len(snaps), err)
+	}
+}
+
+// TestUnlockAfterTakeoverLeavesSuccessorLock: a holder whose lock was
+// taken over (age backstop) must not delete the successor's lock on
+// its own way out.
+func TestUnlockAfterTakeoverLeavesSuccessorLock(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLock, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the successor's takeover: replace the file with another
+	// holder's claim.
+	host, _ := os.Hostname()
+	successor, _ := json.Marshal(lockInfo{PID: os.Getpid() + 1, Host: host, AcquiredAt: time.Now().UTC()})
+	if err := os.WriteFile(filepath.Join(dir, lockName), successor, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := oldLock.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lockName)); err != nil {
+		t.Errorf("the displaced holder's Unlock removed the successor's lock: %v", err)
 	}
 }

@@ -1,0 +1,590 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/inject"
+	"spex/internal/shard"
+	"spex/internal/sim"
+	"spex/internal/spex"
+)
+
+// DefaultStealMin is the K of the rebalance rule: a laggard is only
+// robbed while more than this many of its keys are still pending, so
+// the coordinator never churns leases over scraps that will drain
+// before the thief even boots.
+const DefaultStealMin = 8
+
+// Event is one coordinator lifecycle notification, streamed to
+// Config.OnEvent (serialized; the CLI prints them to stderr).
+type Event struct {
+	// Kind is "plan", "resume", "spawn", "exit", "steal", or "merge".
+	Kind string
+	// Worker is the subject (the thief, for steals).
+	Worker int
+	// From is the steal victim (steals only).
+	From int
+	// Keys counts the keys involved: lease size on spawn, stolen count
+	// on steal, merged outcomes on merge.
+	Keys int
+	// Err is the worker's exit error, if any (exits only).
+	Err error
+}
+
+// Handle is a launched worker: Wait blocks until it exits, Interrupt
+// asks it to stop (SIGINT for processes, context cancellation for
+// in-process workers) — the worker saves its finished outcomes on the
+// way down.
+type Handle interface {
+	Wait() error
+	Interrupt()
+}
+
+// WorkerSpec is everything a spawner needs to launch one worker.
+type WorkerSpec struct {
+	// Worker is the 1-based slot.
+	Worker int
+	// LeasePath is the worker's lease file (heartbeat path derives from
+	// it, HeartbeatPath).
+	LeasePath string
+	// StateDir is the worker's private shard store.
+	StateDir string
+	// LogPath receives the worker's stdout/stderr (process spawners).
+	LogPath string
+}
+
+// SpawnFunc launches one worker. ExecSpawner runs local child
+// processes; an SSH or k8s launcher is the same contract with a
+// different command template; tests run workers in-process.
+type SpawnFunc func(ctx context.Context, spec WorkerSpec) (Handle, error)
+
+// Config tunes one coordinated campaign.
+type Config struct {
+	// StateDir is the campaign state root: merged snapshots land here,
+	// workers write under StateDir/shard<i>, coordination files under
+	// StateDir/coord.
+	StateDir string
+	// Workers is the number of shard worker slots.
+	Workers int
+	// Systems are the campaign targets.
+	Systems []sim.System
+	// Inject holds the campaign options shared by every worker.
+	Inject inject.Options
+	// PoolWorkers bounds each worker's internal engine pool (0 = one
+	// per CPU) and the coordinator's own inference fan-out.
+	PoolWorkers int
+	// StealMin is the rebalance threshold K: an idle worker steals only
+	// from a laggard with more than K pending keys. Zero therefore
+	// means "steal any non-empty backlog"; negative disables stealing
+	// (static partition). Callers wanting the default pass
+	// DefaultStealMin explicitly (the spexinj flag does).
+	StealMin int
+	// Poll is the heartbeat poll interval (default 250ms).
+	Poll time.Duration
+	// Spawn launches workers (required).
+	Spawn SpawnFunc
+	// OnEvent, if set, streams lifecycle events (serialized).
+	OnEvent func(Event)
+}
+
+// Result is a completed coordinated campaign.
+type Result struct {
+	// Stats describe the final merge into the state root, one entry per
+	// system (shard.MergeStat includes the canonical fingerprint).
+	Stats []shard.MergeStat
+	// Steals counts rebalances performed.
+	Steals int
+	// Resumed reports that the run picked up persisted leases from an
+	// interrupted campaign instead of re-planning.
+	Resumed bool
+	// Spawns counts worker launches (initial + post-steal respawns).
+	Spawns int
+}
+
+// Run coordinates one distributed campaign end to end: plan (or resume)
+// the leases, spawn the workers, watch heartbeats and rebalance by
+// stealing, and merge the shard stores into the canonical store at the
+// state root. See the package comment for the protocol.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("coord: %d workers (want at least 1)", cfg.Workers)
+	}
+	if cfg.StateDir == "" || cfg.Spawn == nil || len(cfg.Systems) == 0 {
+		return nil, errors.New("coord: StateDir, Spawn and Systems are required")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	emit := func(e Event) {
+		if cfg.OnEvent != nil {
+			cfg.OnEvent(e)
+		}
+	}
+
+	root, err := campaignstore.Open(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	lock, err := root.Lock()
+	if err != nil {
+		return nil, err
+	}
+	defer lock.Unlock()
+	coordDir := filepath.Join(cfg.StateDir, CoordDirName)
+	if err := os.MkdirAll(coordDir, 0o755); err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+
+	// The full workload, in the global scheduler's interleaved order —
+	// the execution order leases inherit, which is what makes "steal a
+	// suffix of the remaining keys" collide least with the laggard's
+	// in-flight front.
+	results, err := spex.InferAll(ctx, cfg.Systems, cfg.PoolWorkers)
+	if err != nil {
+		return nil, err
+	}
+	ws, _, err := shard.BuildWorkloads(cfg.Systems, results, shard.Plan{})
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(ws))
+	for i, w := range ws {
+		sizes[i] = len(w.Ms)
+	}
+	order := shard.Interleave(sizes)
+	allKeys := make([]KeyRef, len(order))
+	owners := make([]int, len(order)) // 0-based initial hash assignment
+	for i, t := range order {
+		m := ws[t.Target].Ms[t.Index]
+		sys := ws[t.Target].Sys.Name()
+		allKeys[i] = KeyRef{System: sys, Key: inject.CacheKey(m)}
+		owners[i] = shard.Owner(sys, m, cfg.Workers)
+	}
+
+	man := &manifest{
+		Workers: cfg.Workers,
+		Schema:  campaignstore.SchemaFingerprint(),
+		Options: campaignstore.OptionsID(cfg.Inject),
+		Systems: make(map[string]string, len(ws)),
+	}
+	for _, w := range ws {
+		man.Systems[w.Sys.Name()] = w.Set.Fingerprint()
+	}
+	leases, resumed, err := planOrResume(coordDir, man, allKeys, owners)
+	if err != nil {
+		return nil, err
+	}
+	if resumed {
+		emit(Event{Kind: "resume", Keys: len(allKeys)})
+	} else {
+		emit(Event{Kind: "plan", Keys: len(allKeys)})
+	}
+
+	type exitMsg struct {
+		worker int // 0-based
+		err    error
+	}
+	exitCh := make(chan exitMsg)
+	type workerState struct {
+		lease   *Lease
+		handle  Handle
+		running bool
+	}
+	states := make([]*workerState, cfg.Workers)
+	for i := range states {
+		states[i] = &workerState{lease: leases[i]}
+	}
+	res := &Result{Resumed: resumed}
+	running := 0
+	spawn := func(i int) error {
+		spec := WorkerSpec{
+			Worker:    i + 1,
+			LeasePath: LeasePath(coordDir, i+1),
+			StateDir:  ShardDir(cfg.StateDir, i+1),
+			LogPath:   filepath.Join(coordDir, fmt.Sprintf("worker%d.log", i+1)),
+		}
+		h, err := cfg.Spawn(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("coord: spawn worker %d: %w", i+1, err)
+		}
+		states[i].handle = h
+		states[i].running = true
+		running++
+		res.Spawns++
+		emit(Event{Kind: "spawn", Worker: i + 1, Keys: len(states[i].lease.Keys)})
+		go func() { exitCh <- exitMsg{worker: i, err: h.Wait()} }()
+		return nil
+	}
+	// abort is the one shutdown path: interrupt every running worker
+	// (each saves its finished outcomes on the way down), wait for all
+	// exit messages so no spawn goroutine is left blocked on exitCh,
+	// and surface err.
+	abort := func(err error) (*Result, error) {
+		for _, st := range states {
+			if st.running {
+				st.handle.Interrupt()
+			}
+		}
+		for running > 0 {
+			m := <-exitCh
+			states[m.worker].running = false
+			running--
+		}
+		return nil, err
+	}
+
+	// trySteal rebalances one idle worker (0-based thief): pick the
+	// running laggard with the most pending keys; if more than StealMin
+	// are pending, move half of them — the deterministic suffix of the
+	// laggard's remaining assignment — to the thief and respawn it.
+	// "Pending" means keys that will cost the laggard fresh simulation:
+	// keys its heartbeat reports done AND keys already persisted in its
+	// shard store (a resumed worker replays those at zero cost — a
+	// thief would have to re-execute them) are both off the table.
+	// Thief lease first, then the laggard shrink: a crash between the
+	// writes leaves the stolen keys in two leases (safe, merged
+	// freshest-wins), never in none.
+	trySteal := func(thief int) (bool, error) {
+		if cfg.StealMin < 0 {
+			return false, nil
+		}
+		victim, best := -1, cfg.StealMin
+		var victimRemaining []KeyRef
+		for j, st := range states {
+			if !st.running || j == thief {
+				continue
+			}
+			hb, err := ReadHeartbeat(HeartbeatPath(LeasePath(coordDir, j+1)))
+			if err != nil {
+				continue // torn write: next tick
+			}
+			done := keySet(hb.Done)
+			var remaining []KeyRef
+			for _, k := range st.lease.Keys {
+				if !done[k.Global()] {
+					remaining = append(remaining, k)
+				}
+			}
+			if len(remaining) <= best {
+				continue // below threshold on heartbeat evidence alone
+			}
+			// Only now pay for parsing the worker's shard store: a
+			// resumed worker's persisted outcomes replay for free and
+			// must not count as stealable backlog.
+			if persisted := persistedKeys(ShardDir(cfg.StateDir, j+1)); len(persisted) > 0 {
+				fresh := remaining[:0]
+				for _, k := range remaining {
+					if !persisted[k.Global()] {
+						fresh = append(fresh, k)
+					}
+				}
+				remaining = fresh
+			}
+			if len(remaining) > best {
+				victim, best, victimRemaining = j, len(remaining), remaining
+			}
+		}
+		if victim < 0 {
+			return false, nil
+		}
+		stolen := victimRemaining[len(victimRemaining)-len(victimRemaining)/2:]
+		if len(stolen) == 0 {
+			// A single pending key halves to nothing (StealMin 0):
+			// rewriting both leases unchanged and respawning the thief
+			// would be pure churn, not a steal.
+			return false, nil
+		}
+		stolenSet := keySet(stolen)
+
+		// The thief keeps its old keys (all done — they replay from its
+		// shard snapshot in the respawned run, and keeping them is what
+		// preserves the every-key-is-leased invariant across crashes).
+		tl := states[thief].lease
+		newThief := &Lease{Worker: thief + 1, Generation: tl.Generation + 1, Keys: append(append([]KeyRef{}, tl.Keys...), stolen...)}
+		if err := writeJSON(LeasePath(coordDir, thief+1), newThief); err != nil {
+			return false, err
+		}
+		states[thief].lease = newThief
+
+		vl := states[victim].lease
+		kept := make([]KeyRef, 0, len(vl.Keys)-len(stolen))
+		for _, k := range vl.Keys {
+			if !stolenSet[k.Global()] {
+				kept = append(kept, k)
+			}
+		}
+		newVictim := &Lease{Worker: victim + 1, Generation: vl.Generation + 1, Keys: kept}
+		if err := writeJSON(LeasePath(coordDir, victim+1), newVictim); err != nil {
+			return false, err
+		}
+		states[victim].lease = newVictim
+
+		res.Steals++
+		emit(Event{Kind: "steal", Worker: thief + 1, From: victim + 1, Keys: len(stolen)})
+		return true, nil
+	}
+
+	// stealAndRespawn gives one idle worker a chance to rob a laggard
+	// and, on success, puts it back to work.
+	stealAndRespawn := func(thief int) error {
+		stole, err := trySteal(thief)
+		if err != nil {
+			return err
+		}
+		if stole {
+			return spawn(thief)
+		}
+		return nil
+	}
+
+	for i := range states {
+		if len(states[i].lease.Keys) == 0 {
+			continue // nothing assigned yet; eligible as a thief
+		}
+		if err := spawn(i); err != nil {
+			return abort(err)
+		}
+	}
+
+	ticker := time.NewTicker(cfg.Poll)
+	defer ticker.Stop()
+	for running > 0 {
+		select {
+		case <-ctx.Done():
+			return abort(ctx.Err())
+		case m := <-exitCh:
+			states[m.worker].running = false
+			running--
+			emit(Event{Kind: "exit", Worker: m.worker + 1, Err: m.err})
+			if m.err != nil {
+				if ctx.Err() != nil {
+					return abort(ctx.Err())
+				}
+				return abort(fmt.Errorf("coord: worker %d failed: %w", m.worker+1, m.err))
+			}
+			if err := stealAndRespawn(m.worker); err != nil {
+				return abort(err)
+			}
+		case <-ticker.C:
+			// Idle workers that exited before earlier laggards built up
+			// enough backlog get another look every tick.
+			for i, st := range states {
+				if st.running {
+					continue
+				}
+				if err := stealAndRespawn(i); err != nil {
+					return abort(err)
+				}
+			}
+		}
+	}
+
+	// Merge the shard stores into the canonical store at the root. A
+	// worker that never spawned has no directory; one that spawned but
+	// saved nothing has no snapshots — neither can contribute. The
+	// store itself decides what counts as a snapshot (List), so the
+	// file-naming contract stays in campaignstore.
+	var dirs []string
+	for i := 1; i <= cfg.Workers; i++ {
+		dir := ShardDir(cfg.StateDir, i)
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			continue // Open would create the directory as a side effect
+		}
+		store, err := campaignstore.Open(dir)
+		if err != nil {
+			continue
+		}
+		if systems, err := store.List(); err == nil && len(systems) > 0 {
+			dirs = append(dirs, dir)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, errors.New("coord: no worker produced a shard snapshot")
+	}
+	stats, err := shard.Merge(cfg.StateDir, dirs)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	merged := 0
+	for _, st := range stats {
+		merged += st.Outcomes
+	}
+	emit(Event{Kind: "merge", Keys: merged})
+	return res, nil
+}
+
+// persistedKeys returns the global keys with outcomes recorded in a
+// worker's shard store — work the worker can replay for free, which a
+// steal must therefore never move. An unreadable or not-yet-existing
+// store contributes nothing (the steal policy just sees more pending
+// keys, which only costs a rare duplicate execution, already safe).
+func persistedKeys(dir string) map[string]bool {
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return nil // Open would create the directory as a side effect
+	}
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		return nil
+	}
+	snaps, err := store.LoadAll()
+	if err != nil {
+		return nil
+	}
+	keys := make(map[string]bool)
+	for _, snap := range snaps {
+		for key := range snap.Outcomes {
+			keys[shard.GlobalKey(snap.System, key)] = true
+		}
+	}
+	return keys
+}
+
+// planOrResume decides the initial leases: if the coordination
+// directory holds a manifest matching this campaign's identity and a
+// complete, workload-covering lease set, the persisted leases are
+// resumed (an interrupted run's workers replay their finished outcomes
+// and execute only the rest); on any mismatch the directory is
+// re-planned from the deterministic hash partition.
+func planOrResume(coordDir string, man *manifest, allKeys []KeyRef, owners []int) ([]*Lease, bool, error) {
+	if leases, ok := resumable(coordDir, man, allKeys); ok {
+		return leases, true, nil
+	}
+	// Fresh plan: wipe stale coordination state (old leases, heartbeats
+	// and logs from a different campaign), then partition.
+	entries, err := os.ReadDir(coordDir)
+	if err != nil {
+		return nil, false, fmt.Errorf("coord: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && (strings.HasSuffix(e.Name(), ".json") || strings.HasSuffix(e.Name(), ".log")) {
+			os.Remove(filepath.Join(coordDir, e.Name()))
+		}
+	}
+	leases := make([]*Lease, man.Workers)
+	for i := range leases {
+		leases[i] = &Lease{Worker: i + 1, Generation: 1}
+	}
+	for i, k := range allKeys {
+		l := leases[owners[i]]
+		l.Keys = append(l.Keys, k)
+	}
+	for i, l := range leases {
+		if err := writeJSON(LeasePath(coordDir, i+1), l); err != nil {
+			return nil, false, err
+		}
+	}
+	// The manifest lands last: its presence marks the lease set valid.
+	if err := writeJSON(filepath.Join(coordDir, "manifest.json"), man); err != nil {
+		return nil, false, err
+	}
+	return leases, false, nil
+}
+
+// resumable validates persisted coordination state against this run's
+// campaign identity: same manifest, every lease readable, and the lease
+// union covering exactly the workload's keys (overlap from a steal
+// interrupted between its two writes is allowed — duplicate execution
+// is safe — but a missing or foreign key is not).
+func resumable(coordDir string, man *manifest, allKeys []KeyRef) ([]*Lease, bool) {
+	var prev manifest
+	if err := readJSON(filepath.Join(coordDir, "manifest.json"), &prev); err != nil {
+		return nil, false
+	}
+	if prev.Workers != man.Workers || prev.Schema != man.Schema || prev.Options != man.Options {
+		return nil, false
+	}
+	if len(prev.Systems) != len(man.Systems) {
+		return nil, false
+	}
+	for name, fp := range man.Systems {
+		if prev.Systems[name] != fp {
+			return nil, false
+		}
+	}
+	leases := make([]*Lease, man.Workers)
+	leased := make(map[string]bool)
+	for i := range leases {
+		l, err := ReadLease(LeasePath(coordDir, i+1))
+		if err != nil || l.Worker != i+1 {
+			return nil, false
+		}
+		leases[i] = l
+		for _, k := range l.Keys {
+			leased[k.Global()] = true
+		}
+	}
+	want := keySet(allKeys)
+	if len(leased) != len(want) {
+		return nil, false
+	}
+	for k := range want {
+		if !leased[k] {
+			return nil, false
+		}
+	}
+	return leases, true
+}
+
+// ExecSpawner returns a SpawnFunc launching each worker as a local
+// child process from a command template: every element of argv is
+// copied with the placeholders {lease}, {state}, and {worker} expanded
+// for the worker at hand, and the child's stdout/stderr stream to the
+// worker's log file under the coordination directory. The default
+// template (built by `spexinj -coordinate`) re-executes spexinj itself
+// in lease mode; pointing the template at ssh or kubectl distributes
+// the same protocol across machines — the lease, heartbeat and shard
+// stores just have to live on a shared filesystem.
+func ExecSpawner(argv []string) SpawnFunc {
+	return func(ctx context.Context, spec WorkerSpec) (Handle, error) {
+		if len(argv) == 0 {
+			return nil, errors.New("coord: empty worker command template")
+		}
+		args := make([]string, len(argv))
+		for i, a := range argv {
+			a = strings.ReplaceAll(a, "{lease}", spec.LeasePath)
+			a = strings.ReplaceAll(a, "{state}", spec.StateDir)
+			a = strings.ReplaceAll(a, "{worker}", fmt.Sprint(spec.Worker))
+			args[i] = a
+		}
+		// Deliberately not CommandContext: context cancellation must
+		// reach the child as an interrupt (so it saves its snapshot),
+		// never as a kill. The coordinator's Interrupt does that.
+		cmd := exec.Command(args[0], args[1:]...)
+		logf, err := os.OpenFile(spec.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("coord: %w", err)
+		}
+		cmd.Stdout, cmd.Stderr = logf, logf
+		if err := cmd.Start(); err != nil {
+			logf.Close()
+			return nil, fmt.Errorf("coord: %w", err)
+		}
+		return &execHandle{cmd: cmd, log: logf}, nil
+	}
+}
+
+type execHandle struct {
+	cmd *exec.Cmd
+	log *os.File
+}
+
+func (h *execHandle) Wait() error {
+	err := h.cmd.Wait()
+	h.log.Close()
+	return err
+}
+
+func (h *execHandle) Interrupt() {
+	if h.cmd.Process != nil {
+		_ = h.cmd.Process.Signal(os.Interrupt)
+	}
+}

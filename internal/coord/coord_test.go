@@ -1,0 +1,425 @@
+package coord
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/inject"
+	"spex/internal/shard"
+	"spex/internal/sim"
+	"spex/internal/spex"
+	"spex/internal/targets/ldapd"
+	"spex/internal/targets/mydb"
+)
+
+// resultSink collects the WorkerResults of in-process workers.
+type resultSink struct {
+	mu   sync.Mutex
+	runs []*WorkerResult
+}
+
+func (s *resultSink) add(r *WorkerResult) {
+	s.mu.Lock()
+	s.runs = append(s.runs, r)
+	s.mu.Unlock()
+}
+
+// executed sums the outcomes the collected runs freshly executed
+// (finished minus replayed) — the metric the zero-duplication
+// assertions are about.
+func (s *resultSink) executed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, wr := range s.runs {
+		for _, run := range wr.Runs {
+			n += run.Report.Finished() - run.Report.Replayed
+		}
+	}
+	return n
+}
+
+// inprocSpawner runs workers as goroutines calling RunWorker — the
+// test and benchmark backend. tune customizes one worker's options
+// (e.g. a per-worker SimCostDelay modeling a slow machine).
+func inprocSpawner(systems []sim.System, base WorkerOptions, tune func(worker int, o *WorkerOptions), sink *resultSink) SpawnFunc {
+	return func(ctx context.Context, spec WorkerSpec) (Handle, error) {
+		o := base
+		if tune != nil {
+			tune(spec.Worker, &o)
+		}
+		wctx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() {
+			res, err := RunWorker(wctx, spec.LeasePath, spec.StateDir, systems, o)
+			if sink != nil && res != nil {
+				sink.add(res)
+			}
+			done <- err
+		}()
+		return &inprocHandle{cancel: cancel, done: done}, nil
+	}
+}
+
+type inprocHandle struct {
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func (h *inprocHandle) Wait() error { return <-h.done }
+func (h *inprocHandle) Interrupt()  { h.cancel() }
+
+// campaignOf infers a system and generates its full misconfiguration
+// list — the coordinator's and the baselines' shared input.
+func campaignOf(t testing.TB, sys sim.System) shard.Workload {
+	t.Helper()
+	res, err := spex.InferSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shard.Workload{Sys: sys, Set: res.Set, Ms: confgen.NewRegistry().Generate(res.Set, tmpl)}
+}
+
+// unshardedFingerprint runs the plain store-backed campaign and returns
+// the canonical snapshot fingerprint a coordinated run must reproduce.
+func unshardedFingerprint(t testing.TB, w shard.Workload) string {
+	t.Helper()
+	store, err := campaignstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.CampaignAll(context.Background(), store, []shard.Workload{w},
+		shard.Options{Workers: 4, Inject: inject.DefaultOptions()}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load(w.Sys.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := snap.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func testConfig(stateDir string, systems []sim.System, spawn SpawnFunc) Config {
+	return Config{
+		StateDir:    stateDir,
+		Workers:     2,
+		Systems:     systems,
+		Inject:      inject.DefaultOptions(),
+		PoolWorkers: 2,
+		StealMin:    2,
+		Poll:        10 * time.Millisecond,
+		Spawn:       spawn,
+	}
+}
+
+// TestCoordinatorMatchesUnsharded is the acceptance criterion's first
+// half: a coordinated run's merged store fingerprint equals the
+// unsharded run's, and a subsequent plain -state run replays 100% of
+// it at zero fresh cost.
+func TestCoordinatorMatchesUnsharded(t *testing.T) {
+	sys := ldapd.New()
+	w := campaignOf(t, sys)
+	want := unshardedFingerprint(t, w)
+
+	stateDir := t.TempDir()
+	systems := []sim.System{sys}
+	cfg := testConfig(stateDir, systems, inprocSpawner(systems, WorkerOptions{Workers: 2, Inject: inject.DefaultOptions(), Poll: 10 * time.Millisecond}, nil, nil))
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 1 || res.Stats[0].Outcomes != len(w.Ms) {
+		t.Fatalf("merge stats = %+v, want %d outcomes for one system", res.Stats, len(w.Ms))
+	}
+	if res.Stats[0].Fingerprint != want {
+		t.Errorf("coordinated store fingerprint %s != unsharded %s", res.Stats[0].Fingerprint, want)
+	}
+
+	// The merged root must replay byte-identically, with zero fresh work.
+	root, err := campaignstore.Open(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := shard.CampaignAll(context.Background(), root, []shard.Workload{w},
+		shard.Options{Workers: 4, Inject: inject.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs[0].Report.Replayed; got != len(w.Ms) {
+		t.Errorf("replay after coordination executed work: replayed %d of %d", got, len(w.Ms))
+	}
+}
+
+// TestWorkStealingRebalances models a heterogeneous fleet (worker 1 on
+// a machine 60x slower per simulated cost unit): the fast worker must
+// drain, steal a suffix of the laggard's lease, and the merged result
+// must still be byte-identical to the unsharded campaign — stealing
+// moves work, never changes outcomes.
+func TestWorkStealingRebalances(t *testing.T) {
+	sys := ldapd.New()
+	w := campaignOf(t, sys)
+	want := unshardedFingerprint(t, w)
+
+	stateDir := t.TempDir()
+	systems := []sim.System{sys}
+	base := WorkerOptions{Workers: 1, Inject: inject.DefaultOptions(), Poll: 5 * time.Millisecond}
+	tune := func(worker int, o *WorkerOptions) {
+		if worker == 1 {
+			o.Inject.SimCostDelay = 3 * time.Millisecond
+		} else {
+			o.Inject.SimCostDelay = 50 * time.Microsecond
+		}
+	}
+	var events []Event
+	var mu sync.Mutex
+	cfg := testConfig(stateDir, systems, inprocSpawner(systems, base, tune, nil))
+	cfg.Poll = 5 * time.Millisecond
+	cfg.OnEvent = func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals == 0 {
+		t.Error("no steal despite a 60x-skewed worker (the rebalance never engaged)")
+	}
+	if res.Stats[0].Fingerprint != want {
+		t.Errorf("fingerprint after stealing %s != unsharded %s", res.Stats[0].Fingerprint, want)
+	}
+	// Every steal must have respawned the thief.
+	if res.Spawns < 2+res.Steals {
+		t.Errorf("%d spawns for %d steals (thieves not relaunched)", res.Spawns, res.Steals)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, e := range events {
+		if e.Kind == "steal" && e.Keys == 0 {
+			t.Errorf("steal event moved zero keys: %+v", e)
+		}
+	}
+}
+
+// TestCoordinatorCancelMidSteal is the cancellation satellite: SIGINT
+// (modeled as context cancellation) lands exactly when the first steal
+// fires. Afterwards every lease key must be either persisted in its
+// owner's shard store or still pending, the lease union must cover the
+// whole campaign, and a rerun must resume from the leases re-executing
+// only what was never persisted — zero duplicated fresh sim cost.
+func TestCoordinatorCancelMidSteal(t *testing.T) {
+	sys := ldapd.New()
+	w := campaignOf(t, sys)
+	total := len(w.Ms)
+	allKeys := make(map[string]bool, total)
+	for _, m := range w.Ms {
+		allKeys[shard.GlobalKey(sys.Name(), inject.CacheKey(m))] = true
+	}
+
+	stateDir := t.TempDir()
+	systems := []sim.System{sys}
+	base := WorkerOptions{Workers: 1, Inject: inject.DefaultOptions(), Poll: 5 * time.Millisecond}
+	tune := func(worker int, o *WorkerOptions) {
+		if worker == 1 {
+			o.Inject.SimCostDelay = 3 * time.Millisecond
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := testConfig(stateDir, systems, inprocSpawner(systems, base, tune, nil))
+	cfg.Poll = 5 * time.Millisecond
+	cfg.OnEvent = func(e Event) {
+		if e.Kind == "steal" {
+			cancel() // SIGINT lands mid-steal
+		}
+	}
+	_, err := Run(ctx, cfg)
+	if err == nil {
+		t.Fatal("cancelled coordinator returned nil error (steal never fired?)")
+	}
+
+	// Invariant 1: the lease union covers the campaign exactly (overlap
+	// from the interrupted steal is allowed, gaps are not).
+	coordDir := filepath.Join(stateDir, CoordDirName)
+	leased := make(map[string]int)
+	var leases []*Lease
+	for i := 1; i <= cfg.Workers; i++ {
+		lease, err := ReadLease(LeasePath(coordDir, i))
+		if err != nil {
+			t.Fatalf("worker %d lease: %v", i, err)
+		}
+		leases = append(leases, lease)
+		for _, k := range lease.Keys {
+			if !allKeys[k.Global()] {
+				t.Errorf("worker %d leases foreign key %q", i, k.Key)
+			}
+			leased[k.Global()]++
+		}
+	}
+	if len(leased) != total {
+		t.Fatalf("leases cover %d keys, want the campaign's %d", len(leased), total)
+	}
+	// Invariant 2: every persisted outcome is still owned by some lease
+	// — a lease is "released" only by moving its keys to another lease,
+	// never by dropping them — so a resumed campaign replays it.
+	persisted := make(map[string]bool)
+	for i := 1; i <= cfg.Workers; i++ {
+		store, err := campaignstore.Open(ShardDir(stateDir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps, _ := store.LoadAll()
+		own := make(map[string]bool)
+		for _, snap := range snaps {
+			for key := range snap.Outcomes {
+				g := shard.GlobalKey(snap.System, key)
+				own[g] = true
+				persisted[g] = true
+				if leased[g] == 0 {
+					t.Errorf("worker %d persisted %q but no lease owns it", i, g)
+				}
+			}
+		}
+		done := 0
+		for _, k := range leases[i-1].Keys {
+			if own[k.Global()] {
+				done++
+			}
+		}
+		t.Logf("worker %d: %d leased, %d of them persisted locally", i, len(leases[i-1].Keys), done)
+	}
+	if len(persisted) == 0 || len(persisted) == total {
+		t.Fatalf("persisted %d of %d outcomes — the cancellation landed outside the interesting window", len(persisted), total)
+	}
+
+	// Rerun: resume must replay every persisted outcome and execute
+	// exactly the remainder — zero duplicated fresh sim cost. Stealing
+	// is disabled for the rerun so the count isolates the resume
+	// property: a steal can legitimately duplicate an in-flight or
+	// heartbeat-lagged key (safe under freshest-wins), which is a
+	// different phenomenon than resume duplication.
+	sink := &resultSink{}
+	cfg2 := testConfig(stateDir, systems, inprocSpawner(systems, base, nil, sink))
+	cfg2.StealMin = -1
+	res, err := Run(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Error("rerun re-planned instead of resuming the persisted leases")
+	}
+	if got, want := sink.executed(), total-len(persisted); got != want {
+		t.Errorf("rerun executed %d misconfigurations, want %d (persisted outcomes must replay, not re-execute)", got, want)
+	}
+	fp := unshardedFingerprint(t, w)
+	if res.Stats[0].Fingerprint != fp {
+		t.Errorf("resumed fingerprint %s != unsharded %s", res.Stats[0].Fingerprint, fp)
+	}
+}
+
+// TestCoordinatorReplanOnIdentityChange: a manifest that no longer
+// matches (different worker count here) must trigger a fresh plan, not
+// a resume against incompatible leases.
+func TestCoordinatorReplanOnIdentityChange(t *testing.T) {
+	sys := ldapd.New()
+	systems := []sim.System{sys}
+	stateDir := t.TempDir()
+	opts := WorkerOptions{Workers: 2, Inject: inject.DefaultOptions(), Poll: 10 * time.Millisecond}
+	cfg := testConfig(stateDir, systems, inprocSpawner(systems, opts, nil, nil))
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg3 := testConfig(stateDir, systems, inprocSpawner(systems, opts, nil, nil))
+	cfg3.Workers = 3
+	res, err := Run(context.Background(), cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed {
+		t.Error("a 3-worker run resumed a 2-worker manifest")
+	}
+	w := campaignOf(t, sys)
+	if res.Stats[0].Fingerprint != unshardedFingerprint(t, w) {
+		t.Error("re-planned run diverged from the unsharded fingerprint")
+	}
+}
+
+// BenchmarkWorkStealing measures the tentpole claim: under a skewed
+// SimCostDelay workload (worker 1 models a machine 20x slower per cost
+// unit), the static i/N hash partition's wall clock is set by the slow
+// shard, while the work-stealing rebalance moves the laggard's suffix
+// to the drained fast worker. "static" disables stealing (StealMin<0),
+// "steal" enables it; everything else is identical, so the wall-clock
+// gap is the rebalance's win.
+func BenchmarkWorkStealing(b *testing.B) {
+	sys := mydb.New()
+	systems := []sim.System{sys}
+	base := WorkerOptions{Workers: 1, Inject: inject.DefaultOptions(), Poll: 2 * time.Millisecond}
+	tune := func(worker int, o *WorkerOptions) {
+		if worker == 1 {
+			o.Inject.SimCostDelay = 2 * time.Millisecond
+		} else {
+			o.Inject.SimCostDelay = 100 * time.Microsecond
+		}
+	}
+	for _, mode := range []struct {
+		name     string
+		stealMin int
+	}{{"static", -1}, {"steal", 2}} {
+		b.Run(mode.name, func(b *testing.B) {
+			steals := 0
+			for i := 0; i < b.N; i++ {
+				stateDir := b.TempDir()
+				cfg := testConfig(stateDir, systems, inprocSpawner(systems, base, tune, nil))
+				cfg.StealMin = mode.stealMin
+				cfg.Poll = 2 * time.Millisecond
+				res, err := Run(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steals = res.Steals
+			}
+			b.ReportMetric(float64(steals), "steals")
+		})
+	}
+}
+
+// TestExecSpawnerTemplate checks the placeholder expansion contract the
+// CLI template relies on (the process itself is exercised by the CI
+// coordinator smoke).
+func TestExecSpawnerTemplate(t *testing.T) {
+	dir := t.TempDir()
+	spec := WorkerSpec{Worker: 3, LeasePath: "/l/worker3.lease.json", StateDir: "/s/shard3",
+		LogPath: filepath.Join(dir, "w.log")}
+	spawn := ExecSpawner([]string{"/bin/sh", "-c", "echo {worker} {lease} {state}"})
+	h, err := spawn(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(spec.LogPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "3 /l/worker3.lease.json /s/shard3\n"; string(data) != want {
+		t.Errorf("expanded template output %q, want %q", data, want)
+	}
+}

@@ -9,6 +9,7 @@ package inject
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -94,7 +95,19 @@ type Outcome struct {
 	// error in Err but are not harness failures: they are reported as
 	// skipped work, not as untestable misconfigurations.
 	Skipped bool
+	// Yielded marks an outcome a scheduler gate abandoned because its
+	// key was reassigned to another worker mid-campaign (the
+	// coordinator's work-stealing rebalance, internal/coord). Like
+	// Skipped, a yielded outcome is not a harness failure: the thief
+	// executes the misconfiguration and the merge folds its outcome in.
+	Yielded bool
 }
+
+// ErrYielded is the gate error a scheduler returns for a
+// misconfiguration whose lease was stolen by another worker: this
+// process must not execute it. Outcomes carrying it are marked Yielded,
+// never cached, and excluded from the harness-failure tallies.
+var ErrYielded = errors.New("inject: lease reassigned to another worker")
 
 // Report aggregates a campaign over one system.
 type Report struct {
@@ -111,6 +124,10 @@ type Report struct {
 	// Skipped counts misconfigurations the scheduler never started
 	// because the campaign was cancelled (distinct from harness errors).
 	Skipped int
+	// Yielded counts misconfigurations this worker gave up to a
+	// work-stealing rebalance (distinct from both skips and harness
+	// errors: another worker executes them).
+	Yielded int
 }
 
 // CountByReaction tallies outcomes per reaction (Table 5a row). Errored
@@ -140,13 +157,28 @@ func (r *Report) Vulnerabilities() []Outcome {
 	return out
 }
 
+// Finished counts the outcomes that ran (or replayed) to completion —
+// everything except harness errors, cancellation skips, and steal
+// yields. The drivers' replayed-vs-executed arithmetic is
+// Finished() - Replayed.
+func (r *Report) Finished() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Err == "" {
+			n++
+		}
+	}
+	return n
+}
+
 // Errors returns the outcomes the harness failed to test. Outcomes a
-// cancellation skipped before they started are not failures and are
-// listed by SkippedOutcomes instead.
+// cancellation skipped before they started, or a work-stealing
+// rebalance reassigned to another worker, are not failures and are
+// listed by SkippedOutcomes / counted by Report.Yielded instead.
 func (r *Report) Errors() []Outcome {
 	var out []Outcome
 	for _, o := range r.Outcomes {
-		if o.Err != "" && !o.Skipped {
+		if o.Err != "" && !o.Skipped && !o.Yielded {
 			out = append(out, o)
 		}
 	}
@@ -313,14 +345,18 @@ func Assemble(system string, ms []confgen.Misconf, results []engine.Result[Outco
 				cache.Put(CacheKey(ms[i]), out)
 			}
 		}
-		if r.Err != nil { // errored, cancelled mid-run, or never started
+		if r.Err != nil { // errored, cancelled mid-run, never started, or yielded
 			// Per-outcome error: keep the campaign going, keep the
 			// outcome out of the reaction tallies.
 			out.Misconf = ms[i]
 			out.Err = r.Err.Error()
 			out.Skipped = r.Skipped
+			out.Yielded = errors.Is(r.Err, ErrYielded)
 			if r.Skipped {
 				rep.Skipped++
+			}
+			if out.Yielded {
+				rep.Yielded++
 			}
 		}
 		rep.Outcomes = append(rep.Outcomes, out)

@@ -10,6 +10,7 @@ import (
 	"spex/internal/conffile"
 	"spex/internal/confgen"
 	"spex/internal/constraint"
+	"spex/internal/engine"
 	"spex/internal/sim"
 )
 
@@ -295,5 +296,31 @@ func TestReactionVulnerability(t *testing.T) {
 		if r.Vulnerability() {
 			t.Errorf("%s must not be a vulnerability", r)
 		}
+	}
+}
+
+// TestAssembleYieldedOutcomes: a task abandoned with ErrYielded (a
+// work-stealing gate, internal/coord) is classified as yielded work —
+// tallied on Report.Yielded, excluded from harness failures, never a
+// reaction.
+func TestAssembleYieldedOutcomes(t *testing.T) {
+	c := &constraint.Constraint{Kind: constraint.KindBasicType, Param: "p"}
+	ms := []confgen.Misconf{mk("p", "good", c), mk("p", "crash", c)}
+	results := []engine.Result[Outcome]{
+		{Index: 0, Err: fmt.Errorf("gated: %w", ErrYielded)},
+		{Index: 1, Value: Outcome{Misconf: ms[1], Reaction: ReactionCrash}},
+	}
+	rep := Assemble("fake", ms, results, nil)
+	if rep.Yielded != 1 {
+		t.Errorf("Report.Yielded = %d, want 1", rep.Yielded)
+	}
+	if !rep.Outcomes[0].Yielded || rep.Outcomes[0].Err == "" {
+		t.Errorf("yielded outcome not marked: %+v", rep.Outcomes[0])
+	}
+	if errs := rep.Errors(); len(errs) != 0 {
+		t.Errorf("yielded outcome counted as a harness failure: %v", errs)
+	}
+	if got := rep.CountByReaction()[ReactionCrash]; got != 1 {
+		t.Errorf("crash tally = %d, want 1 (the executed outcome)", got)
 	}
 }

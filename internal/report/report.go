@@ -81,6 +81,17 @@ type AnalyzeOptions struct {
 	// identical either way — only utilization changes. CampaignWorkers
 	// is ignored in this mode (there is one pool, not one per system).
 	Global bool
+	// Shard, when enabled, restricts the campaign phase to the plan's
+	// partition of each system's misconfigurations — the distributed
+	// table pipeline: every `spexeval -shard i/N -state <dir>` process
+	// campaigns one partition and persists per-shard snapshots, then
+	// spexmerge folds the shard directories and a plain
+	// `spexeval -state <merged>` replays the whole campaign at zero
+	// fresh cost, rendering tables byte-identical to an unsharded
+	// run's. Requires StateDir (a shard's outcomes ARE its snapshots)
+	// and implies Global. Sharded results cover partial campaigns, so
+	// drivers should not render tables from them directly.
+	Shard shard.Plan
 }
 
 // Analyze runs the full pipeline for one system.
@@ -149,6 +160,12 @@ func AnalyzeAll() ([]*SystemResult, error) {
 // (internal/shard); the results are identical.
 func AnalyzeAllContext(ctx context.Context, opts AnalyzeOptions) ([]*SystemResult, error) {
 	systems := targets.All()
+	if opts.Shard.Enabled() {
+		if opts.StateDir == "" {
+			return nil, fmt.Errorf("report: a sharded analysis needs a state directory (its outcomes are its snapshots)")
+		}
+		return analyzeAllGlobal(ctx, systems, opts)
+	}
 	if opts.Global {
 		return analyzeAllGlobal(ctx, systems, opts)
 	}
@@ -175,18 +192,19 @@ func AnalyzeAllContext(ctx context.Context, opts AnalyzeOptions) ([]*SystemResul
 	return out, nil
 }
 
-// analyzeAllGlobal is AnalyzeAllContext's cross-target scheduling mode:
-// inference fans out on the engine pool, one global campaign pool
-// interleaves every system's misconfigurations (internal/shard), and
-// the audits fold in sequentially (they cost microseconds). OnProgress
-// still emits one "campaigned" event per system, fired when the
-// system's last outcome completes on the global pool.
+// analyzeAllGlobal is AnalyzeAllContext's cross-target scheduling mode
+// (and, under opts.Shard, its distributed mode): inference fans out on
+// the engine pool, one global campaign pool interleaves every system's
+// misconfigurations (internal/shard, shard-filtered under an enabled
+// plan), and the audits fold in sequentially (they cost microseconds).
+// OnProgress still emits one "campaigned" event per system, fired when
+// the system's last outcome completes on the global pool.
 func analyzeAllGlobal(ctx context.Context, systems []sim.System, opts AnalyzeOptions) ([]*SystemResult, error) {
 	rs, err := spex.InferAll(ctx, systems, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	ws, _, err := shard.BuildWorkloads(systems, rs, shard.Plan{})
+	ws, _, err := shard.BuildWorkloads(systems, rs, opts.Shard)
 	if err != nil {
 		return nil, fmt.Errorf("report: %w", err)
 	}
@@ -199,12 +217,22 @@ func analyzeAllGlobal(ctx context.Context, systems []sim.System, opts AnalyzeOpt
 	}
 	gopts := shard.Options{Workers: opts.Workers, Inject: inject.DefaultOptions()}
 	if opts.OnProgress != nil {
+		// A system whose shard partition is empty emits no outcome
+		// events, so the completion target is the number of systems
+		// with actual work — otherwise a sharded -progress run would
+		// end at 6/7 and read as stalled.
+		withWork := 0
+		for _, w := range ws {
+			if len(w.Ms) > 0 {
+				withWork++
+			}
+		}
 		campaigned := 0
 		gopts.OnProgress = func(p shard.Progress) {
 			if p.SystemDone == p.SystemTotal {
 				campaigned++
 				opts.OnProgress(Progress{System: p.System, Stage: "campaigned",
-					Done: campaigned, Total: len(systems)})
+					Done: campaigned, Total: withWork})
 			}
 		}
 	}

@@ -1,8 +1,11 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"spex/internal/shard"
 )
 
 // analyzeAllOnce caches the expensive full analysis across tests.
@@ -134,5 +137,54 @@ func TestTable11TotalsConsistent(t *testing.T) {
 		if c[0] != r.Inference.Params { // KindBasicType == 0
 			t.Errorf("%s: basic types %d != params %d", r.Sys.Name(), c[0], r.Inference.Params)
 		}
+	}
+}
+
+// TestShardedAnalysisMergesIdentical: the distributed table pipeline —
+// every system campaigned as two spexeval shards, merged, then
+// replayed — must render Table 5 (the campaign-derived table) byte-
+// identical to the unsharded analysis, and the merged replay must
+// execute nothing fresh.
+func TestShardedAnalysisMergesIdentical(t *testing.T) {
+	rs := allResults(t)
+	want := Table5(rs)
+	ctx := context.Background()
+
+	var dirs []string
+	for i := 1; i <= 2; i++ {
+		dir := t.TempDir()
+		_, err := AnalyzeAllContext(ctx, AnalyzeOptions{
+			Workers: 4, StateDir: dir, Shard: shard.Plan{Shard: i, Of: 2},
+		})
+		if err != nil {
+			t.Fatalf("shard %d/2: %v", i, err)
+		}
+		dirs = append(dirs, dir)
+	}
+	merged := t.TempDir()
+	if _, err := shard.Merge(merged, dirs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, StateDir: merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Campaign.Replayed != len(r.Campaign.Outcomes) {
+			t.Errorf("%s: merged replay executed fresh work (replayed %d of %d)",
+				r.Sys.Name(), r.Campaign.Replayed, len(r.Campaign.Outcomes))
+		}
+	}
+	if table := Table5(got); table != want {
+		t.Errorf("Table 5 from the merged store differs from the unsharded render:\n--- unsharded ---\n%s\n--- merged ---\n%s", want, table)
+	}
+}
+
+// TestShardedAnalysisRequiresStateDir: a shard's only output is its
+// snapshots, so refusing to run without a state dir is the API contract.
+func TestShardedAnalysisRequiresStateDir(t *testing.T) {
+	_, err := AnalyzeAllContext(context.Background(), AnalyzeOptions{Shard: shard.Plan{Shard: 1, Of: 2}})
+	if err == nil || !strings.Contains(err.Error(), "state directory") {
+		t.Errorf("sharded analysis without StateDir = %v, want a state-directory error", err)
 	}
 }

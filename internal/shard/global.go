@@ -103,10 +103,18 @@ func Interleave(sizes []int) []Task {
 
 // Progress is one global-campaign progress event, emitted per completed
 // outcome: the aggregate position plus the owning system's position —
-// exactly what a single streaming status line needs.
+// exactly what a single streaming status line needs — plus the
+// outcome's identity, which the coordinator's worker heartbeats
+// (internal/coord) key on.
 type Progress struct {
 	// System is the completed outcome's target.
 	System string
+	// Key is the completed outcome's replay identity (inject.CacheKey).
+	Key string
+	// Failed reports that the task errored (harness failure, gate
+	// rejection, or cancellation mid-run): its outcome will not be
+	// cached or persisted, so a heartbeat must not count it as done.
+	Failed bool
 	// SystemDone/SystemTotal count within the system.
 	SystemDone, SystemTotal int
 	// Done/Total count across the whole global queue.
@@ -124,6 +132,15 @@ type Options struct {
 	// OnProgress, if set, streams every completed outcome. Calls are
 	// serialized by the scheduler.
 	OnProgress func(Progress)
+	// Gate, if set, is consulted immediately before a misconfiguration
+	// executes (cache replays bypass it — a replay costs nothing and is
+	// already recorded). A non-nil error abandons the task with that
+	// error recorded on its outcome, exactly like a harness failure,
+	// and the outcome is never cached. The coordinator's worker harness
+	// (internal/coord) gates on lease ownership, which is how a
+	// work-stealing rebalance stops the victim from executing keys that
+	// were just reassigned.
+	Gate func(system string, m confgen.Misconf) error
 }
 
 // cachePrefix namespaces one workload's keys inside the shared engine
@@ -197,6 +214,8 @@ func RunGlobal(ctx context.Context, ws []Workload, opts Options) ([]*inject.Repo
 			sysDone[t.Target]++
 			opts.OnProgress(Progress{
 				System:      ws[t.Target].Sys.Name(),
+				Key:         inject.CacheKey(ws[t.Target].Ms[t.Index]),
+				Failed:      r.Err != nil,
 				SystemDone:  sysDone[t.Target],
 				SystemTotal: sizes[t.Target],
 				Done:        done,
@@ -207,6 +226,11 @@ func RunGlobal(ctx context.Context, ws []Workload, opts Options) ([]*inject.Repo
 
 	results, cancelErr := engine.Run(ctx, total, func(ctx context.Context, i int) (inject.Outcome, error) {
 		t := tasks[i]
+		if opts.Gate != nil {
+			if err := opts.Gate(ws[t.Target].Sys.Name(), ws[t.Target].Ms[t.Index]); err != nil {
+				return inject.Outcome{}, err
+			}
+		}
 		return runners[t.Target].Test(ctx, ws[t.Target].Ms[t.Index])
 	}, eopts)
 

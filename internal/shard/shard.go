@@ -49,12 +49,48 @@ import (
 
 // Plan identifies one shard of an N-way campaign partition. The zero
 // value is "unsharded" (Enabled reports false, Owns reports true for
-// everything).
+// everything). A plan is either arithmetic (Shard/Of, the
+// coordinator-free i/N hash partition) or explicit (Keys, a key-set
+// plan): the coordinator's lease layer (internal/coord) compiles leases
+// into key-set plans, which is how a work-stealing rebalance reassigns
+// misconfigurations mid-campaign without re-hashing anything.
 type Plan struct {
 	// Shard is this process's 1-based shard number.
 	Shard int
 	// Of is the total number of shards.
 	Of int
+	// Keys, when non-nil, makes this an explicit key-set plan: the shard
+	// owns exactly the listed system-qualified replay identities
+	// (GlobalKey), and Shard/Of hashing is ignored. An empty non-nil map
+	// owns nothing.
+	Keys map[string]bool
+}
+
+// GlobalKey qualifies a misconfiguration's replay identity (key, an
+// inject.CacheKey) with its system name — the key space explicit
+// key-set plans and the coordinator's leases work in. System names
+// never contain NUL, so keys cannot collide across systems.
+func GlobalKey(system, key string) string {
+	return system + "\x00" + key
+}
+
+// KeySetPlan builds an explicit plan owning exactly keys (GlobalKey
+// strings). The map is used as-is, not copied.
+func KeySetPlan(keys map[string]bool) Plan { return Plan{Keys: keys} }
+
+// Owner returns the 0-based shard index the i/N hash partition assigns
+// the misconfiguration to: a stable FNV-1a hash of the system name and
+// the misconfiguration's replay identity, mod n. Every process that ran
+// the same deterministic inference computes the same assignment with no
+// coordination; the coordinator uses the same function for its initial
+// leases, so a coordinated campaign starts from exactly the partition a
+// static -shard run would use.
+func Owner(system string, m confgen.Misconf, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(system))
+	h.Write([]byte{0})
+	h.Write([]byte(inject.CacheKey(m)))
+	return int(h.Sum64() % uint64(n))
 }
 
 // ParsePlan parses the "i/N" notation of the -shard flag (1-based, so
@@ -76,8 +112,12 @@ func ParsePlan(s string) (Plan, error) {
 	return p, nil
 }
 
-// Validate checks the plan's arithmetic: 1 <= Shard <= Of.
+// Validate checks the plan's arithmetic: 1 <= Shard <= Of. Key-set
+// plans have no arithmetic to check.
 func (p Plan) Validate() error {
+	if p.Keys != nil {
+		return nil
+	}
 	if p.Of < 1 || p.Shard < 1 || p.Shard > p.Of {
 		return fmt.Errorf("shard: invalid plan %d/%d (want 1 <= i <= N)", p.Shard, p.Of)
 	}
@@ -85,28 +125,32 @@ func (p Plan) Validate() error {
 }
 
 // Enabled reports whether the plan actually partitions (a zero or 1/1
-// plan owns everything).
-func (p Plan) Enabled() bool { return p.Of > 1 }
+// plan owns everything; any key-set plan partitions, even an empty one).
+func (p Plan) Enabled() bool { return p.Keys != nil || p.Of > 1 }
 
-// String renders the plan in the -shard flag's notation.
-func (p Plan) String() string { return fmt.Sprintf("%d/%d", p.Shard, p.Of) }
+// String renders the plan in the -shard flag's notation; key-set plans
+// render their cardinality.
+func (p Plan) String() string {
+	if p.Keys != nil {
+		return fmt.Sprintf("keyset(%d)", len(p.Keys))
+	}
+	return fmt.Sprintf("%d/%d", p.Shard, p.Of)
+}
 
-// Owns reports whether this shard executes the misconfiguration. The
-// partition is a stable FNV-1a hash of the system name and the
-// misconfiguration's replay identity (inject.CacheKey), so every
-// process that ran the same deterministic inference computes the same
-// partition with no coordination, each key belongs to exactly one
-// shard, and the assignment survives re-runs (a shard's incremental
-// -state re-run replays its own outcomes).
+// Owns reports whether this shard executes the misconfiguration: for a
+// key-set plan, membership in Keys; otherwise the stable i/N hash
+// partition (Owner), so every process that ran the same deterministic
+// inference computes the same partition with no coordination, each key
+// belongs to exactly one shard, and the assignment survives re-runs (a
+// shard's incremental -state re-run replays its own outcomes).
 func (p Plan) Owns(system string, m confgen.Misconf) bool {
+	if p.Keys != nil {
+		return p.Keys[GlobalKey(system, inject.CacheKey(m))]
+	}
 	if p.Of <= 1 {
 		return true
 	}
-	h := fnv.New64a()
-	h.Write([]byte(system))
-	h.Write([]byte{0})
-	h.Write([]byte(inject.CacheKey(m)))
-	return int(h.Sum64()%uint64(p.Of)) == p.Shard-1
+	return Owner(system, m, p.Of) == p.Shard-1
 }
 
 // Filter returns the misconfigurations this shard owns, in input order.
@@ -159,8 +203,11 @@ type MergeStat struct {
 // (Snapshot.Stamps — when it was last executed or re-validated, NOT
 // when its snapshot happened to be saved, so a shard that merely
 // carried a peer's outcome through its save can never shadow the
-// peer's fresher retest; ties go to the later source directory), and
-// the merged snapshot replays exactly like an unsharded run's.
+// peer's fresher retest; exactly-equal stamps tie-break to the
+// lexicographically greatest source directory, so the merge result is
+// a function of the shard set, not of the order the directories were
+// listed in), and the merged snapshot replays exactly like an
+// unsharded run's.
 func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 	if len(srcDirs) == 0 {
 		return nil, errors.New("shard: no shard directories to merge")
@@ -221,6 +268,7 @@ func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 
 		merged := make(map[string]inject.Outcome)
 		stamps := make(map[string]time.Time)
+		holder := make(map[string]string) // key -> source dir of the current winner
 		duplicates := 0
 		for _, p := range parts {
 			for key, out := range p.snap.Outcomes {
@@ -231,9 +279,16 @@ func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 					if stamp.Before(prev) {
 						continue
 					}
+					if stamp.Equal(prev) && p.dir < holder[key] {
+						// Equal stamps: the lexicographically greatest
+						// shard directory wins, independent of srcDirs
+						// order.
+						continue
+					}
 				}
 				merged[key] = out
 				stamps[key] = stamp
+				holder[key] = p.dir
 			}
 		}
 

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -96,6 +97,73 @@ func TestPlanPartitionsDisjointAndComplete(t *testing.T) {
 		}
 		if total != len(w.Ms) {
 			t.Errorf("N=%d: shard filters cover %d of %d misconfigurations", n, total, len(w.Ms))
+		}
+	}
+}
+
+// TestKeySetPlan: an explicit key-set plan owns exactly its listed
+// keys, is Enabled even when empty, and BuildWorkloads under it
+// filters the workload and vouches for the full campaign (Keep) the
+// same way an i/N plan does — the contract the coordinator's leases
+// compile to.
+func TestKeySetPlan(t *testing.T) {
+	sys := ldapd.New()
+	res, err := spex.InferSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := conffile.Parse(sys.DefaultConfig(), sys.Syntax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := confgen.NewRegistry().Generate(res.Set, tmpl)
+	keys := map[string]bool{}
+	for _, m := range ms[:3] {
+		keys[GlobalKey(sys.Name(), inject.CacheKey(m))] = true
+	}
+	p := KeySetPlan(keys)
+	if !p.Enabled() {
+		t.Error("key-set plan must be Enabled")
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+	if got := p.Filter(sys.Name(), ms); len(got) != 3 {
+		t.Errorf("Filter kept %d misconfigurations, want 3", len(got))
+	}
+	if p.Owns("othersystem", ms[0]) {
+		t.Error("key-set plan owns a foreign system's key")
+	}
+	empty := KeySetPlan(map[string]bool{})
+	if !empty.Enabled() || len(empty.Filter(sys.Name(), ms)) != 0 {
+		t.Error("empty key-set plan must be enabled and own nothing")
+	}
+
+	ws, totals, err := BuildWorkloads([]sim.System{sys}, []*spex.Result{res}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws[0].Ms) != 3 || totals[0] != len(ms) {
+		t.Errorf("BuildWorkloads: %d owned of %d total, want 3 of %d", len(ws[0].Ms), totals[0], len(ms))
+	}
+	if len(ws[0].Keep) != len(ms) {
+		t.Errorf("BuildWorkloads Keep vouches for %d keys, want the full campaign's %d", len(ws[0].Keep), len(ms))
+	}
+}
+
+// TestOwnerConsistentWithPlan: the exported Owner helper (the
+// coordinator's initial-assignment function) and Plan.Owns must agree,
+// or a coordinated campaign would start from a different partition
+// than a static -shard run.
+func TestOwnerConsistentWithPlan(t *testing.T) {
+	w := workloadFor(t, ldapd.New())
+	for _, m := range w.Ms {
+		o := Owner(w.Sys.Name(), m, 4)
+		for i := 1; i <= 4; i++ {
+			owns := (Plan{Shard: i, Of: 4}).Owns(w.Sys.Name(), m)
+			if owns != (o == i-1) {
+				t.Fatalf("Owner says shard %d, Plan %d/4 says owns=%v", o+1, i, owns)
+			}
 		}
 	}
 }
@@ -446,6 +514,50 @@ func TestMergeFreshestWins(t *testing.T) {
 	}
 	if got := snap.Outcomes[key].Reaction; got != inject.ReactionGood {
 		t.Errorf("merged outcome reaction = %v, want the fresher snapshot's %v", got, inject.ReactionGood)
+	}
+}
+
+// TestMergeEqualStampTieBreakDeterministic: when two shards carry the
+// same key with exactly equal stamps, the winner must be a function of
+// the shard directories (lexicographically greatest), not of the order
+// the directories were passed to Merge.
+func TestMergeEqualStampTieBreakDeterministic(t *testing.T) {
+	set := synthSet("p")
+	opts := inject.DefaultOptions()
+	m := synthMisconf("m0", set.Constraints[0])
+	key := inject.CacheKey(m)
+	a := inject.Outcome{Misconf: m, Reaction: inject.ReactionCrash}
+	b := inject.Outcome{Misconf: m, Reaction: inject.ReactionGood}
+	stamp := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	base := t.TempDir()
+	dirA := filepath.Join(base, "shard-a")
+	dirB := filepath.Join(base, "shard-b")
+	saveSnapshot(t, dirA, set, opts, map[string]inject.Outcome{key: a}, stamp)
+	saveSnapshot(t, dirB, set, opts, map[string]inject.Outcome{key: b}, stamp)
+
+	for _, order := range [][]string{{dirA, dirB}, {dirB, dirA}} {
+		mergedDir := t.TempDir()
+		stats, err := Merge(mergedDir, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats[0].Duplicates != 1 {
+			t.Errorf("order %v: Duplicates = %d, want 1", order, stats[0].Duplicates)
+		}
+		store, err := campaignstore.Open(mergedDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := store.Load("synth")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// shard-b > shard-a lexicographically, so b must win either way.
+		if got := snap.Outcomes[key].Reaction; got != inject.ReactionGood {
+			t.Errorf("order %v: merged reaction = %v, want the lexicographically greatest dir's %v",
+				order, got, inject.ReactionGood)
+		}
 	}
 }
 
