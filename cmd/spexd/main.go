@@ -1,0 +1,119 @@
+// Command spexd is the campaign service daemon: a resident process
+// that owns a campaign state directory, runs misconfiguration-injection
+// campaigns on demand, and serves results and live progress over a
+// JSON HTTP API (internal/server). Where spexinj and spexeval are
+// one-shot CLI invocations against a -state dir, spexd takes the
+// store's exclusive writer lock once, for its whole lifetime, and
+// orders campaigns behind a serial job queue — the service form of the
+// same engine, store, scheduler, and coordinator stack.
+//
+// Jobs run strictly one at a time per state directory (concurrent
+// writers are unsafe by design; that is what the lock enforces), are
+// journaled durably under <state>/jobs/ (a restarted daemon lists the
+// jobs that ran before it), and stream progress over Server-Sent
+// Events through the same progress pipeline (shard.Hub) the CLI
+// -progress renderers consume. Reads — outcome listings and the
+// paper's evaluation tables — are served read-only from the store's
+// atomic snapshots and work even while a job is writing; table text is
+// byte-identical to a `spexeval -state <dir> -table N` run over the
+// same store.
+//
+// # Quickstart (see also examples/quickstart/README.md)
+//
+//	spexd -state /var/lib/spex -addr 127.0.0.1:8476 &
+//
+//	# submit a campaign over every target, 4 workers wide
+//	curl -s -X POST localhost:8476/v1/jobs \
+//	     -d '{"all": true, "workers": 4}'
+//	# => {"id": "job-000001", "state": "queued", ...}
+//
+//	# watch live progress (SSE: per-system done/total, steals, yields)
+//	curl -N localhost:8476/v1/jobs/job-000001/events
+//
+//	# poll status; then fetch results
+//	curl -s localhost:8476/v1/jobs/job-000001
+//	curl -s localhost:8476/v1/systems/proxyd/outcomes
+//	curl -s 'localhost:8476/v1/tables/5?format=text'   # == spexeval -table 5
+//	curl -s -X DELETE localhost:8476/v1/jobs/job-000002   # cancel
+//
+// A job body may also name specific targets and engage the embedded
+// work-stealing coordinator (internal/coord):
+//
+//	curl -s -X POST localhost:8476/v1/jobs \
+//	     -d '{"systems": ["proxyd", "mydb"], "coordinate": 2}'
+//
+// Coordinate-job workers run in-process by default; -spawn replaces
+// them with external worker processes from a command template (the
+// same {lease}/{state}/{worker} placeholders as `spexinj -spawn`, so
+// an SSH preset fans workers out across machines sharing the state
+// directory). External workers report through heartbeat files only:
+// with -spawn, a coordinate job's SSE stream carries the coordinator
+// lifecycle events (spawn/steal/retry/merge) but not per-outcome
+// "progress" events — those need the in-process default.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: the running campaign
+// drains through the engine's cancellation path (finished outcomes are
+// already persisted — the store resumes where it stopped), queued jobs
+// are journaled cancelled, and the writer lock is released.
+//
+// Usage:
+//
+//	spexd -state /var/lib/spex
+//	spexd -state /var/lib/spex -addr 127.0.0.1:8476 -workers 8
+//	spexd -state /var/lib/spex -spawn "ssh w{worker}.cluster spexinj -lease {lease} -state {state} -all"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"spex/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		state   = flag.String("state", "", "campaign state directory the daemon takes ownership of (required)")
+		addr    = flag.String("addr", "127.0.0.1:8476", "HTTP listen address")
+		workers = flag.Int("workers", 0, "default campaign pool width for jobs that don't set one (0 = one per CPU)")
+		spawn   = flag.String("spawn", "", "coordinate jobs: worker command template with {lease}/{state}/{worker} placeholders (default: in-process workers)")
+	)
+	flag.Parse()
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "spexd: -state is required (the daemon owns a campaign state directory)")
+		return 2
+	}
+
+	cfg := server.Config{
+		StateDir: *state,
+		Workers:  *workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *spawn != "" {
+		cfg.SpawnArgv = strings.Fields(*spawn)
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spexd: %v\n", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "spexd: serving %s on http://%s\n", *state, *addr)
+	if err := s.ListenAndServe(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "spexd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "spexd: drained; state lock released")
+	return 0
+}

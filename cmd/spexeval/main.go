@@ -6,6 +6,11 @@
 // the engine worker pool; pass -workers 1 to force the sequential order,
 // or -global to interleave all seven campaigns on one cross-target pool
 // (internal/shard) so small targets draining early do not idle workers.
+// Under -global (or -shard), -progress renders the campaign itself
+// through the shared progress pipeline (shard.Hub → internal/progressui,
+// the same renderer as spexinj): per-system bars on a terminal, the
+// throttled one-line aggregate otherwise. Without -global it streams
+// the original per-system analysis stage lines.
 // The rendered tables are identical in every mode. With -state <dir> the
 // campaign phase is incremental across runs: each system's outcomes are
 // persisted as a snapshot (internal/campaignstore) and replayed on the
@@ -51,6 +56,7 @@ import (
 	"os/signal"
 
 	"spex/internal/campaignstore"
+	"spex/internal/progressui"
 	"spex/internal/report"
 	"spex/internal/shard"
 )
@@ -105,12 +111,22 @@ func run() int {
 	defer stop()
 
 	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global, Shard: plan}
+	var finishProgress func()
 	if *progress {
-		opts.OnProgress = func(p report.Progress) {
-			fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
+		if *global || plan.Enabled() {
+			// Campaigns run on the global scheduler: render them through
+			// the shared progress pipeline, spexinj-parity bars included.
+			opts.OnCampaignProgress, finishProgress = progressui.Attach(os.Stderr, "spexeval")
+		} else {
+			opts.OnProgress = func(p report.Progress) {
+				fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
+			}
 		}
 	}
 	results, err := report.AnalyzeAllContext(ctx, opts)
+	if finishProgress != nil {
+		finishProgress()
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -142,20 +158,6 @@ func run() int {
 		return 0
 	}
 
-	tables := map[int]func() string{
-		1:  func() string { return report.Table1(results) },
-		2:  report.Table2,
-		3:  func() string { return report.Table3(results) },
-		4:  func() string { return report.Table4(results) },
-		5:  func() string { return report.Table5(results) },
-		6:  func() string { return report.Table6(results) },
-		7:  func() string { return report.Table7(results) },
-		8:  func() string { return report.Table8(results) },
-		9:  func() string { return report.Tables9and10(results) },
-		10: func() string { return report.Tables9and10(results) },
-		11: func() string { return report.Table11(results) },
-		12: func() string { return report.Table12(results) },
-	}
 	figures := map[int]func() (string, error){
 		1: report.Figure1,
 		2: report.Figure2,
@@ -168,11 +170,13 @@ func run() int {
 
 	switch {
 	case *tableN != 0:
-		f, ok := tables[*tableN]
-		if !ok {
-			return fail(fmt.Errorf("no table %d", *tableN))
+		// One rendering path with the daemon's /v1/tables text endpoint
+		// (report.RenderTableText), held byte-identical by golden tests.
+		text, err := report.RenderTableText(*tableN, results)
+		if err != nil {
+			return fail(err)
 		}
-		fmt.Println(f())
+		fmt.Println(text)
 	case *figureN != 0:
 		f, ok := figures[*figureN]
 		if !ok {
@@ -184,11 +188,15 @@ func run() int {
 		}
 		fmt.Println(s)
 	default:
-		for i := 1; i <= 12; i++ {
+		for i := 1; i <= report.MaxTable; i++ {
 			if i == 10 {
 				continue // rendered together with table 9
 			}
-			fmt.Println(tables[i]())
+			text, err := report.RenderTableText(i, results)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Println(text)
 		}
 		for i := 1; i <= 7; i++ {
 			s, err := figures[i]()

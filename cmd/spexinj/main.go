@@ -63,7 +63,45 @@
 //
 // Worker processes are spexinj itself in lease mode (-lease <file>,
 // normally set by the coordinator): they execute exactly their lease's
-// keys, heartbeat progress, and watch for steals.
+// keys, heartbeat progress, and watch for steals. A worker process
+// that dies on an error (a crashed child, a lost connection) is
+// respawned on its unchanged lease up to -worker-retries times
+// (default 1) before the campaign aborts; the respawned worker replays
+// its persisted outcomes and re-executes only what never saved.
+//
+// # Spawning workers over SSH
+//
+// -spawn replaces the default self-exec worker template with an
+// arbitrary command line (whitespace-split; {lease}, {state} and
+// {worker} expand per worker — coord.ExpandArgv). The SSH preset runs
+// each worker on its own machine; the only infrastructure it needs is
+// the state directory on a shared filesystem:
+//
+//	spexinj -all -coordinate 4 -state /mnt/spex \
+//	  -spawn "ssh worker{worker}.cluster.example spexinj -lease {lease} -state {state} -all"
+//
+// which launches worker 2 as
+//
+//	ssh worker2.cluster.example spexinj \
+//	  -lease /mnt/spex/coord/worker2.lease.json -state /mnt/spex/shard2 -all
+//
+// (No coordinator flags are forwarded through a custom template —
+// -no-optimizations, -sim-delay, -skew, -workers all have to be spelled
+// in the template itself. Outcome-affecting ones matter most: a worker
+// whose options differ from the coordinator's saves snapshots under a
+// different options identity, and the final merge rejects the shards as
+// mixed rather than silently blending them. No SSH runs in CI — the
+// template expansion is unit-tested, the protocol is exercised by the
+// local exec spawner.)
+//
+// # Progress rendering
+//
+// -progress consumes the campaign's progress stream off a fan-out hub
+// (internal/shard Hub — the same pipeline the spexd daemon serves over
+// SSE) and renders it with internal/progressui: on a terminal, one
+// live bar per system plus an aggregate header, rewritten in place;
+// in CI logs and redirects, the established throttled one-line
+// aggregate.
 //
 // Usage:
 //
@@ -88,6 +126,7 @@ import (
 	"spex/internal/campaignstore"
 	"spex/internal/coord"
 	"spex/internal/inject"
+	"spex/internal/progressui"
 	"spex/internal/shard"
 	"spex/internal/sim"
 	"spex/internal/spex"
@@ -109,6 +148,8 @@ func run() int {
 		shardFlag  = flag.String("shard", "", "execute one shard i/N of the workload (requires -state; merge shard directories with spexmerge)")
 		coordinate = flag.Int("coordinate", 0, "coordinate N local shard workers with work-stealing rebalance (requires -state; merges into it when done)")
 		stealMin   = flag.Int("steal-min", coord.DefaultStealMin, "coordinator: steal only from a laggard with more than this many pending misconfigurations")
+		retries    = flag.Int("worker-retries", coord.DefaultWorkerRetries, "coordinator: respawn a worker that dies on an error this many times before aborting")
+		spawnTmpl  = flag.String("spawn", "", "coordinator: worker command template ({lease}/{state}/{worker} placeholders; e.g. an ssh preset — see the doc comment); default re-executes spexinj locally")
 		leaseFlag  = flag.String("lease", "", "worker mode: execute the key set leased in this file (requires -state; normally set by -coordinate)")
 		simDelay   = flag.Duration("sim-delay", 0, "realize each simulated cost unit as this much wall time (scheduling knob for demos and skew experiments; 0 = full speed)")
 		skew       = flag.Int("skew", 1, "coordinator: multiply -sim-delay by this factor for worker 1, modeling a slow machine (demo/CI knob)")
@@ -170,7 +211,8 @@ func run() int {
 		}
 		return runCoordinator(ctx, systems, opts, coordArgs{
 			state: *state, workers: *coordinate, pool: *workers,
-			stealMin: *stealMin, all: *all, system: *system,
+			stealMin: *stealMin, retries: *retries, spawn: *spawnTmpl,
+			all: *all, system: *system,
 			noOpt: *noOpt, simDelay: *simDelay, skew: *skew,
 			reports: *reports, max: *max,
 		})
@@ -218,7 +260,7 @@ func run() int {
 	gopts := shard.Options{Workers: *workers, Inject: opts}
 	var finishProgress func()
 	if *progress {
-		gopts.OnProgress, finishProgress = progressLine(ws)
+		gopts.OnProgress, finishProgress = progressui.Attach(os.Stderr, "spexinj")
 	}
 	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
 	if finishProgress != nil {
@@ -307,6 +349,8 @@ type coordArgs struct {
 	workers  int
 	pool     int
 	stealMin int
+	retries  int
+	spawn    string
 	all      bool
 	system   string
 	noOpt    bool
@@ -344,14 +388,19 @@ func runCoordinator(ctx context.Context, systems []sim.System, opts inject.Optio
 		}
 		return argv
 	}
+	tmpl := strings.Fields(a.spawn) // empty without -spawn
 	cfg := coord.Config{
-		StateDir:    a.state,
-		Workers:     a.workers,
-		Systems:     systems,
-		Inject:      opts,
-		PoolWorkers: a.pool,
-		StealMin:    a.stealMin,
+		StateDir:      a.state,
+		Workers:       a.workers,
+		Systems:       systems,
+		Inject:        opts,
+		PoolWorkers:   a.pool,
+		StealMin:      a.stealMin,
+		WorkerRetries: a.retries,
 		Spawn: func(ctx context.Context, spec coord.WorkerSpec) (coord.Handle, error) {
+			if len(tmpl) > 0 {
+				return coord.ExecSpawner(tmpl)(ctx, spec)
+			}
 			return coord.ExecSpawner(argvFor(spec.Worker))(ctx, spec)
 		},
 		OnEvent: func(e coord.Event) {
@@ -368,6 +417,8 @@ func runCoordinator(ctx context.Context, systems []sim.System, opts inject.Optio
 				} else {
 					fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d drained\n", e.Worker)
 				}
+			case "retry":
+				fmt.Fprintf(os.Stderr, "spexinj: coordinator: respawning worker %d after failure (attempt %d): %v\n", e.Worker, e.Attempt, e.Err)
 			case "steal":
 				fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d stole %d keys from laggard worker %d\n", e.Worker, e.Keys, e.From)
 			case "merge":
@@ -384,8 +435,8 @@ func runCoordinator(ctx context.Context, systems []sim.System, opts inject.Optio
 		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
 		return 1
 	}
-	fmt.Printf("=== coordinated campaign: %d workers, %d spawns, %d steals ===\n",
-		a.workers, res.Spawns, res.Steals)
+	fmt.Printf("=== coordinated campaign: %d workers, %d spawns, %d steals, %d retries ===\n",
+		a.workers, res.Spawns, res.Steals, res.Retries)
 	for _, st := range res.Stats {
 		fmt.Printf("%-10s %d outcomes from %d shard(s)", st.System, st.Outcomes, st.Shards)
 		if st.Duplicates > 0 {
@@ -480,56 +531,4 @@ func runWorker(ctx context.Context, leasePath, stateDir string, systems []sim.Sy
 		return 1
 	}
 	return 0
-}
-
-// progressLine returns a shard.Progress sink rendering one status line
-// per event — the aggregate done/total followed by every system's own
-// count — plus a finish function to call once the campaign ends.
-//
-// On a terminal the line is rewritten in place (\r). When stderr is not
-// a TTY (CI logs, file redirects) rewriting would smear every update
-// into a separate garbled line, so the sink falls back to throttled
-// newline updates: the first event, then at most one line per second,
-// then the final count.
-func progressLine(ws []shard.Workload) (func(shard.Progress), func()) {
-	tty := isTerminal(os.Stderr)
-	idx := make(map[string]int, len(ws))
-	done := make([]int, len(ws))
-	for i, w := range ws {
-		idx[w.Sys.Name()] = i
-	}
-	var last time.Time
-	emit := func(p shard.Progress) {
-		done[idx[p.System]] = p.SystemDone
-		var b strings.Builder
-		fmt.Fprintf(&b, "spexinj: %d/%d", p.Done, p.Total)
-		sep := " ("
-		for j, w := range ws {
-			fmt.Fprintf(&b, "%s%s %d/%d", sep, w.Sys.Name(), done[j], len(w.Ms))
-			sep = ", "
-		}
-		b.WriteString(")")
-		if tty {
-			b.WriteString("\r")
-			fmt.Fprint(os.Stderr, b.String())
-			return
-		}
-		if p.Done == p.Total || last.IsZero() || time.Since(last) >= time.Second {
-			last = time.Now()
-			fmt.Fprintln(os.Stderr, b.String())
-		}
-	}
-	finish := func() {
-		if tty {
-			fmt.Fprintln(os.Stderr) // terminate the \r-rewritten line
-		}
-	}
-	return emit, finish
-}
-
-// isTerminal reports whether f is a character device — the TTY test
-// deciding between in-place progress rewrites and line-oriented output.
-func isTerminal(f *os.File) bool {
-	fi, err := f.Stat()
-	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

@@ -196,6 +196,47 @@
 // its shard directory, and a stray concurrent `spexinj -state` run
 // fails fast instead of silently racing snapshot saves.
 //
+// Worker processes that die on an error are respawned on their
+// unchanged lease up to a bounded retry budget
+// (coord.Config.WorkerRetries, `spexinj -worker-retries`, default 1)
+// before the campaign aborts — a retried worker replays its persisted
+// outcomes, so a retry costs one spawn, never duplicated simulation.
+// The worker command template is caller-replaceable (`spexinj -spawn`,
+// expanded per worker by coord.ExpandArgv): an SSH preset distributes
+// workers across machines sharing the state directory.
+//
+// # Campaign service daemon
+//
+// cmd/spexd and internal/server turn the whole stack into a resident
+// service: the daemon takes a state directory's exclusive writer lock
+// once, for its lifetime, and serves a JSON HTTP API — POST /v1/jobs
+// submits a campaign (named systems or all, pool width, optionally
+// `coordinate: N` to embed the work-stealing coordinator), GET
+// /v1/jobs/{id} reports status, DELETE cancels through the engine's
+// context plumbing (finished outcomes persist; the store resumes), and
+// GET /v1/jobs/{id}/events streams live progress over Server-Sent
+// Events. Jobs run strictly serially behind an in-memory queue (the
+// store lock makes concurrent writers unsafe by design) and are
+// journaled durably under <state>/jobs/, so a restarted daemon still
+// lists earlier jobs.
+//
+// Progress flows through one shared pipeline end to end: the global
+// scheduler emits shard.Progress events (typed like the single-system
+// inject.Progress), a fan-out hub (shard.Hub, drop-oldest per lagging
+// subscriber) broadcasts them, and every consumer — the CLI renderer
+// (internal/progressui: per-system TTY bars, throttled one-line
+// aggregate in logs), the daemon's SSE encoder, the coordinator's
+// heartbeats — is just a subscriber.
+//
+// Reads are served lock-free from the store's atomic snapshots, even
+// while a job is writing: GET /v1/systems/{name}/outcomes lists
+// recorded outcomes, and GET /v1/tables/{n} renders the paper's
+// evaluation tables from a read-only replay
+// (report.ReplayFromStore + the structured report.Table encoding) —
+// the text form is byte-identical to `spexeval -state <dir> -table n`
+// over the same store, because both render through
+// report.RenderTableText from outcomes reassembled by inject.Assemble.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package spex

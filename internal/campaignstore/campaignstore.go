@@ -337,6 +337,38 @@ func (s *Store) Save(snap *Snapshot) error {
 	return nil
 }
 
+// WriteJSON persists an advisory JSON document atomically: marshalled
+// with indentation, written to a temp file in the target's directory,
+// and renamed into place, so a concurrent reader never sees a torn
+// document. This is the write path for the coordination and service
+// files that live beside the snapshots (leases, heartbeats, the
+// daemon's job journal) — unlike Save there is no fsync, because the
+// snapshots carry the real outcomes and these documents are
+// reconstructible bookkeeping.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	return nil
+}
+
 // List returns the name of every system with a snapshot in the store,
 // sorted. File names are flattened (Path), so the name is read from
 // each snapshot document; files that do not minimally parse are

@@ -408,8 +408,8 @@ func TestCampaignCancelThenResume(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	opts := inject.DefaultOptions()
 	opts.Workers = 1
-	opts.Progress = func(done, total int) {
-		if done == 3 {
+	opts.Progress = func(p inject.Progress) {
+		if p.Done == 3 {
 			cancel()
 		}
 	}

@@ -23,10 +23,19 @@ import (
 // before the thief even boots.
 const DefaultStealMin = 8
 
+// DefaultWorkerRetries is the spexinj -worker-retries default: respawn
+// a worker that died on a harness error once before aborting the
+// campaign — enough to ride out a transient failure (a lost SSH
+// connection, an OOM-killed child) without looping forever on a
+// deterministic one.
+const DefaultWorkerRetries = 1
+
 // Event is one coordinator lifecycle notification, streamed to
-// Config.OnEvent (serialized; the CLI prints them to stderr).
+// Config.OnEvent (serialized; the CLI prints them to stderr, the
+// daemon forwards them onto a job's SSE stream).
 type Event struct {
-	// Kind is "plan", "resume", "spawn", "exit", "steal", or "merge".
+	// Kind is "plan", "resume", "spawn", "exit", "retry", "steal", or
+	// "merge".
 	Kind string
 	// Worker is the subject (the thief, for steals).
 	Worker int
@@ -35,7 +44,10 @@ type Event struct {
 	// Keys counts the keys involved: lease size on spawn, stolen count
 	// on steal, merged outcomes on merge.
 	Keys int
-	// Err is the worker's exit error, if any (exits only).
+	// Attempt is the respawn attempt number (retries only): 1 for the
+	// first retry, up to Config.WorkerRetries.
+	Attempt int
+	// Err is the worker's exit error, if any (exits and retries).
 	Err error
 }
 
@@ -89,6 +101,21 @@ type Config struct {
 	StealMin int
 	// Poll is the heartbeat poll interval (default 250ms).
 	Poll time.Duration
+	// WorkerRetries bounds how many times a worker that exits with an
+	// error (a crashed process, a harness failure — not a context
+	// cancellation) is respawned on its unchanged lease before the
+	// campaign aborts. Zero disables retries (the library default); the
+	// spexinj -worker-retries flag defaults to DefaultWorkerRetries. A
+	// retried worker replays its persisted outcomes from its shard
+	// store and re-executes only what never saved, so a retry costs one
+	// spawn, not a repeated partition.
+	WorkerRetries int
+	// Locked declares that the caller already holds the state root's
+	// writer lock (campaignstore.Store.Lock) and the coordinator must
+	// not try to take it again — the daemon (internal/server) owns its
+	// state directory's lock for its whole lifetime. Workers still lock
+	// their own shard directories either way.
+	Locked bool
 	// Spawn launches workers (required).
 	Spawn SpawnFunc
 	// OnEvent, if set, streams lifecycle events (serialized).
@@ -105,8 +132,12 @@ type Result struct {
 	// Resumed reports that the run picked up persisted leases from an
 	// interrupted campaign instead of re-planning.
 	Resumed bool
-	// Spawns counts worker launches (initial + post-steal respawns).
+	// Spawns counts worker launches (initial + post-steal respawns +
+	// retries).
 	Spawns int
+	// Retries counts workers respawned after dying on an error
+	// (Config.WorkerRetries).
+	Retries int
 }
 
 // Run coordinates one distributed campaign end to end: plan (or resume)
@@ -133,11 +164,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	lock, err := root.Lock()
-	if err != nil {
-		return nil, err
+	if !cfg.Locked {
+		lock, err := root.Lock()
+		if err != nil {
+			return nil, err
+		}
+		defer lock.Unlock()
 	}
-	defer lock.Unlock()
 	coordDir := filepath.Join(cfg.StateDir, CoordDirName)
 	if err := os.MkdirAll(coordDir, 0o755); err != nil {
 		return nil, fmt.Errorf("coord: %w", err)
@@ -197,6 +230,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		lease   *Lease
 		handle  Handle
 		running bool
+		retries int
 	}
 	states := make([]*workerState, cfg.Workers)
 	for i := range states {
@@ -361,12 +395,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		case <-ctx.Done():
 			return abort(ctx.Err())
 		case m := <-exitCh:
-			states[m.worker].running = false
+			st := states[m.worker]
+			st.running = false
 			running--
 			emit(Event{Kind: "exit", Worker: m.worker + 1, Err: m.err})
 			if m.err != nil {
 				if ctx.Err() != nil {
 					return abort(ctx.Err())
+				}
+				// Bounded respawn before aborting the merge: the retried
+				// worker resumes on its unchanged lease, replaying the
+				// outcomes its shard store already persisted — a retry
+				// costs one spawn, never duplicated fresh simulation.
+				if st.retries < cfg.WorkerRetries {
+					st.retries++
+					res.Retries++
+					emit(Event{Kind: "retry", Worker: m.worker + 1,
+						Keys: len(st.lease.Keys), Attempt: st.retries, Err: m.err})
+					if err := spawn(m.worker); err != nil {
+						return abort(err)
+					}
+					continue
 				}
 				return abort(fmt.Errorf("coord: worker %d failed: %w", m.worker+1, m.err))
 			}
@@ -534,27 +583,50 @@ func resumable(coordDir string, man *manifest, allKeys []KeyRef) ([]*Lease, bool
 	return leases, true
 }
 
+// ExpandArgv renders a worker command template for one worker: every
+// element of argv is copied with the placeholders {lease}, {state},
+// and {worker} expanded from the spec. This is the whole contract
+// between a spawn template (the spexinj -spawn flag, the daemon's
+// spawn option) and the coordinator — an SSH preset is just a template
+// whose first words are the ssh invocation, e.g.
+//
+//	ssh worker{worker}.cluster.example spexinj
+//	    -lease {lease} -state {state} -all
+//
+// which expands for worker 2 to
+//
+//	ssh worker2.cluster.example spexinj
+//	    -lease <state>/coord/worker2.lease.json -state <state>/shard2 -all
+//
+// The lease, heartbeat, and shard-store paths are plain files, so the
+// only infrastructure an SSH fleet needs is the state directory on a
+// shared filesystem.
+func ExpandArgv(argv []string, spec WorkerSpec) []string {
+	args := make([]string, len(argv))
+	for i, a := range argv {
+		a = strings.ReplaceAll(a, "{lease}", spec.LeasePath)
+		a = strings.ReplaceAll(a, "{state}", spec.StateDir)
+		a = strings.ReplaceAll(a, "{worker}", fmt.Sprint(spec.Worker))
+		args[i] = a
+	}
+	return args
+}
+
 // ExecSpawner returns a SpawnFunc launching each worker as a local
 // child process from a command template: every element of argv is
-// copied with the placeholders {lease}, {state}, and {worker} expanded
-// for the worker at hand, and the child's stdout/stderr stream to the
-// worker's log file under the coordination directory. The default
-// template (built by `spexinj -coordinate`) re-executes spexinj itself
-// in lease mode; pointing the template at ssh or kubectl distributes
-// the same protocol across machines — the lease, heartbeat and shard
-// stores just have to live on a shared filesystem.
+// expanded per worker (ExpandArgv), and the child's stdout/stderr
+// stream to the worker's log file under the coordination directory.
+// The default template (built by `spexinj -coordinate`) re-executes
+// spexinj itself in lease mode; pointing the template at ssh or
+// kubectl (the -spawn flag) distributes the same protocol across
+// machines — the lease, heartbeat and shard stores just have to live
+// on a shared filesystem.
 func ExecSpawner(argv []string) SpawnFunc {
 	return func(ctx context.Context, spec WorkerSpec) (Handle, error) {
 		if len(argv) == 0 {
 			return nil, errors.New("coord: empty worker command template")
 		}
-		args := make([]string, len(argv))
-		for i, a := range argv {
-			a = strings.ReplaceAll(a, "{lease}", spec.LeasePath)
-			a = strings.ReplaceAll(a, "{state}", spec.StateDir)
-			a = strings.ReplaceAll(a, "{worker}", fmt.Sprint(spec.Worker))
-			args[i] = a
-		}
+		args := ExpandArgv(argv, spec)
 		// Deliberately not CommandContext: context cancellation must
 		// reach the child as an interrupt (so it saves its snapshot),
 		// never as a kill. The coordinator's Interrupt does that.

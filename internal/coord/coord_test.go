@@ -423,3 +423,125 @@ func TestExecSpawnerTemplate(t *testing.T) {
 		t.Errorf("expanded template output %q, want %q", data, want)
 	}
 }
+
+// TestExpandArgvSSHPreset renders the documented SSH spawn preset (the
+// spexinj -spawn template) for one worker and asserts the exact
+// command line — the unit-test half of the SSH story; no live SSH runs
+// in CI.
+func TestExpandArgvSSHPreset(t *testing.T) {
+	spec := WorkerSpec{
+		Worker:    2,
+		LeasePath: "/var/lib/spex/coord/worker2.lease.json",
+		StateDir:  "/var/lib/spex/shard2",
+	}
+	argv := []string{
+		"ssh", "worker{worker}.cluster.example", "spexinj",
+		"-lease", "{lease}", "-state", "{state}", "-all",
+	}
+	got := ExpandArgv(argv, spec)
+	want := []string{
+		"ssh", "worker2.cluster.example", "spexinj",
+		"-lease", "/var/lib/spex/coord/worker2.lease.json",
+		"-state", "/var/lib/spex/shard2", "-all",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ExpandArgv rendered %d words, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("argv[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The template itself must be left untouched (per-worker expansion
+	// reuses it).
+	if argv[1] != "worker{worker}.cluster.example" {
+		t.Errorf("ExpandArgv mutated the template: %q", argv[1])
+	}
+}
+
+// failOnceSpawner wraps a SpawnFunc, making the first launch of one
+// worker slot die immediately with an error — the harness-failure
+// respawn scenario of Config.WorkerRetries.
+type failOnceSpawner struct {
+	mu     sync.Mutex
+	inner  SpawnFunc
+	worker int
+	failed bool
+}
+
+type deadHandle struct{ err error }
+
+func (h *deadHandle) Wait() error { return h.err }
+func (h *deadHandle) Interrupt()  {}
+
+func (s *failOnceSpawner) spawn(ctx context.Context, spec WorkerSpec) (Handle, error) {
+	s.mu.Lock()
+	fail := spec.Worker == s.worker && !s.failed
+	if fail {
+		s.failed = true
+	}
+	s.mu.Unlock()
+	if fail {
+		return &deadHandle{err: context.DeadlineExceeded}, nil
+	}
+	return s.inner(ctx, spec)
+}
+
+// TestWorkerRetryRespawnsFailedWorker: a worker that dies on an error
+// is respawned on its unchanged lease (up to Config.WorkerRetries) and
+// the campaign completes with the canonical fingerprint — the ROADMAP
+// follow-on from the work-stealing coordinator.
+func TestWorkerRetryRespawnsFailedWorker(t *testing.T) {
+	sys := ldapd.New()
+	w := campaignOf(t, sys)
+	want := unshardedFingerprint(t, w)
+
+	stateDir := t.TempDir()
+	systems := []sim.System{sys}
+	inner := inprocSpawner(systems, WorkerOptions{Workers: 2, Inject: inject.DefaultOptions(), Poll: 10 * time.Millisecond}, nil, nil)
+	failer := &failOnceSpawner{inner: inner, worker: 1}
+
+	var mu sync.Mutex
+	var retries []Event
+	cfg := testConfig(stateDir, systems, failer.spawn)
+	cfg.WorkerRetries = DefaultWorkerRetries
+	cfg.OnEvent = func(e Event) {
+		if e.Kind == "retry" {
+			mu.Lock()
+			retries = append(retries, e)
+			mu.Unlock()
+		}
+	}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 1 || len(retries) != 1 {
+		t.Fatalf("res.Retries=%d, retry events=%d, want exactly 1", res.Retries, len(retries))
+	}
+	if retries[0].Worker != 1 || retries[0].Attempt != 1 || retries[0].Err == nil {
+		t.Errorf("retry event = %+v, want worker 1 attempt 1 with the exit error", retries[0])
+	}
+	if len(res.Stats) != 1 || res.Stats[0].Fingerprint != want {
+		t.Errorf("retried campaign fingerprint %+v, want unsharded %s", res.Stats, want)
+	}
+}
+
+// TestWorkerRetryExhaustedAborts: with retries exhausted the campaign
+// must abort with the worker's error, not merge an incomplete store.
+func TestWorkerRetryExhaustedAborts(t *testing.T) {
+	sys := ldapd.New()
+	_ = campaignOf(t, sys) // warm the inference caches like the other tests
+
+	stateDir := t.TempDir()
+	systems := []sim.System{sys}
+	inner := inprocSpawner(systems, WorkerOptions{Workers: 2, Inject: inject.DefaultOptions(), Poll: 10 * time.Millisecond}, nil, nil)
+	failer := &failOnceSpawner{inner: inner, worker: 1}
+
+	cfg := testConfig(stateDir, systems, failer.spawn)
+	cfg.WorkerRetries = 0 // library default: no retries
+	_, err := Run(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("coordinator merged despite a dead worker and no retries")
+	}
+}

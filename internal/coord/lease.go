@@ -65,6 +65,7 @@ import (
 	"strings"
 	"time"
 
+	"spex/internal/campaignstore"
 	"spex/internal/shard"
 )
 
@@ -150,32 +151,13 @@ func ShardDir(stateDir string, worker int) string {
 	return filepath.Join(stateDir, fmt.Sprintf("shard%d", worker))
 }
 
-// writeJSON persists v atomically: temp file in the same directory,
-// then rename, so a concurrent reader never sees a torn document. The
-// coordination files are advisory progress state (the snapshots carry
-// the real outcomes), so unlike campaignstore.Save there is no fsync.
+// writeJSON persists v atomically (campaignstore.WriteJSON, the one
+// copy of the temp+rename advisory-document write): a concurrent
+// reader never sees a torn document, and there is no fsync because the
+// coordination files are advisory progress state — the snapshots carry
+// the real outcomes.
 func writeJSON(path string, v any) error {
-	data, err := json.MarshalIndent(v, "", " ")
-	if err != nil {
-		return fmt.Errorf("coord: %w", err)
-	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("coord: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("coord: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("coord: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("coord: %w", err)
-	}
-	return nil
+	return campaignstore.WriteJSON(path, v)
 }
 
 func readJSON(path string, v any) error {

@@ -28,6 +28,12 @@ type WorkerOptions struct {
 	// consults the freshest loaded lease before every execution, so a
 	// steal takes effect at the next task boundary after a poll.
 	Poll time.Duration
+	// OnProgress, if set, observes every scheduler progress event after
+	// the worker's own heartbeat bookkeeping — the hook an in-process
+	// spawner (the daemon's coordinate jobs) uses to feed the shared
+	// progress hub while the heartbeat files keep feeding the
+	// coordinator. Calls are serialized by the scheduler.
+	OnProgress func(shard.Progress)
 }
 
 // WorkerResult is what one worker run accomplished.
@@ -174,13 +180,15 @@ func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.Sy
 			return inject.ErrYielded
 		},
 		OnProgress: func(p shard.Progress) {
-			if p.Failed {
-				return // yields and harness failures never persist
+			if !p.Failed { // yields and harness failures never persist
+				mu.Lock()
+				hb.Done = append(hb.Done, KeyRef{System: p.System, Key: p.Key})
+				flush(false)
+				mu.Unlock()
 			}
-			mu.Lock()
-			hb.Done = append(hb.Done, KeyRef{System: p.System, Key: p.Key})
-			flush(false)
-			mu.Unlock()
+			if opts.OnProgress != nil {
+				opts.OnProgress(p)
+			}
 		},
 	}
 

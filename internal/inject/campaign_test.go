@@ -116,7 +116,7 @@ func TestRunContextCancellationReturnsPartialReport(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 2
 	fired := false
-	opts.Progress = func(done, total int) {
+	opts.Progress = func(Progress) {
 		if !fired {
 			fired = true
 			cancel()
@@ -149,11 +149,11 @@ func TestProgressStreamsEveryOutcome(t *testing.T) {
 	opts.Workers = 4
 	var calls int
 	var last int
-	opts.Progress = func(done, total int) {
+	opts.Progress = func(p Progress) {
 		calls++
-		last = done
-		if total != 24 {
-			t.Errorf("total = %d, want 24", total)
+		last = p.Done
+		if p.Total != 24 {
+			t.Errorf("total = %d, want 24", p.Total)
 		}
 	}
 	if _, err := Run(sys, ms, opts); err != nil {
@@ -234,9 +234,9 @@ func TestProgressOnCancellationReportsSkippedNotDone(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 1
 	var lastDone int
-	opts.Progress = func(done, total int) {
-		lastDone = done
-		if done == 2 {
+	opts.Progress = func(p Progress) {
+		lastDone = p.Done
+		if p.Done == 2 {
 			cancel()
 		}
 	}
@@ -292,8 +292,8 @@ func TestCancelThenResumeReexecutesOnlyUnfinished(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 1
 	opts.Cache = NewResultCache()
-	opts.Progress = func(done, total int) {
-		if done == 5 {
+	opts.Progress = func(p Progress) {
+		if p.Done == 5 {
 			cancel()
 		}
 	}

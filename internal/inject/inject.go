@@ -211,6 +211,20 @@ func (r *Report) UniqueLocations() int {
 	return len(seen)
 }
 
+// Progress is one campaign progress event: Done outcomes have finished
+// (executed or replayed) out of Total. It is the single-system face of
+// the progress pipeline — the global scheduler's shard.Progress carries
+// the same counts plus the owning system — so every consumer (the CLI
+// status line, the TTY bar renderer, the daemon's SSE stream) speaks
+// one event vocabulary end to end.
+type Progress struct {
+	// Done counts outcomes that finished (cancellation skips are not
+	// progress; they are tallied on Report.Skipped).
+	Done int
+	// Total is the campaign size.
+	Total int
+}
+
 // Options tune the campaign.
 type Options struct {
 	// HangDeadline bounds Start; targets model hangs by blocking.
@@ -241,7 +255,7 @@ type Options struct {
 	// skipped before they started are not reported as done — they are
 	// tallied on Report.Skipped instead, so a cancelled campaign's
 	// progress stays at the work actually performed.
-	Progress func(done, total int)
+	Progress func(Progress)
 	// Cache, if set, replays recorded outcomes for misconfigurations
 	// whose identity (violated constraint, rule, injected values) is
 	// unchanged, and records fresh outcomes for the ones that ran —
@@ -393,7 +407,7 @@ func RunContext(ctx context.Context, sys sim.System, ms []confgen.Misconf, opts 
 				return
 			}
 			done++
-			opts.Progress(done, total)
+			opts.Progress(Progress{Done: done, Total: total})
 		}
 	}
 	if opts.Cache != nil {

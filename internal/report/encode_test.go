@@ -1,0 +1,129 @@
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"spex/internal/campaignstore"
+)
+
+// TestRenderTableTextMatchesLegacyRenderers is the golden half of the
+// machine-readable encoding path: the structured builders must render
+// text byte-identical to the public string renderers spexeval has
+// always printed (which are now thin wrappers, so this guards against
+// the two paths drifting apart again).
+func TestRenderTableTextMatchesLegacyRenderers(t *testing.T) {
+	rs := allResults(t)
+	legacy := map[int]string{
+		1:  Table1(rs),
+		2:  Table2(),
+		3:  Table3(rs),
+		4:  Table4(rs),
+		5:  Table5(rs),
+		6:  Table6(rs),
+		7:  Table7(rs),
+		8:  Table8(rs),
+		9:  Tables9and10(rs),
+		10: Tables9and10(rs),
+		11: Table11(rs),
+		12: Table12(rs),
+	}
+	for n := 1; n <= MaxTable; n++ {
+		got, err := RenderTableText(n, rs)
+		if err != nil {
+			t.Fatalf("RenderTableText(%d): %v", n, err)
+		}
+		if got != legacy[n] {
+			t.Errorf("table %d: structured rendering differs from the legacy text", n)
+		}
+	}
+	if _, err := RenderTableText(13, rs); err == nil {
+		t.Error("RenderTableText(13) succeeded, want an error")
+	}
+}
+
+// TestTableJSONRoundTrips: the HTTP API's JSON encoding must be
+// lossless — unmarshalling a marshalled table yields an equal value
+// whose text rendering is unchanged.
+func TestTableJSONRoundTrips(t *testing.T) {
+	rs := allResults(t)
+	for n := 1; n <= MaxTable; n++ {
+		tables, err := BuildTables(n, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tab := range tables {
+			data, err := json.Marshal(tab)
+			if err != nil {
+				t.Fatalf("table %d: %v", n, err)
+			}
+			var back Table
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("table %d: %v", n, err)
+			}
+			if !reflect.DeepEqual(*tab, back) {
+				t.Errorf("table %d (%q) does not round-trip through JSON", n, tab.Title)
+			}
+			if back.String() != tab.String() {
+				t.Errorf("table %d (%q): text rendering changed across the JSON round-trip", n, tab.Title)
+			}
+			data2, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("table %d (%q): re-marshalled JSON differs", n, tab.Title)
+			}
+		}
+	}
+}
+
+// TestReplayFromStoreMatchesLiveAnalysis: tables served read-only from
+// a persisted store must be byte-identical to the live run that built
+// it — the daemon's table-serving contract.
+func TestReplayFromStoreMatchesLiveAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	live, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, Global: true, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayFromStore(ctx, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Campaign-derived tables are the ones that could diverge.
+	for _, n := range []int{3, 5, 11, 12} {
+		a, err := RenderTableText(n, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RenderTableText(n, replayed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("table %d: replayed-from-store rendering differs from the live run's", n)
+		}
+	}
+}
+
+// TestReplayFromStoreRejectsIncompleteState: an empty state directory
+// must fail with ErrStateIncomplete (the daemon maps it to 409), never
+// serve partial tables.
+func TestReplayFromStoreRejectsIncompleteState(t *testing.T) {
+	store, err := campaignstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayFromStore(context.Background(), store); !errors.Is(err, ErrStateIncomplete) {
+		t.Fatalf("err = %v, want ErrStateIncomplete", err)
+	}
+}

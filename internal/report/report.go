@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"spex/internal/campaignstore"
 	"spex/internal/casedb"
@@ -65,6 +66,13 @@ type AnalyzeOptions struct {
 	// OnProgress, if set, streams per-system analysis events. Calls are
 	// serialized by the scheduler.
 	OnProgress func(Progress)
+	// OnCampaignProgress, if set, streams every completed campaign
+	// outcome (Global and Shard modes only — the per-system mode has no
+	// global scheduler to observe). This is the hook `spexeval
+	// -progress -global` feeds into the shared progress pipeline
+	// (shard.Hub → internal/progressui), giving it the same per-system
+	// bar display as spexinj. Calls are serialized by the scheduler.
+	OnCampaignProgress func(shard.Progress)
 	// StateDir, when set, persists each system's campaign snapshot under
 	// this directory (internal/campaignstore): campaigns replay recorded
 	// outcomes across spexeval runs and re-execute only the
@@ -236,6 +244,15 @@ func analyzeAllGlobal(ctx context.Context, systems []sim.System, opts AnalyzeOpt
 			}
 		}
 	}
+	if opts.OnCampaignProgress != nil {
+		prev := gopts.OnProgress
+		gopts.OnProgress = func(p shard.Progress) {
+			if prev != nil {
+				prev(p)
+			}
+			opts.OnCampaignProgress(p)
+		}
+	}
 	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
 	if runErr != nil {
 		return nil, runErr
@@ -274,21 +291,34 @@ func InferOnly() ([]*SystemResult, error) {
 	return out, nil
 }
 
-type table struct {
-	title string
-	cols  []string
-	rows  [][]string
-	notes []string
+// Table is one rendered evaluation table in structured form — the
+// machine-readable encoding path shared by the text renderers (String,
+// byte-identical to what spexeval has always printed) and the
+// daemon's JSON API (/v1/tables). Fields marshal 1:1, so a table
+// round-trips through encoding/json without loss.
+type Table struct {
+	// Title is the heading, e.g. "Table 5: misconfiguration
+	// vulnerabilities exposed (measured | paper)".
+	Title string `json:"title"`
+	// Cols are the column headers.
+	Cols []string `json:"columns"`
+	// Rows are the data cells, row-major, already formatted.
+	Rows [][]string `json:"rows"`
+	// Notes are the trailing "note:" lines.
+	Notes []string `json:"notes,omitempty"`
 }
 
-func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+func (t *Table) add(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-func (t *table) String() string {
-	widths := make([]int, len(t.cols))
-	for i, c := range t.cols {
+// String renders the table as aligned text — the exact bytes spexeval
+// prints; the golden tests in encode_test.go hold the two paths
+// together.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
 		widths[i] = len(c)
 	}
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		for i, c := range r {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -296,7 +326,7 @@ func (t *table) String() string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "=== %s ===\n", t.title)
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
 	line := func(cells []string) {
 		for i, c := range cells {
 			if i > 0 {
@@ -306,19 +336,37 @@ func (t *table) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	line(t.cols)
-	sep := make([]string, len(t.cols))
+	line(t.Cols)
+	sep := make([]string, len(t.Cols))
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	line(sep)
-	for _, r := range t.rows {
+	for _, r := range t.Rows {
 		line(r)
 	}
-	for _, n := range t.notes {
+	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// cachedSurvey memoizes the minicorpus survey for the process: the
+// corpus is static and the extraction deterministic, so the first
+// Table 1 build pays for the 11-project parse/extract fan-out and
+// every later build (spexeval's full render, each /v1/tables/1
+// request on the daemon) reuses it.
+var surveyOnce struct {
+	sync.Once
+	rows []minicorpus.SurveyResult
+	err  error
+}
+
+func cachedSurvey() ([]minicorpus.SurveyResult, error) {
+	surveyOnce.Do(func() {
+		surveyOnce.rows, surveyOnce.err = minicorpus.Survey(context.Background(), 0)
+	})
+	return surveyOnce.rows, surveyOnce.err
 }
 
 // Table1 renders the 18-project mapping-convention survey. The seven
@@ -327,35 +375,35 @@ func (t *table) String() string {
 // survey (minicorpus.Survey fans frontend.Parse/mapping.Extract out on
 // the engine pool and folds the rows back in project order), so every
 // rendered convention is measured, not transcribed.
-func Table1(results []*SystemResult) string {
-	t := &table{
-		title: "Table 1: parameter-to-variable mapping in 18 software projects",
-		cols:  []string{"Software", "Description", "Convention"},
+func buildTable1(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 1: parameter-to-variable mapping in 18 software projects",
+		Cols:  []string{"Software", "Description", "Convention"},
 	}
 	for _, r := range results {
 		t.add(r.Sys.Name(), r.Sys.Description(), r.Inference.Convention)
 	}
-	survey, err := minicorpus.Survey(context.Background(), 0)
+	survey, err := cachedSurvey()
 	if err != nil {
-		t.notes = append(t.notes, fmt.Sprintf("minicorpus survey failed: %v", err))
+		t.Notes = append(t.Notes, fmt.Sprintf("minicorpus survey failed: %v", err))
 	}
 	for _, s := range survey {
 		t.add(s.Project.Name, s.Project.Description, s.Convention)
 		if s.Convention != s.Project.WantConvention {
-			t.notes = append(t.notes, fmt.Sprintf("%s: measured convention %q differs from the paper's %q",
+			t.Notes = append(t.Notes, fmt.Sprintf("%s: measured convention %q differs from the paper's %q",
 				s.Project.Name, s.Convention, s.Project.WantConvention))
 		}
 	}
-	t.notes = append(t.notes,
+	t.Notes = append(t.Notes,
 		"paper: every project uses structure, comparison, or container mapping (or a hybrid)")
-	return t.String()
+	return t
 }
 
 // Table2 renders the misconfiguration generation rules.
-func Table2() string {
-	t := &table{
-		title: "Table 2: SPEX-INJ generation rules per constraint kind",
-		cols:  []string{"Constraint", "Rules (plug-ins)"},
+func buildTable2() *Table {
+	t := &Table{
+		Title: "Table 2: SPEX-INJ generation rules per constraint kind",
+		Cols:  []string{"Constraint", "Rules (plug-ins)"},
 	}
 	names := confgen.NewRegistry().RuleNames()
 	kinds := []constraint.Kind{
@@ -365,15 +413,15 @@ func Table2() string {
 	for _, k := range kinds {
 		t.add(k.String(), strings.Join(names[k], ", "))
 	}
-	return t.String()
+	return t
 }
 
 // Table3 renders the reaction taxonomy with observed counts across all
 // campaigns.
-func Table3(results []*SystemResult) string {
-	t := &table{
-		title: "Table 3: categories of bad system reactions (observed across all campaigns)",
-		cols:  []string{"Reaction", "Vulnerability", "Observed"},
+func buildTable3(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 3: categories of bad system reactions (observed across all campaigns)",
+		Cols:  []string{"Reaction", "Vulnerability", "Observed"},
 	}
 	total := map[inject.Reaction]int{}
 	for _, r := range results {
@@ -392,14 +440,14 @@ func Table3(results []*SystemResult) string {
 	for _, k := range order {
 		t.add(k.String(), fmt.Sprintf("%v", k.Vulnerability()), fmt.Sprintf("%d", total[k]))
 	}
-	return t.String()
+	return t
 }
 
 // Table4 renders the evaluated systems: LoC, parameters, annotations.
-func Table4(results []*SystemResult) string {
-	t := &table{
-		title: "Table 4: evaluated software systems",
-		cols:  []string{"Software", "LoC", "#Parameter", "LoA", "paper #Param", "paper LoA"},
+func buildTable4(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 4: evaluated software systems",
+		Cols:  []string{"Software", "LoC", "#Parameter", "LoA", "paper #Param", "paper LoA"},
 	}
 	paper := map[string][2]string{
 		"Storage-A": {"(confidential)", "5"},
@@ -418,8 +466,8 @@ func Table4(results []*SystemResult) string {
 			fmt.Sprintf("%d", r.Inference.LoA),
 			p[0], p[1])
 	}
-	t.notes = append(t.notes, "corpora are condensed; annotation effort stays a handful of lines per system, as in the paper")
-	return t.String()
+	t.Notes = append(t.Notes, "corpora are condensed; annotation effort stays a handful of lines per system, as in the paper")
+	return t
 }
 
 // paperTable5 holds the paper's Table 5a rows (exposed counts).
@@ -435,10 +483,10 @@ var paperTable5 = map[string][5]int{
 
 // Table5 renders exposed vulnerabilities per category plus unique source
 // locations.
-func Table5(results []*SystemResult) string {
-	t := &table{
-		title: "Table 5: misconfiguration vulnerabilities exposed (measured | paper)",
-		cols: []string{"Software", "Crash/Hang", "EarlyTerm", "FuncFail",
+func buildTable5(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 5: misconfiguration vulnerabilities exposed (measured | paper)",
+		Cols: []string{"Software", "Crash/Hang", "EarlyTerm", "FuncFail",
 			"SilentViol", "SilentIgnor", "Total", "UniqueLocs"},
 	}
 	var tot [5]int
@@ -471,16 +519,16 @@ func Table5(results []*SystemResult) string {
 		fmt.Sprintf("%d | 83", tot[2]), fmt.Sprintf("%d | 378", tot[3]),
 		fmt.Sprintf("%d | 221", tot[4]), fmt.Sprintf("%d | 743", totAll),
 		fmt.Sprintf("%d | 448", totLocs))
-	t.notes = append(t.notes,
+	t.Notes = append(t.Notes,
 		"shape check: silent violation dominates; Storage-A has no crashes/terminations; ftpd leads crashes; proxyd leads silent violations")
-	return t.String()
+	return t
 }
 
 // Table6 renders the case-sensitivity split.
-func Table6(results []*SystemResult) string {
-	t := &table{
-		title: "Table 6: case-sensitivity of configuration parameter values",
-		cols:  []string{"Software", "Sensitive", "Insensitive", "paper (sens/insens)"},
+func buildTable6(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 6: case-sensitivity of configuration parameter values",
+		Cols:  []string{"Software", "Sensitive", "Insensitive", "paper (sens/insens)"},
 	}
 	paper := map[string]string{
 		"Storage-A": "32/453", "httpd": "3/26", "mydb": "1/58", "pgdb": "0/92",
@@ -492,14 +540,14 @@ func Table6(results []*SystemResult) string {
 			fmt.Sprintf("%d", r.Audit.CaseInsensitive),
 			paper[r.Sys.Name()])
 	}
-	return t.String()
+	return t
 }
 
 // Table7 renders size/time unit distributions.
-func Table7(results []*SystemResult) string {
-	t := &table{
-		title: "Table 7: units of size- and time-related parameters",
-		cols:  []string{"Software", "B", "KB", "MB", "GB", "us", "ms", "s", "m", "h"},
+func buildTable7(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 7: units of size- and time-related parameters",
+		Cols:  []string{"Software", "B", "KB", "MB", "GB", "us", "ms", "s", "m", "h"},
 	}
 	for _, r := range results {
 		su, tu := r.Audit.SizeUnits, r.Audit.TimeUnits
@@ -514,15 +562,15 @@ func Table7(results []*SystemResult) string {
 			fmt.Sprintf("%d", tu[constraint.UnitMinute]),
 			fmt.Sprintf("%d", tu[constraint.UnitHour]))
 	}
-	t.notes = append(t.notes, "paper shape: more than half of the systems mix units within a class (Storage-A mixes four size units)")
-	return t.String()
+	t.Notes = append(t.Notes, "paper shape: more than half of the systems mix units within a class (Storage-A mixes four size units)")
+	return t
 }
 
 // Table8 renders the remaining error-prone design detectors.
-func Table8(results []*SystemResult) string {
-	t := &table{
-		title: "Table 8: other error-prone configuration design and handling",
-		cols:  []string{"Software", "SilentOverruling", "UnsafeTransform", "UndocRange", "UndocDep", "UndocRel"},
+func buildTable8(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 8: other error-prone configuration design and handling",
+		Cols:  []string{"Software", "SilentOverruling", "UnsafeTransform", "UndocRange", "UndocDep", "UndocRel"},
 	}
 	for _, r := range results {
 		t.add(r.Sys.Name(),
@@ -532,24 +580,24 @@ func Table8(results []*SystemResult) string {
 			fmt.Sprintf("%d", r.Audit.UndocDep),
 			fmt.Sprintf("%d", r.Audit.UndocRel))
 	}
-	t.notes = append(t.notes,
+	t.Notes = append(t.Notes,
 		"paper shape: proxyd (Squid) leads overruling+unsafe APIs; mydb (MySQL)/pgdb use safe parsing; ftpd (VSFTP) has many undocumented dependencies")
-	return t.String()
+	return t
 }
 
 // Tables9and10 renders the historical-case study.
-func Tables9and10(results []*SystemResult) string {
+func buildTables9and10(results []*SystemResult) (*Table, *Table) {
 	byName := map[string]*SystemResult{}
 	for _, r := range results {
 		byName[r.Sys.Name()] = r
 	}
-	t9 := &table{
-		title: "Table 9: real-world misconfiguration cases potentially avoided",
-		cols:  []string{"Software", "Cases", "Avoidable", "Pct", "paper"},
+	t9 := &Table{
+		Title: "Table 9: real-world misconfiguration cases potentially avoided",
+		Cols:  []string{"Software", "Cases", "Avoidable", "Pct", "paper"},
 	}
-	t10 := &table{
-		title: "Table 10: breakdown of cases that cannot benefit",
-		cols:  []string{"Software", "Single-SW", "Cross-SW", "Conform", "GoodReactions"},
+	t10 := &Table{
+		Title: "Table 10: breakdown of cases that cannot benefit",
+		Cols:  []string{"Software", "Single-SW", "Cross-SW", "Conform", "GoodReactions"},
 	}
 	paper9 := map[string]string{
 		"Storage-A": "68/246 (27.6%)", "httpd": "19/50 (38.0%)",
@@ -573,15 +621,15 @@ func Tables9and10(results []*SystemResult) string {
 			fmt.Sprintf("%d (%.1f%%)", study.Count(casedb.CategoryConform), study.Pct(casedb.CategoryConform)),
 			fmt.Sprintf("%d (%.1f%%)", study.Count(casedb.CategoryGoodReaction), study.Pct(casedb.CategoryGoodReaction)))
 	}
-	t9.notes = append(t9.notes, "paper band: 24%-38% of sampled historic cases avoidable")
-	return t9.String() + "\n" + t10.String()
+	t9.Notes = append(t9.Notes, "paper band: 24%-38% of sampled historic cases avoidable")
+	return t9, t10
 }
 
 // Table11 renders inferred constraints per kind.
-func Table11(results []*SystemResult) string {
-	t := &table{
-		title: "Table 11: configuration constraints inferred by SPEX",
-		cols:  []string{"Software", "Basic", "Semantic", "Range", "CtrlDep", "ValueRel", "Total"},
+func buildTable11(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 11: configuration constraints inferred by SPEX",
+		Cols:  []string{"Software", "Basic", "Semantic", "Range", "CtrlDep", "ValueRel", "Total"},
 	}
 	paper := map[string][5]int{
 		"Storage-A": {922, 111, 490, 81, 20},
@@ -616,15 +664,15 @@ func Table11(results []*SystemResult) string {
 		fmt.Sprintf("%d | 1991", tot[0]), fmt.Sprintf("%d | 354", tot[1]),
 		fmt.Sprintf("%d | 1155", tot[2]), fmt.Sprintf("%d | 243", tot[3]),
 		fmt.Sprintf("%d | 57", tot[4]), fmt.Sprintf("%d | 3800", grand))
-	t.notes = append(t.notes, "shape: basic types cover every parameter; semantic types are fewer; ftpd leads control dependencies relative to size")
-	return t.String()
+	t.Notes = append(t.Notes, "shape: basic types cover every parameter; semantic types are fewer; ftpd leads control dependencies relative to size")
+	return t
 }
 
 // Table12 renders inference accuracy against ground truth.
-func Table12(results []*SystemResult) string {
-	t := &table{
-		title: "Table 12: accuracy of constraint inference (measured, paper)",
-		cols:  []string{"Software", "Basic", "Semantic", "Range", "CtrlDep", "ValueRel"},
+func buildTable12(results []*SystemResult) *Table {
+	t := &Table{
+		Title: "Table 12: accuracy of constraint inference (measured, paper)",
+		Cols:  []string{"Software", "Basic", "Semantic", "Range", "CtrlDep", "ValueRel"},
 	}
 	paper := map[string][5]string{
 		"Storage-A": {"97.0%", "95.7%", "87.1%", "84.1%", "94.1%"},
@@ -652,9 +700,9 @@ func Table12(results []*SystemResult) string {
 		}
 		t.add(cells...)
 	}
-	t.notes = append(t.notes,
+	t.Notes = append(t.Notes,
 		"shape: accuracy above 90% for most systems; ldapd lowest on ranges (pointer aliasing through the shared ConfigArgs scratch)")
-	return t.String()
+	return t
 }
 
 // ConstraintDump lists every inferred constraint of one system.
@@ -672,3 +720,39 @@ func ConstraintDump(r *SystemResult) string {
 	}
 	return b.String()
 }
+
+// Table1 renders the mapping-convention survey as text.
+func Table1(results []*SystemResult) string { return buildTable1(results).String() }
+
+// Table2 renders the generation rules as text.
+func Table2() string { return buildTable2().String() }
+
+// Table3 renders the reaction taxonomy as text.
+func Table3(results []*SystemResult) string { return buildTable3(results).String() }
+
+// Table4 renders the evaluated systems as text.
+func Table4(results []*SystemResult) string { return buildTable4(results).String() }
+
+// Table5 renders the exposed vulnerabilities as text.
+func Table5(results []*SystemResult) string { return buildTable5(results).String() }
+
+// Table6 renders the case-sensitivity split as text.
+func Table6(results []*SystemResult) string { return buildTable6(results).String() }
+
+// Table7 renders the unit distributions as text.
+func Table7(results []*SystemResult) string { return buildTable7(results).String() }
+
+// Table8 renders the design detectors as text.
+func Table8(results []*SystemResult) string { return buildTable8(results).String() }
+
+// Tables9and10 renders the historical-case study (two tables) as text.
+func Tables9and10(results []*SystemResult) string {
+	t9, t10 := buildTables9and10(results)
+	return t9.String() + "\n" + t10.String()
+}
+
+// Table11 renders the inferred-constraint counts as text.
+func Table11(results []*SystemResult) string { return buildTable11(results).String() }
+
+// Table12 renders the inference accuracy as text.
+func Table12(results []*SystemResult) string { return buildTable12(results).String() }

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/shard"
+	"spex/internal/sim"
+	"spex/internal/targets"
+)
+
+// JobSpec is the body of POST /v1/jobs: which campaign to run and how.
+type JobSpec struct {
+	// Systems names the targets to campaign (see GET /v1/systems for
+	// the store's contents, `spex -list` for all targets).
+	Systems []string `json:"systems,omitempty"`
+	// All campaigns every target — the CLI's -all.
+	All bool `json:"all,omitempty"`
+	// Workers bounds the campaign's worker pool (0 = the daemon's
+	// default, itself 0 = one per CPU).
+	Workers int `json:"workers,omitempty"`
+	// Coordinate, when >= 2, runs the campaign through the embedded
+	// shard coordinator (internal/coord) with this many workers:
+	// plan → lease → steal → merge under the daemon's state
+	// directory, exactly like `spexinj -coordinate N`.
+	Coordinate int `json:"coordinate,omitempty"`
+	// StealMin overrides the coordinator's rebalance threshold
+	// (coordinate jobs only; nil = coord.DefaultStealMin).
+	StealMin *int `json:"steal_min,omitempty"`
+	// SimDelay realizes each simulated cost unit as wall time (a Go
+	// duration string, e.g. "2ms") — the scheduling knob demos and the
+	// cancellation smoke use; it does not affect outcomes or snapshot
+	// identity.
+	SimDelay string `json:"sim_delay,omitempty"`
+}
+
+// Job states. A job is terminal in StateDone, StateFailed, or
+// StateCancelled.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// SystemSummary is one system's result line on a finished job.
+type SystemSummary struct {
+	System          string `json:"system"`
+	Outcomes        int    `json:"outcomes"`
+	Vulnerabilities int    `json:"vulnerabilities,omitempty"`
+	UniqueLocations int    `json:"unique_locations,omitempty"`
+	Replayed        int    `json:"replayed"`
+	Executed        int    `json:"executed"`
+	SimCost         int    `json:"sim_cost"`
+	Skipped         int    `json:"skipped,omitempty"`
+	// Fingerprint is the system's snapshot fingerprint after the job
+	// (campaignstore.Snapshot.Fingerprint) — the replay-equivalence
+	// hash a client diffs against a CLI run's store.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Job is the API document describing one submitted campaign — also the
+// journal document persisted under <state>/jobs/, so a restarted
+// daemon lists the jobs that ran before it.
+type Job struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     string     `json:"state"`
+	CreatedAt time.Time  `json:"created_at"`
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	DoneAt    *time.Time `json:"done_at,omitempty"`
+	// CancelRequested reports that DELETE was accepted while the job
+	// ran; the state turns cancelled once the engine drains.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Error explains a failed or cancelled job.
+	Error string `json:"error,omitempty"`
+	// Systems summarizes the campaign per target (terminal jobs).
+	Systems []SystemSummary `json:"systems,omitempty"`
+	// Steals/Spawns/Retries describe a coordinate job's rebalancing.
+	Steals  int `json:"steals,omitempty"`
+	Spawns  int `json:"spawns,omitempty"`
+	Retries int `json:"retries,omitempty"`
+}
+
+// Event is one entry of a job's SSE stream (GET /v1/jobs/{id}/events).
+type Event struct {
+	// Kind is "state", "progress", or "coord".
+	Kind string `json:"kind"`
+	Job  string `json:"job"`
+	// State carries the new job state ("state" events); Error the
+	// failure, if any.
+	State string `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Progress is one campaign progress event ("progress") — the same
+	// shard.Progress the CLI renderers consume, straight off the job's
+	// progress hub. Under a coordinate job the counts are per worker.
+	Progress *shard.Progress `json:"progress,omitempty"`
+	// Coord is one coordinator lifecycle event ("coord"): plan,
+	// resume, spawn, exit, retry, steal, merge.
+	Coord *CoordEvent `json:"coord,omitempty"`
+}
+
+// CoordEvent mirrors coord.Event in JSON-friendly form.
+type CoordEvent struct {
+	Kind    string `json:"kind"`
+	Worker  int    `json:"worker,omitempty"`
+	From    int    `json:"from,omitempty"`
+	Keys    int    `json:"keys,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// eventBacklog bounds a job's replayable event history. Progress
+// events dominate (one per outcome); a late SSE subscriber mostly
+// needs the tail plus the state events, so old entries drop first.
+const eventBacklog = 4096
+
+// job pairs the API document with the live machinery: the progress
+// hub feeding the campaign's OnProgress into SSE, the subscriber set,
+// and the cancel hook.
+type job struct {
+	mu  sync.Mutex
+	doc Job
+	// cancel stops the running campaign (set while running; a queued
+	// job cancels by state flip).
+	cancel context.CancelFunc
+	// hub is the campaign progress pipeline (shard.Hub) — the same
+	// events a CLI renderer would consume.
+	hub *shard.Hub
+	// events is the bounded backlog replayed to late subscribers;
+	// dropped counts entries the cap evicted.
+	events  []Event
+	dropped int
+	subs    map[int]chan Event
+	nextSub int
+	// closed marks the stream ended (terminal state published).
+	closed bool
+}
+
+func newJob(doc Job) *job {
+	return &job{doc: doc, hub: shard.NewHub(), subs: make(map[int]chan Event)}
+}
+
+// snapshot returns a copy of the API document.
+func (j *job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.docLocked()
+}
+
+func (j *job) docLocked() Job {
+	doc := j.doc
+	doc.Systems = append([]SystemSummary(nil), j.doc.Systems...)
+	return doc
+}
+
+// publish appends an event to the backlog and fans it out to live
+// subscribers (non-blocking; a full subscriber loses its oldest).
+func (j *job) publish(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if len(j.events) >= eventBacklog {
+		j.events = j.events[1:]
+		j.dropped++
+	}
+	j.events = append(j.events, e)
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- e:
+			default:
+			}
+		}
+	}
+}
+
+// closeStream publishes nothing further and closes every subscriber
+// channel — called once the terminal state event is in the backlog.
+// The backlog is compacted to its state and coordinator events:
+// per-outcome progress dominates it (thousands of entries for a large
+// job) and is dead weight once the job is terminal, and a resident
+// daemon holds every terminal job for its lifetime — without the
+// compaction, memory would grow without bound across jobs. A late
+// subscriber still replays the lifecycle; live progress was only ever
+// meaningful while the campaign ran.
+func (j *job) closeStream() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+	j.hub.Close()
+	kept := j.events[:0]
+	for _, e := range j.events {
+		if e.Kind != "progress" {
+			kept = append(kept, e)
+		} else {
+			j.dropped++
+		}
+	}
+	// Reallocate so the retained slice does not pin the original
+	// backlog array.
+	j.events = append([]Event(nil), kept...)
+}
+
+// subscribe returns the backlog so far (plus how many early events the
+// backlog cap has evicted — a late subscriber can tell its history is
+// truncated) and a live channel; cancel detaches. Backlog and channel
+// are consistent: no event is both in the backlog and delivered on the
+// channel, and none is lost in between.
+func (j *job) subscribe() (backlog []Event, dropped int, ch <-chan Event, cancel func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	backlog = append([]Event(nil), j.events...)
+	live := make(chan Event, 256)
+	if j.closed {
+		close(live)
+		return backlog, j.dropped, live, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = live
+	return backlog, j.dropped, live, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(live)
+		}
+	}
+}
+
+// resolveSystems validates a spec's target list.
+func resolveSystems(spec JobSpec) ([]sim.System, error) {
+	if spec.All {
+		return targets.All(), nil
+	}
+	if len(spec.Systems) == 0 {
+		return nil, errors.New(`job names no targets: set "all": true or "systems": [...]`)
+	}
+	seen := make(map[string]bool)
+	var out []sim.System
+	for _, name := range spec.Systems {
+		sys := targets.ByName(name)
+		if sys == nil {
+			return nil, fmt.Errorf("unknown system %q", name)
+		}
+		if seen[sys.Name()] {
+			continue
+		}
+		seen[sys.Name()] = true
+		out = append(out, sys)
+	}
+	return out, nil
+}
+
+// jobsDirName is the durable job journal under the state directory.
+// (campaignstore ignores subdirectories, so journal files can never be
+// mistaken for snapshots.)
+const jobsDirName = "jobs"
+
+// journalPath is the job's document file.
+func journalPath(stateDir, id string) string {
+	return filepath.Join(stateDir, jobsDirName, id+".json")
+}
+
+// saveJournal persists the document atomically
+// (campaignstore.WriteJSON, the advisory-document contract: readers
+// never see a torn document; the snapshots carry the real outcomes, so
+// no fsync).
+func saveJournal(stateDir string, doc Job) error {
+	return campaignstore.WriteJSON(journalPath(stateDir, doc.ID), doc)
+}
+
+// loadJournal reads every persisted job document, oldest ID first. A
+// document whose state is not terminal belonged to a daemon that died
+// mid-job: it is adopted as failed (the campaign state itself is
+// resumable — snapshots only ever hold finished outcomes — so the fix
+// is to resubmit). The repaired document is written back so the
+// journal converges.
+func loadJournal(stateDir string) ([]Job, int, error) {
+	dir := filepath.Join(stateDir, jobsDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("server: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: %w", err)
+	}
+	var jobs []Job
+	maxSeq := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var doc Job
+		if json.Unmarshal(data, &doc) != nil || doc.ID == "" {
+			continue
+		}
+		if !terminal(doc.State) {
+			doc.Error = "daemon stopped while the job was " + doc.State +
+				"; campaign snapshots hold every finished outcome — resubmit to resume"
+			doc.State = StateFailed
+			if doc.DoneAt == nil {
+				now := time.Now().UTC()
+				doc.DoneAt = &now
+			}
+			_ = saveJournal(stateDir, doc)
+		}
+		var seq int
+		if _, err := fmt.Sscanf(doc.ID, "job-%d", &seq); err == nil && seq > maxSeq {
+			maxSeq = seq
+		}
+		jobs = append(jobs, doc)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	return jobs, maxSeq, nil
+}

@@ -1,0 +1,854 @@
+// Package server is spexd's engine room: a resident campaign service
+// that owns one campaign state directory (the exclusive writer lock,
+// campaignstore.Store.Lock, is held for the daemon's whole lifetime),
+// runs injection campaigns on demand, and serves results and live
+// progress over a JSON HTTP API:
+//
+//	POST   /v1/jobs                  submit a campaign (systems or all,
+//	                                 workers, optional coordinate: N)
+//	GET    /v1/jobs                  list jobs (including journaled ones
+//	                                 from previous daemon runs)
+//	GET    /v1/jobs/{id}             job status
+//	DELETE /v1/jobs/{id}             cancel (context plumbing: finished
+//	                                 outcomes persist, the store resumes)
+//	GET    /v1/jobs/{id}/events      live progress (Server-Sent Events)
+//	GET    /v1/systems               systems with snapshots in the store
+//	GET    /v1/systems/{name}/outcomes   one system's recorded outcomes
+//	GET    /v1/tables/{n}            evaluation table n (json or text —
+//	                                 text is byte-identical to spexeval)
+//	GET    /v1/status                daemon status
+//
+// Jobs run strictly serially behind an in-memory queue: the store lock
+// makes concurrent writers unsafe by design, so the queue — not a
+// second lock holder — is what orders campaigns. Each job's progress
+// flows through the shared pipeline (shard.Hub) onto the SSE stream,
+// the same events a CLI -progress renderer consumes. Every job is
+// journaled durably under <state>/jobs/, so a restarted daemon still
+// lists finished jobs; table and outcome reads are served read-only
+// from the store's atomic snapshots and need no lock at all, even
+// while a job is writing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/coord"
+	"spex/internal/inject"
+	"spex/internal/report"
+	"spex/internal/shard"
+	"spex/internal/sim"
+	"spex/internal/spex"
+)
+
+// Config tunes one daemon.
+type Config struct {
+	// StateDir is the campaign state directory the daemon takes
+	// ownership of (required).
+	StateDir string
+	// Workers is the default campaign pool width for jobs that do not
+	// set their own (0 = one per CPU).
+	Workers int
+	// SpawnArgv, when set, launches coordinate-job workers as external
+	// processes from this command template ({lease}, {state}, {worker}
+	// placeholders — see coord.ExpandArgv; an SSH preset distributes
+	// workers across machines). Empty runs workers in-process, which
+	// needs no spexinj binary and still exercises the full
+	// plan → lease → steal → merge protocol.
+	//
+	// External workers report progress through their heartbeat files
+	// only: a coordinate job's SSE stream then carries the coordinator
+	// lifecycle (spawn, steal, retry, merge) but no per-outcome
+	// "progress" events — those require the in-process default, whose
+	// workers feed the job's hub directly. The template must also set
+	// any outcome-affecting worker flags itself (e.g.
+	// -no-optimizations); a worker whose options differ from the
+	// daemon's is rejected at merge time.
+	SpawnArgv []string
+	// Logf, if set, receives daemon log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon. Create with New, serve with Handler (any
+// http.Server) or ListenAndServe, stop with Close.
+type Server struct {
+	cfg   Config
+	store *campaignstore.Store
+	lock  *campaignstore.Lock
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+
+	queue      chan *job
+	runnerDone chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
+
+	// tablesMu guards tablesCache, the memoized read-only analysis
+	// behind /v1/tables. Snapshots only change when a job completes
+	// (the daemon holds the store's only writer lock), so finishJob is
+	// the one invalidation point; holding the mutex across the compute
+	// also single-flights concurrent table requests.
+	tablesMu    sync.Mutex
+	tablesCache []*report.SystemResult
+}
+
+// New opens the state directory, takes its exclusive writer lock, and
+// starts the job runner. The journal of previous jobs is loaded;
+// documents left non-terminal by a dead daemon are adopted as failed.
+func New(cfg Config) (*Server, error) {
+	store, err := campaignstore.Open(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	lock, err := store.Lock()
+	if err != nil {
+		return nil, err
+	}
+	docs, seq, err := loadJournal(cfg.StateDir)
+	if err != nil {
+		lock.Unlock()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		store:      store,
+		lock:       lock,
+		ctx:        ctx,
+		cancel:     cancel,
+		jobs:       make(map[string]*job),
+		seq:        seq,
+		queue:      make(chan *job, 256),
+		runnerDone: make(chan struct{}),
+	}
+	for _, doc := range docs {
+		j := newJob(doc)
+		// Journaled jobs are history: publish their terminal state so a
+		// late SSE subscriber sees it, then end the stream.
+		j.publish(Event{Kind: "state", Job: doc.ID, State: doc.State, Error: doc.Error})
+		j.closeStream()
+		s.jobs[doc.ID] = j
+		s.order = append(s.order, doc.ID)
+	}
+	go s.runner()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Store exposes the daemon's store for read-only use (tests, status).
+func (s *Server) Store() *campaignstore.Store { return s.store }
+
+// Close shuts the daemon down gracefully: the running campaign is
+// cancelled through the engine's context plumbing (finished outcomes
+// are already persisted — the store stays resumable), queued jobs are
+// marked cancelled, and the writer lock is released. Safe to call more
+// than once.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cancel()
+		<-s.runnerDone
+		// Jobs still sitting in the queue never started.
+		for {
+			select {
+			case j := <-s.queue:
+				s.finishJob(j, StateCancelled, "daemon shut down before the job started")
+			default:
+				s.closeErr = s.lock.Unlock()
+				return
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// ListenAndServe runs the HTTP server until ctx is cancelled (SIGTERM
+// in cmd/spexd), then drains: in-flight handlers and the running
+// campaign are stopped, the job journal is final, and the store lock
+// is released before returning.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		select {
+		case <-ctx.Done():
+		case <-s.ctx.Done():
+		}
+		// Stop the campaign and the SSE streams first — Shutdown waits
+		// for active handlers, and the SSE loops exit on s.ctx.
+		s.cancel()
+		sctx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		defer stop()
+		_ = srv.Shutdown(sctx)
+	}()
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	s.cancel()
+	<-shutdownDone
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// errUnavailable marks transient submit rejections (drain, full
+// queue): the spec was fine, the client should retry — 503, not 400.
+var errUnavailable = errors.New("temporarily unavailable")
+
+// submit validates a spec, registers the job, journals it, and queues
+// it for the serial runner.
+func (s *Server) submit(spec JobSpec) (Job, error) {
+	if _, err := resolveSystems(spec); err != nil {
+		return Job{}, err
+	}
+	if spec.Coordinate == 1 || spec.Coordinate < 0 {
+		return Job{}, errors.New("coordinate needs at least 2 workers (a single shard has nobody to steal from)")
+	}
+	if spec.SimDelay != "" {
+		if _, err := time.ParseDuration(spec.SimDelay); err != nil {
+			return Job{}, fmt.Errorf("bad sim_delay: %v", err)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: daemon is shutting down", errUnavailable)
+	}
+	// Capacity is checked before anything is registered or journaled: a
+	// rejected POST must leave no trace. The check-then-send pair is
+	// race-free because submit holds s.mu for both and is the queue's
+	// only sender (the runner only drains it).
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: job queue is full", errUnavailable)
+	}
+	s.seq++
+	doc := Job{
+		ID:        fmt.Sprintf("job-%06d", s.seq),
+		Spec:      spec,
+		State:     StateQueued,
+		CreatedAt: time.Now().UTC(),
+	}
+	j := newJob(doc)
+	s.jobs[doc.ID] = j
+	s.order = append(s.order, doc.ID)
+	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
+		s.logf("spexd: journal: %v", err)
+	}
+	j.publish(Event{Kind: "state", Job: doc.ID, State: StateQueued})
+	s.queue <- j
+	s.mu.Unlock()
+	return doc, nil
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// runner executes queued jobs strictly serially — one campaign per
+// state directory at a time, by design of the writer lock.
+func (s *Server) runner() {
+	defer close(s.runnerDone)
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job end to end and publishes its lifecycle.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.doc.State != StateQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	now := time.Now().UTC()
+	j.doc.State = StateRunning
+	j.doc.StartedAt = &now
+	jctx, cancel := context.WithCancel(s.ctx)
+	j.cancel = cancel
+	doc := j.docLocked()
+	j.mu.Unlock()
+	defer cancel()
+
+	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
+		s.logf("spexd: journal: %v", err)
+	}
+	j.publish(Event{Kind: "state", Job: doc.ID, State: StateRunning})
+	s.logf("spexd: %s running (%s)", doc.ID, describeSpec(doc.Spec))
+
+	// The job's campaign feeds the shared progress pipeline; one
+	// forwarder moves hub events onto the SSE stream.
+	events, cancelSub := j.hub.Subscribe(1024)
+	forwarderDone := make(chan struct{})
+	go func() {
+		defer close(forwarderDone)
+		for p := range events {
+			p := p
+			j.publish(Event{Kind: "progress", Job: doc.ID, Progress: &p})
+		}
+	}()
+
+	summaries, stats, err := s.execute(jctx, j, doc.Spec)
+	cancelSub()
+	<-forwarderDone
+
+	state := StateDone
+	msg := ""
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		state = StateCancelled
+		msg = "cancelled; finished outcomes are persisted and the store resumes where it stopped"
+		j.mu.Lock()
+		byRequest := j.doc.CancelRequested
+		j.mu.Unlock()
+		if !byRequest {
+			msg = "daemon shut down mid-campaign; " +
+				"finished outcomes are persisted and the store resumes where it stopped"
+		}
+	case err != nil:
+		state = StateFailed
+		msg = err.Error()
+	}
+	j.mu.Lock()
+	j.doc.Systems = summaries
+	j.doc.Steals, j.doc.Spawns, j.doc.Retries = stats.steals, stats.spawns, stats.retries
+	j.mu.Unlock()
+	s.finishJob(j, state, msg)
+	s.logf("spexd: %s %s", doc.ID, state)
+}
+
+// finishJob moves a job to a terminal state, journals it, publishes
+// the state event, and ends the SSE stream.
+func (s *Server) finishJob(j *job, state, msg string) {
+	j.mu.Lock()
+	if terminal(j.doc.State) {
+		j.mu.Unlock()
+		return
+	}
+	now := time.Now().UTC()
+	j.doc.State = state
+	j.doc.DoneAt = &now
+	j.doc.Error = msg
+	doc := j.docLocked()
+	j.mu.Unlock()
+	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
+		s.logf("spexd: journal: %v", err)
+	}
+	// The job may have rewritten snapshots: drop the memoized table
+	// analysis.
+	s.tablesMu.Lock()
+	s.tablesCache = nil
+	s.tablesMu.Unlock()
+	j.publish(Event{Kind: "state", Job: doc.ID, State: state, Error: msg})
+	j.closeStream()
+}
+
+// coordStats carries a coordinate job's rebalance counters.
+type coordStats struct{ steals, spawns, retries int }
+
+// execute runs the campaign itself: the plain global scheduler, or the
+// embedded coordinator for coordinate jobs.
+func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSummary, coordStats, error) {
+	systems, err := resolveSystems(spec)
+	if err != nil {
+		return nil, coordStats{}, err
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	opts := inject.DefaultOptions()
+	if spec.SimDelay != "" {
+		d, err := time.ParseDuration(spec.SimDelay)
+		if err != nil {
+			return nil, coordStats{}, err
+		}
+		opts.SimCostDelay = d
+	}
+	if spec.Coordinate >= 2 {
+		return s.executeCoordinate(ctx, j, spec, systems, opts, workers)
+	}
+
+	results, err := spex.InferAll(ctx, systems, workers)
+	if err != nil {
+		return nil, coordStats{}, err
+	}
+	ws, _, err := shard.BuildWorkloads(systems, results, shard.Plan{})
+	if err != nil {
+		return nil, coordStats{}, err
+	}
+	gopts := shard.Options{Workers: workers, Inject: opts, OnProgress: j.hub.Emit}
+	runs, runErr := shard.CampaignAll(ctx, s.store, ws, gopts)
+
+	var summaries []SystemSummary
+	var saveErr error
+	for _, run := range runs {
+		rep := run.Report
+		sum := SystemSummary{
+			System:          run.Sys.Name(),
+			Outcomes:        len(rep.Outcomes),
+			Vulnerabilities: len(rep.Vulnerabilities()),
+			UniqueLocations: rep.UniqueLocations(),
+			Replayed:        rep.Replayed,
+			Executed:        rep.Finished() - rep.Replayed,
+			SimCost:         rep.TotalSimCost,
+			Skipped:         rep.Skipped,
+		}
+		if run.Err != nil && saveErr == nil {
+			saveErr = fmt.Errorf("%s: snapshot not saved: %w", run.Sys.Name(), run.Err)
+		}
+		if run.Status.Saved {
+			if snap, err := s.store.Load(run.Sys.Name()); err == nil {
+				if fp, err := snap.Fingerprint(); err == nil {
+					sum.Fingerprint = fp
+				}
+			}
+		}
+		summaries = append(summaries, sum)
+	}
+	if runErr != nil {
+		return summaries, coordStats{}, runErr
+	}
+	return summaries, coordStats{}, saveErr
+}
+
+// executeCoordinate embeds the shard coordinator: N workers on lease
+// files under the daemon's state directory, work-stealing rebalance,
+// bounded worker retries, and the final merge into the canonical
+// store. The daemon already holds the root lock (Locked).
+func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int) ([]SystemSummary, coordStats, error) {
+	jobID := j.snapshot().ID
+	stealMin := coord.DefaultStealMin
+	if spec.StealMin != nil {
+		stealMin = *spec.StealMin
+	}
+	wopts := coord.WorkerOptions{Workers: workers, Inject: opts, OnProgress: j.hub.Emit}
+	spawn := s.inprocSpawner(systems, wopts)
+	if len(s.cfg.SpawnArgv) > 0 {
+		spawn = coord.ExecSpawner(s.cfg.SpawnArgv)
+	}
+	cfg := coord.Config{
+		StateDir:      s.cfg.StateDir,
+		Workers:       spec.Coordinate,
+		Systems:       systems,
+		Inject:        opts,
+		PoolWorkers:   workers,
+		StealMin:      stealMin,
+		WorkerRetries: coord.DefaultWorkerRetries,
+		Locked:        true,
+		Spawn:         spawn,
+		OnEvent: func(e coord.Event) {
+			ce := &CoordEvent{Kind: e.Kind, Worker: e.Worker, From: e.From, Keys: e.Keys, Attempt: e.Attempt}
+			if e.Err != nil {
+				ce.Error = e.Err.Error()
+			}
+			j.publish(Event{Kind: "coord", Job: jobID, Coord: ce})
+		},
+	}
+	res, err := coord.Run(ctx, cfg)
+	if err != nil {
+		return nil, coordStats{}, err
+	}
+	var summaries []SystemSummary
+	for _, st := range res.Stats {
+		sum := SystemSummary{System: st.System, Outcomes: st.Outcomes, Fingerprint: st.Fingerprint}
+		if snap, err := s.store.Load(st.System); err == nil {
+			for _, o := range snap.Outcomes {
+				if o.Err == "" && o.Reaction.Vulnerability() {
+					sum.Vulnerabilities++
+				}
+			}
+		}
+		summaries = append(summaries, sum)
+	}
+	return summaries, coordStats{steals: res.Steals, spawns: res.Spawns, retries: res.Retries}, nil
+}
+
+// inprocSpawner runs coordinate-job workers as goroutines over
+// coord.RunWorker — the default when no spawn template is configured.
+// Each worker locks its own shard directory and feeds the job's
+// progress hub.
+func (s *Server) inprocSpawner(systems []sim.System, wopts coord.WorkerOptions) coord.SpawnFunc {
+	return func(ctx context.Context, spec coord.WorkerSpec) (coord.Handle, error) {
+		wctx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() {
+			_, err := coord.RunWorker(wctx, spec.LeasePath, spec.StateDir, systems, wopts)
+			done <- err
+		}()
+		return &goWorkerHandle{cancel: cancel, done: done}, nil
+	}
+}
+
+type goWorkerHandle struct {
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func (h *goWorkerHandle) Wait() error { return <-h.done }
+func (h *goWorkerHandle) Interrupt()  { h.cancel() }
+
+func describeSpec(spec JobSpec) string {
+	target := "all systems"
+	if !spec.All {
+		target = fmt.Sprintf("%v", spec.Systems)
+	}
+	if spec.Coordinate >= 2 {
+		return fmt.Sprintf("%s, coordinate %d", target, spec.Coordinate)
+	}
+	return target
+}
+
+// ---- HTTP ----
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobsCreate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	mux.HandleFunc("GET /v1/systems/{name}/outcomes", s.handleOutcomes)
+	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{}
+	running := ""
+	for _, id := range s.order {
+		doc := s.jobs[id].snapshot()
+		counts[doc.State]++
+		if doc.State == StateRunning {
+			running = doc.ID
+		}
+	}
+	s.mu.Unlock()
+	systems, _ := s.store.List()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"state_dir": s.cfg.StateDir,
+		"jobs":      counts,
+		"running":   running,
+		"systems":   systems,
+	})
+}
+
+func (s *Server) handleJobsCreate(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	doc, err := s.submit(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errUnavailable) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, doc)
+}
+
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	docs := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		docs = append(docs, s.jobs[id].snapshot())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	// The whole decision runs under the job lock, so it cannot race the
+	// runner's queued→running transition: either the cancellation wins
+	// (the runner sees a terminal state and skips the job) or the start
+	// wins (the DELETE lands on the running branch and cancels the
+	// context).
+	j.mu.Lock()
+	switch j.doc.State {
+	case StateQueued:
+		// Never started: terminal immediately; the runner skips it.
+		now := time.Now().UTC()
+		j.doc.State = StateCancelled
+		j.doc.DoneAt = &now
+		j.doc.Error = "cancelled while queued"
+		doc := j.docLocked()
+		j.mu.Unlock()
+		if err := saveJournal(s.cfg.StateDir, doc); err != nil {
+			s.logf("spexd: journal: %v", err)
+		}
+		j.publish(Event{Kind: "state", Job: doc.ID, State: StateCancelled, Error: doc.Error})
+		j.closeStream()
+		writeJSON(w, http.StatusOK, doc)
+	case StateRunning:
+		j.doc.CancelRequested = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	default:
+		state := j.doc.State
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("job is already %s", state))
+	}
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(e Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data); err != nil {
+			return false
+		}
+		return true
+	}
+
+	backlog, dropped, ch, cancelSub := j.subscribe()
+	defer cancelSub()
+	if dropped > 0 {
+		// SSE comment: the backlog cap evicted early events, so this
+		// replay starts mid-stream.
+		fmt.Fprintf(w, ": backlog truncated, %d early events dropped\n\n", dropped)
+	}
+	for _, e := range backlog {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return // terminal state delivered; stream complete
+			}
+			if !writeEvent(e) {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	systems, err := s.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"systems": systems})
+}
+
+// OutcomeView is one recorded outcome in API form.
+type OutcomeView struct {
+	Key           string `json:"key"`
+	ID            string `json:"id"`
+	Param         string `json:"param"`
+	Description   string `json:"description,omitempty"`
+	Reaction      string `json:"reaction"`
+	Vulnerability bool   `json:"vulnerability"`
+	Pinpointed    bool   `json:"pinpointed"`
+	FailedTest    string `json:"failed_test,omitempty"`
+	Loc           string `json:"loc,omitempty"`
+	SimCost       int    `json:"sim_cost"`
+}
+
+func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, err := s.store.Load(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, campaignstore.ErrNotExist):
+			// No campaign yet: submit a job first.
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, campaignstore.ErrStale):
+			// Schema-stale snapshot: rerunning the campaign converges.
+			writeError(w, http.StatusConflict, err)
+		default:
+			// Corrupt or unreadable snapshot: a server fault, not
+			// something a retry or resubmitted job fixes.
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	keys := make([]string, 0, len(snap.Outcomes))
+	for k := range snap.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	views := make([]OutcomeView, 0, len(keys))
+	byReaction := map[string]int{}
+	vulns := 0
+	for _, k := range keys {
+		o := snap.Outcomes[k]
+		v := OutcomeView{
+			Key:           k,
+			ID:            o.Misconf.ID,
+			Param:         o.Misconf.Param,
+			Description:   o.Misconf.Description,
+			Reaction:      o.Reaction.String(),
+			Vulnerability: o.Reaction.Vulnerability(),
+			Pinpointed:    o.Pinpointed,
+			FailedTest:    o.FailedTest,
+			Loc:           o.Loc.String(),
+			SimCost:       o.SimCost,
+		}
+		byReaction[v.Reaction]++
+		if v.Vulnerability {
+			vulns++
+		}
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"system":          snap.System,
+		"saved_at":        snap.SavedAt,
+		"outcomes":        views,
+		"by_reaction":     byReaction,
+		"vulnerabilities": vulns,
+	})
+}
+
+// replayResults serves the memoized read-only analysis, recomputing it
+// (report.ReplayFromStore) only after a job completion invalidated the
+// cache — a client fetching all twelve tables pays for one replay, not
+// twelve. Failed replays (incomplete state) are never cached; the next
+// request retries.
+func (s *Server) replayResults(ctx context.Context) ([]*report.SystemResult, error) {
+	s.tablesMu.Lock()
+	defer s.tablesMu.Unlock()
+	if s.tablesCache != nil {
+		return s.tablesCache, nil
+	}
+	results, err := report.ReplayFromStore(ctx, s.store)
+	if err != nil {
+		return nil, err
+	}
+	s.tablesCache = results
+	return results, nil
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil || n < 1 || n > report.MaxTable {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q (want 1-%d)", r.PathValue("n"), report.MaxTable))
+		return
+	}
+	results, err := s.replayResults(r.Context())
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, report.ErrStateIncomplete) || errors.Is(err, campaignstore.ErrStale) ||
+			errors.Is(err, campaignstore.ErrNotExist) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		text, err := report.RenderTableText(n, results)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// spexeval prints each table with fmt.Println: table text + \n.
+		fmt.Fprintln(w, text)
+		return
+	}
+	tables, err := report.BuildTables(n, results)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": n, "tables": tables})
+}

@@ -1,0 +1,496 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spex/internal/report"
+	"spex/internal/server"
+)
+
+// daemon spins up a Server plus an httptest front end.
+func daemon(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	return s, ts
+}
+
+func postJob(t *testing.T, base string, spec string) server.Job {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d %s", resp.StatusCode, body)
+	}
+	var doc server.Job
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("job document: %v\n%s", err, body)
+	}
+	return doc
+}
+
+func getJob(t *testing.T, base, id string) server.Job {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc server.Job
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func waitTerminal(t *testing.T, base, id string, timeout time.Duration) server.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		doc := getJob(t, base, id)
+		switch doc.State {
+		case server.StateDone, server.StateFailed, server.StateCancelled:
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %s", id, doc.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// sseCollector consumes a job's event stream until the daemon closes
+// it (terminal state) and records every event.
+type sseCollector struct {
+	mu     sync.Mutex
+	events []server.Event
+	done   chan struct{}
+}
+
+func collectSSE(t *testing.T, base, id string) *sseCollector {
+	t.Helper()
+	c := &sseCollector{done: make(chan struct{})}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("events content-type = %q", ct)
+	}
+	go func() {
+		defer close(c.done)
+		defer cancel()
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				var e server.Event
+				if json.Unmarshal([]byte(data), &e) == nil {
+					c.mu.Lock()
+					c.events = append(c.events, e)
+					c.mu.Unlock()
+				}
+			}
+		}
+	}()
+	return c
+}
+
+func (c *sseCollector) wait(t *testing.T) []server.Event {
+	t.Helper()
+	select {
+	case <-c.done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("SSE stream never closed")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]server.Event(nil), c.events...)
+}
+
+func (c *sseCollector) waitFor(t *testing.T, pred func(server.Event) bool, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		for _, e := range c.events {
+			if pred(e) {
+				c.mu.Unlock()
+				return
+			}
+		}
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatal("SSE stream never delivered the awaited event")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd is the acceptance run: submit an -all job over
+// HTTP, observe SSE progress while it runs, then check that the state
+// directory and the served tables are identical to what the CLI
+// pipeline produces — fingerprints for the store, bytes for the text.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := daemon(t, server.Config{StateDir: dir, Workers: 4})
+
+	// An empty store serves no tables yet.
+	resp, err := http.Get(ts.URL + "/v1/tables/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("tables on an empty store: %d, want 409", resp.StatusCode)
+	}
+
+	doc := postJob(t, ts.URL, `{"all": true, "workers": 4}`)
+	sse := collectSSE(t, ts.URL, doc.ID)
+	final := waitTerminal(t, ts.URL, doc.ID, 2*time.Minute)
+	if final.State != server.StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if len(final.Systems) != 7 {
+		t.Fatalf("job summarizes %d systems, want 7", len(final.Systems))
+	}
+	fingerprints := map[string]string{}
+	for _, sum := range final.Systems {
+		if sum.Executed == 0 || sum.Fingerprint == "" {
+			t.Errorf("%s summary incomplete: %+v", sum.System, sum)
+		}
+		fingerprints[sum.System] = sum.Fingerprint
+	}
+
+	events := sse.wait(t)
+	var sawRunning, sawDone bool
+	progress := 0
+	for _, e := range events {
+		switch {
+		case e.Kind == "state" && e.State == server.StateRunning:
+			sawRunning = true
+		case e.Kind == "state" && e.State == server.StateDone:
+			sawDone = true
+		case e.Kind == "progress":
+			if e.Progress == nil || e.Progress.System == "" {
+				t.Fatalf("malformed progress event: %+v", e)
+			}
+			progress++
+		}
+	}
+	if !sawRunning || !sawDone || progress == 0 {
+		t.Fatalf("SSE stream incomplete: running=%v done=%v progress=%d", sawRunning, sawDone, progress)
+	}
+
+	// Served table text must be byte-identical to the CLI pipeline's
+	// rendering of a fresh (storeless) analysis — the same claim the
+	// CI smoke makes against a real spexeval run.
+	live, err := report.AnalyzeAllContext(context.Background(), report.AnalyzeOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 5, 9, 11} {
+		wantText, err := report.RenderTableText(n, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get(fmt.Sprintf("%s/v1/tables/%d?format=text", ts.URL, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("table %d: %d %s", n, resp.StatusCode, body)
+		}
+		if string(body) != wantText+"\n" {
+			t.Errorf("table %d text differs from the CLI rendering", n)
+		}
+		// And the JSON form must re-render to the same bytes.
+		jresp, err := http.Get(fmt.Sprintf("%s/v1/tables/%d", ts.URL, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payload struct {
+			Table  int             `json:"table"`
+			Tables []*report.Table `json:"tables"`
+		}
+		if err := json.NewDecoder(jresp.Body).Decode(&payload); err != nil {
+			t.Fatal(err)
+		}
+		jresp.Body.Close()
+		parts := make([]string, len(payload.Tables))
+		for i, tab := range payload.Tables {
+			parts[i] = tab.String()
+		}
+		if got := strings.Join(parts, "\n"); got != wantText {
+			t.Errorf("table %d JSON does not re-render to the text form", n)
+		}
+	}
+
+	// Outcome serving.
+	oresp, err := http.Get(ts.URL + "/v1/systems/proxyd/outcomes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcomes struct {
+		System          string               `json:"system"`
+		Outcomes        []server.OutcomeView `json:"outcomes"`
+		Vulnerabilities int                  `json:"vulnerabilities"`
+	}
+	if err := json.NewDecoder(oresp.Body).Decode(&outcomes); err != nil {
+		t.Fatal(err)
+	}
+	oresp.Body.Close()
+	if outcomes.System != "proxyd" || len(outcomes.Outcomes) == 0 || outcomes.Vulnerabilities == 0 {
+		t.Fatalf("outcome listing implausible: system=%q n=%d vulns=%d",
+			outcomes.System, len(outcomes.Outcomes), outcomes.Vulnerabilities)
+	}
+
+	// A second job over the same store must replay everything at zero
+	// fresh cost and land on the same fingerprint — the daemon is the
+	// incremental pipeline behind an API.
+	doc2 := postJob(t, ts.URL, `{"systems": ["proxyd"], "workers": 4}`)
+	final2 := waitTerminal(t, ts.URL, doc2.ID, time.Minute)
+	if final2.State != server.StateDone || len(final2.Systems) != 1 {
+		t.Fatalf("replay job: %+v", final2)
+	}
+	sum := final2.Systems[0]
+	if sum.Executed != 0 || sum.Replayed != sum.Outcomes || sum.SimCost != 0 {
+		t.Errorf("replay job executed fresh work: %+v", sum)
+	}
+	if sum.Fingerprint != fingerprints["proxyd"] {
+		t.Errorf("replay fingerprint %s != original %s", sum.Fingerprint, fingerprints["proxyd"])
+	}
+}
+
+// TestDaemonCancellationLeavesResumableStore: DELETE on a running job
+// cancels through the context plumbing; a follow-up job resumes from
+// the persisted prefix instead of restarting the campaign.
+func TestDaemonCancellationLeavesResumableStore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := daemon(t, server.Config{StateDir: dir})
+
+	// One worker and a per-unit delay keep the campaign running long
+	// enough to cancel deterministically after the first outcome.
+	doc := postJob(t, ts.URL, `{"systems": ["proxyd"], "workers": 1, "sim_delay": "5ms"}`)
+	sse := collectSSE(t, ts.URL, doc.ID)
+	sse.waitFor(t, func(e server.Event) bool { return e.Kind == "progress" }, time.Minute)
+
+	// A job queued behind the running one cancels immediately and the
+	// serial runner must skip it.
+	queued := postJob(t, ts.URL, `{"systems": ["ldapd"]}`)
+	qreq, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+queued.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp, err := http.DefaultClient.Do(qreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE queued job: %d, want 200", qresp.StatusCode)
+	}
+	if got := getJob(t, ts.URL, queued.ID); got.State != server.StateCancelled {
+		t.Fatalf("queued job state %s, want cancelled", got.State)
+	}
+	// Cancelling a terminal job conflicts.
+	qresp2, err := http.DefaultClient.Do(qreq.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp2.Body.Close()
+	if qresp2.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE terminal job: %d, want 409", qresp2.StatusCode)
+	}
+
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+doc.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE running job: %d, want 202", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts.URL, doc.ID, time.Minute)
+	if final.State != server.StateCancelled || !final.CancelRequested {
+		t.Fatalf("job ended %s (cancel_requested=%v), want cancelled by request", final.State, final.CancelRequested)
+	}
+	sse.wait(t)
+
+	// The resumed job replays the persisted prefix and finishes the
+	// rest — never a full restart.
+	doc2 := postJob(t, ts.URL, `{"systems": ["proxyd"], "workers": 4}`)
+	final2 := waitTerminal(t, ts.URL, doc2.ID, time.Minute)
+	if final2.State != server.StateDone {
+		t.Fatalf("resume job ended %s: %s", final2.State, final2.Error)
+	}
+	sum := final2.Systems[0]
+	if sum.Replayed == 0 {
+		t.Errorf("resume job replayed nothing; the cancelled run's outcomes were lost: %+v", sum)
+	}
+	if sum.Executed == 0 {
+		t.Errorf("resume job executed nothing; cancellation skipped no work? %+v", sum)
+	}
+}
+
+// TestDaemonCoordinateJob embeds the work-stealing coordinator behind
+// the API with in-process workers.
+func TestDaemonCoordinateJob(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := daemon(t, server.Config{StateDir: dir, Workers: 2})
+
+	doc := postJob(t, ts.URL, `{"systems": ["ldapd"], "coordinate": 2, "workers": 2}`)
+	sse := collectSSE(t, ts.URL, doc.ID)
+	final := waitTerminal(t, ts.URL, doc.ID, 2*time.Minute)
+	if final.State != server.StateDone {
+		t.Fatalf("coordinate job ended %s: %s", final.State, final.Error)
+	}
+	if final.Spawns < 2 {
+		t.Errorf("coordinate job spawned %d workers, want >= 2", final.Spawns)
+	}
+	if len(final.Systems) != 1 || final.Systems[0].Fingerprint == "" {
+		t.Fatalf("coordinate job summaries: %+v", final.Systems)
+	}
+
+	kinds := map[string]bool{}
+	for _, e := range sse.wait(t) {
+		if e.Kind == "coord" && e.Coord != nil {
+			kinds[e.Coord.Kind] = true
+		}
+	}
+	for _, want := range []string{"plan", "spawn", "merge"} {
+		if !kinds[want] {
+			t.Errorf("SSE stream missing coordinator %q event (saw %v)", want, kinds)
+		}
+	}
+}
+
+// TestDaemonValidationAndRestart covers the API edges and the durable
+// journal: bad specs are rejected, a second daemon cannot share the
+// state dir, and a restarted daemon lists the previous jobs.
+func TestDaemonValidationAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := server.New(server.Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	for _, bad := range []string{
+		`{}`,
+		`{"systems": ["no-such-system"]}`,
+		`{"all": true, "coordinate": 1}`,
+		`{"all": true, "sim_delay": "not-a-duration"}`,
+		`{"all": true, "bogus_field": 1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s accepted with %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// The daemon owns the state dir exclusively.
+	if _, err := server.New(server.Config{StateDir: dir}); err == nil {
+		t.Fatal("second daemon acquired the same state dir")
+	}
+
+	// Run one quick job so the journal has an entry.
+	doc := postJob(t, ts.URL, `{"systems": ["ldapd"], "workers": 2}`)
+	waitTerminal(t, ts.URL, doc.ID, time.Minute)
+
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Clean lock release.
+	if _, err := os.Stat(filepath.Join(dir, ".spex.lock")); !os.IsNotExist(err) {
+		t.Fatalf("state lock survived shutdown: %v", err)
+	}
+
+	// Restart: journaled jobs are listed, terminal, and queryable.
+	s2, err := server.New(server.Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var listing struct {
+		Jobs []server.Job `json:"jobs"`
+	}
+	resp, err := http.Get(ts2.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, j := range listing.Jobs {
+		if j.ID == doc.ID && j.State == server.StateDone {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restarted daemon lost job %s from its journal: %+v", doc.ID, listing.Jobs)
+	}
+	// A new job on the restarted daemon must not collide with old IDs.
+	doc2 := postJob(t, ts2.URL, `{"systems": ["ldapd"], "workers": 2}`)
+	if doc2.ID == doc.ID {
+		t.Fatalf("job ID %s reused after restart", doc2.ID)
+	}
+	if got := waitTerminal(t, ts2.URL, doc2.ID, time.Minute); got.State != server.StateDone {
+		t.Fatalf("post-restart job ended %s: %s", got.State, got.Error)
+	}
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -106,19 +107,28 @@ func Interleave(sizes []int) []Task {
 // exactly what a single streaming status line needs — plus the
 // outcome's identity, which the coordinator's worker heartbeats
 // (internal/coord) key on.
+// The JSON tags are the event's wire form on the daemon's SSE stream
+// (internal/server), snake_case like the rest of the public API.
 type Progress struct {
 	// System is the completed outcome's target.
-	System string
+	System string `json:"system"`
 	// Key is the completed outcome's replay identity (inject.CacheKey).
-	Key string
+	Key string `json:"key,omitempty"`
 	// Failed reports that the task errored (harness failure, gate
 	// rejection, or cancellation mid-run): its outcome will not be
 	// cached or persisted, so a heartbeat must not count it as done.
-	Failed bool
+	Failed bool `json:"failed,omitempty"`
+	// Yielded narrows Failed: the task was abandoned because its key was
+	// reassigned to another worker by a work-stealing rebalance
+	// (inject.ErrYielded). Progress consumers can render yields
+	// distinctly — they are rebalance traffic, not errors.
+	Yielded bool `json:"yielded,omitempty"`
 	// SystemDone/SystemTotal count within the system.
-	SystemDone, SystemTotal int
+	SystemDone  int `json:"system_done"`
+	SystemTotal int `json:"system_total"`
 	// Done/Total count across the whole global queue.
-	Done, Total int
+	Done  int `json:"done"`
+	Total int `json:"total"`
 }
 
 // Options tune one global run.
@@ -216,6 +226,7 @@ func RunGlobal(ctx context.Context, ws []Workload, opts Options) ([]*inject.Repo
 				System:      ws[t.Target].Sys.Name(),
 				Key:         inject.CacheKey(ws[t.Target].Ms[t.Index]),
 				Failed:      r.Err != nil,
+				Yielded:     errors.Is(r.Err, inject.ErrYielded),
 				SystemDone:  sysDone[t.Target],
 				SystemTotal: sizes[t.Target],
 				Done:        done,

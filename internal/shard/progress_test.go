@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHubFansOutToEverySubscriber(t *testing.T) {
+	h := NewHub()
+	a, cancelA := h.Subscribe(16)
+	b, cancelB := h.Subscribe(16)
+	defer cancelA()
+	defer cancelB()
+
+	var wg sync.WaitGroup
+	counts := make([]int, 2)
+	for i, ch := range []<-chan Progress{a, b} {
+		wg.Add(1)
+		go func(i int, ch <-chan Progress) {
+			defer wg.Done()
+			for range ch {
+				counts[i]++
+			}
+		}(i, ch)
+	}
+	for i := 0; i < 10; i++ {
+		h.Emit(Progress{Done: i + 1, Total: 10})
+	}
+	h.Close()
+	wg.Wait()
+	if counts[0] != 10 || counts[1] != 10 {
+		t.Fatalf("subscribers saw %d/%d events, want 10/10", counts[0], counts[1])
+	}
+}
+
+func TestHubDropsOldestWhenSubscriberLags(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe(2)
+	defer cancel()
+	// Nobody reads: the 2-slot buffer keeps only the freshest events.
+	for i := 1; i <= 50; i++ {
+		h.Emit(Progress{Done: i, Total: 50})
+	}
+	h.Close()
+	var got []int
+	for p := range ch {
+		got = append(got, p.Done)
+	}
+	if len(got) != 2 {
+		t.Fatalf("lagging subscriber buffered %d events, want 2", len(got))
+	}
+	// The final event must have survived — a display converges on the
+	// freshest count, not an arbitrary stale one.
+	if got[len(got)-1] != 50 {
+		t.Fatalf("last delivered event is %d, want the freshest (50)", got[len(got)-1])
+	}
+}
+
+func TestHubCloseAndCancelAreIdempotent(t *testing.T) {
+	h := NewHub()
+	ch, cancel := h.Subscribe(1)
+	cancel()
+	cancel() // second cancel must not panic or double-close
+	if _, ok := <-ch; ok {
+		t.Fatal("cancelled subscriber channel still open")
+	}
+	h.Close()
+	h.Close()
+	h.Emit(Progress{Done: 1, Total: 1}) // no-op after Close
+
+	// Subscribing after Close yields an already-closed channel.
+	late, lateCancel := h.Subscribe(1)
+	lateCancel()
+	if _, ok := <-late; ok {
+		t.Fatal("post-Close subscription channel still open")
+	}
+}
