@@ -46,6 +46,8 @@
 //	spexeval -global -workers 8     # one cross-target campaign pool
 //	spexeval -state /var/lib/spex   # persistent incremental campaigns
 //	spexeval -shard 1/2 -state /tmp/s1   # one shard of the campaign phase
+//	spexeval -index -state /var/lib/spex # render from the outcome indexes,
+//	                                     # read-only (no writer lock taken)
 package main
 
 import (
@@ -73,6 +75,7 @@ func run() int {
 		state     = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
 		global    = flag.Bool("global", false, "interleave all campaigns on one cross-target worker pool (tables are identical; -campaign-workers is ignored)")
 		shardFlag = flag.String("shard", "", "campaign only one shard i/N of every system's workload and persist per-shard snapshots instead of rendering tables (requires -state; merge with spexmerge, then render with -state alone)")
+		index     = flag.Bool("index", false, "render tables and figures from the store's outcome indexes without replaying snapshots — read-only: takes no writer lock, runs no campaign (requires -state)")
 	)
 	flag.Parse()
 
@@ -92,9 +95,17 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "spexeval: -shard requires -state (the shard's outcomes are its snapshot directory)")
 			return 2
 		}
+		if *index {
+			fmt.Fprintln(os.Stderr, "spexeval: -index is read-only and cannot run a -shard campaign")
+			return 2
+		}
+	}
+	if *index && *state == "" {
+		fmt.Fprintln(os.Stderr, "spexeval: -index requires -state (the indexes live beside the snapshots)")
+		return 2
 	}
 
-	if *state != "" {
+	if *state != "" && !*index {
 		store, err := campaignstore.Open(*state)
 		if err != nil {
 			return fail(err)
@@ -110,38 +121,55 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global, Shard: plan}
-	var finishProgress func()
-	if *progress {
-		if *global || plan.Enabled() {
-			// Campaigns run on the global scheduler: render them through
-			// the shared progress pipeline, spexinj-parity bars included.
-			opts.OnCampaignProgress, finishProgress = progressui.Attach(os.Stderr, "spexeval")
-		} else {
-			opts.OnProgress = func(p report.Progress) {
-				fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
+	var results []*report.SystemResult
+	if *index {
+		// Index render: inference recomputes (deterministic, cheap), the
+		// campaign side comes from the outcome indexes — no snapshot
+		// record is parsed, nothing is written, no lock is needed. The
+		// rendered tables are byte-identical to a -state replay.
+		store, err := campaignstore.Open(*state)
+		if err != nil {
+			return fail(err)
+		}
+		results, err = report.ReplayFromIndex(ctx, store)
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global, Shard: plan}
+		var finishProgress func()
+		if *progress {
+			if *global || plan.Enabled() {
+				// Campaigns run on the global scheduler: render them through
+				// the shared progress pipeline, spexinj-parity bars included.
+				opts.OnCampaignProgress, finishProgress = progressui.Attach(os.Stderr, "spexeval")
+			} else {
+				opts.OnProgress = func(p report.Progress) {
+					fmt.Fprintf(os.Stderr, "spexeval: %s %s (%d/%d)\n", p.System, p.Stage, p.Done, p.Total)
+				}
 			}
 		}
-	}
-	results, err := report.AnalyzeAllContext(ctx, opts)
-	if finishProgress != nil {
-		finishProgress()
-	}
-	if err != nil {
-		return fail(err)
-	}
-	saveFailed := false
-	for _, r := range results {
-		if r.StateErr != nil {
-			saveFailed = true
-			fmt.Fprintf(os.Stderr, "spexeval: warning: %s: snapshot not saved: %v\n", r.Sys.Name(), r.StateErr)
+		var err error
+		results, err = report.AnalyzeAllContext(ctx, opts)
+		if finishProgress != nil {
+			finishProgress()
 		}
-	}
-	if saveFailed && plan.Enabled() {
-		// A shard run's snapshots ARE its output: exiting 0 here would
-		// let a pipeline merge a store silently missing this partition.
-		fmt.Fprintln(os.Stderr, "spexeval: sharded analysis failed to persist its partition")
-		return 1
+		if err != nil {
+			return fail(err)
+		}
+		saveFailed := false
+		for _, r := range results {
+			if r.StateErr != nil {
+				saveFailed = true
+				fmt.Fprintf(os.Stderr, "spexeval: warning: %s: snapshot not saved: %v\n", r.Sys.Name(), r.StateErr)
+			}
+		}
+		if saveFailed && plan.Enabled() {
+			// A shard run's snapshots ARE its output: exiting 0 here would
+			// let a pipeline merge a store silently missing this partition.
+			fmt.Fprintln(os.Stderr, "spexeval: sharded analysis failed to persist its partition")
+			return 1
+		}
 	}
 
 	if plan.Enabled() {

@@ -44,13 +44,15 @@
 //
 // internal/campaignstore persists that incremental mode across process
 // runs, completing the paper's "campaign cost is a one-time cost"
-// argument: a snapshot is a versioned JSON document holding the
-// inferred constraint set (in constraint.Set's stable serialized form,
-// sorted by constraint identity), the set's fingerprint, and every
-// recorded outcome keyed by inject.CacheKey. Snapshots are saved
-// atomically (temp file + rename), one file per system under a state
+// argument: a snapshot holds the inferred constraint set (in
+// constraint.Set's stable serialized form, sorted by constraint
+// identity), the set's fingerprint, and every recorded outcome keyed by
+// inject.CacheKey. Snapshots are saved atomically (temp file + rename)
+// in a length-prefixed binary container (see "Binary snapshot format
+// and the outcome index" below), one file per system under a state
 // directory (the -state flag of cmd/spexinj and cmd/spexeval, or
-// report.AnalyzeOptions.StateDir).
+// report.AnalyzeOptions.StateDir); stores written by the previous
+// JSON format load transparently and migrate on their next save.
 //
 // Each run loads the snapshot, Diffs a fresh inference against the
 // stored set, re-executes only the delta-selected misconfigurations,
@@ -228,14 +230,64 @@
 // aggregate in logs), the daemon's SSE encoder, the coordinator's
 // heartbeats — is just a subscriber.
 //
-// Reads are served lock-free from the store's atomic snapshots, even
-// while a job is writing: GET /v1/systems/{name}/outcomes lists
-// recorded outcomes, and GET /v1/tables/{n} renders the paper's
-// evaluation tables from a read-only replay
-// (report.ReplayFromStore + the structured report.Table encoding) —
+// Reads are served lock-free from the store's outcome indexes, even
+// while a job is writing: GET /v1/systems/{name}/outcomes pages through
+// recorded outcomes (?limit/?offset, 1000 per page by default, 10000
+// max, with whole-system tallies and a total count on every page), GET
+// /v1/query answers cross-system misconfiguration queries (?param=,
+// ?kind=, ?reaction=, ?min-systems=N, ?all=1), and GET /v1/tables/{n}
+// renders the paper's evaluation tables from an index-backed replay
+// (report.ReplayFromIndex + the structured report.Table encoding) —
 // the text form is byte-identical to `spexeval -state <dir> -table n`
-// over the same store, because both render through
-// report.RenderTableText from outcomes reassembled by inject.Assemble.
+// over the same store, because the index docs carry exactly the fields
+// the table builders consume and both render through
+// report.RenderTableText. Every read endpoint carries an ETag derived
+// from the snapshot fingerprint(s) it serves and answers If-None-Match
+// with 304 Not Modified.
+//
+// # Binary snapshot format and the outcome index
+//
+// The snapshot container (internal/campaignstore's codec) is built for
+// a million-outcome read path: after the magic "SPEXSNP1" and a
+// uvarint-framed JSON header blob (schema fingerprint, system, save
+// time, options identity, constraint set + fingerprint) come the
+// outcome records — uvarint key length, key, varint freshness stamp
+// (UnixNano), uvarint payload length, compact per-outcome JSON — in
+// strictly ascending key order, then a zero terminator, a uvarint
+// record count, and a CRC-32 trailer over everything before it. Record
+// payloads stay JSON on purpose: they are exactly the bytes
+// Snapshot.Fingerprint hashes, so a streaming writer folds the
+// replay-equivalence fingerprint for free as records pass through, and
+// migrating a JSON-era store to the binary container provably cannot
+// change its fingerprint. The ascending key order is what makes
+// spexmerge a bounded-memory k-way streaming merge: internal/shard
+// opens one record iterator per shard, folds the minimum key's
+// freshest copy (stamp, then lexicographically greatest shard
+// directory) into a streaming writer, and never materializes a shard's
+// outcome map. All fail-safe semantics carry over bit for bit — a
+// truncated file, a flipped bit (CRC), a stale schema fingerprint, or
+// mismatched options still falls back to a full campaign, and the
+// legacy SPEX_SNAPSHOT_JSON=1 hatch reproduces the old JSON writer for
+// compatibility tests.
+//
+// Beside each snapshot lives its outcome index
+// (internal/outcomeindex, <system>.campaign.idx): a compact per-outcome
+// projection (the fields the HTTP API and the tables consume — no log
+// dumps, no env actions) plus posting lists keyed by parameter,
+// constraint kind, reaction, and vulnerability source location, plus
+// precomputed per-system aggregates (reaction tallies, vulnerability
+// and unique-location counts — the Table 3/5 numbers). The index is
+// rebuilt incrementally on every save by the same streaming writer
+// that folds the fingerprint, and it is always derived data: the
+// sidecar records the snapshot file's name, size and mtime, one stat
+// call validates it, and any mismatch (or a deleted sidecar) triggers
+// a rebuild from the snapshot. The daemon layers an in-memory copy on
+// top with the same (path, size, mtime) revalidation per request, so
+// cache invalidation needs no coupling to the job lifecycle: a save's
+// atomic rename is the invalidation. `spexeval -index -state <dir>`
+// renders all tables and figures from the indexes alone — read-only,
+// no writer lock, no snapshot record parsed — byte-identical to a
+// -state replay (report.ReplayFromIndex).
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -22,12 +22,16 @@
 package campaignstore
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -119,9 +123,7 @@ type Snapshot struct {
 // a sharded campaign's merged store can be checked byte-for-byte
 // equivalent to an unsharded run's (internal/shard's acceptance test).
 func (s *Snapshot) Fingerprint() (string, error) {
-	h := sha256.New()
-	fmt.Fprintf(h, "schema %s\nsystem %s\noptions %s\nset %s\n",
-		s.Schema, s.System, s.Options, s.SetFingerprint)
+	fp := NewFingerprinter(s.Schema, s.System, s.Options, s.SetFingerprint)
 	keys := make([]string, 0, len(s.Outcomes))
 	for k := range s.Outcomes {
 		keys = append(keys, k)
@@ -132,9 +134,11 @@ func (s *Snapshot) Fingerprint() (string, error) {
 		if err != nil {
 			return "", fmt.Errorf("campaignstore: %w", err)
 		}
-		fmt.Fprintf(h, "outcome %d:%s %d:%s\n", len(k), k, len(data), data)
+		if err := fp.Add(k, data); err != nil {
+			return "", err
+		}
 	}
-	return hex.EncodeToString(h.Sum(nil))[:32], nil
+	return fp.Sum(), nil
 }
 
 // OptionsID renders the outcome-affecting campaign options as a stable
@@ -192,23 +196,54 @@ func Open(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
-// Path returns the snapshot file for the named system.
-func (s *Store) Path(system string) string {
-	// System names are short identifiers; flatten anything that would
-	// escape the state directory.
-	safe := strings.Map(func(r rune) rune {
+// Snapshot file suffixes: snapSuffix is the binary container Save
+// writes; legacySuffix is the v2 JSON document format, still readable
+// so a JSON-era store loads transparently and migrates on its next
+// save.
+const (
+	snapSuffix   = ".campaign.snap"
+	legacySuffix = ".campaign.json"
+)
+
+// legacyJSONEnv, when set non-empty, makes Save write the legacy v2
+// JSON document instead of the binary container — the escape hatch CI
+// uses to manufacture JSON-era stores for migration coverage.
+const legacyJSONEnv = "SPEX_SNAPSHOT_JSON"
+
+// safeName flattens a system name into a file-name-safe base.
+func safeName(system string) string {
+	return strings.Map(func(r rune) rune {
 		switch r {
 		case '/', '\\', ':':
 			return '_'
 		}
 		return r
 	}, system)
-	return filepath.Join(s.dir, safe+".campaign.json")
+}
+
+// Path returns the snapshot file for the named system (the binary
+// container). A store written by a pre-binary build keeps its snapshot
+// at LegacyPath until the next save migrates it.
+func (s *Store) Path(system string) string {
+	// System names are short identifiers; flatten anything that would
+	// escape the state directory.
+	return filepath.Join(s.dir, safeName(system)+snapSuffix)
+}
+
+// LegacyPath returns the system's v2 JSON snapshot file.
+func (s *Store) LegacyPath(system string) string {
+	return filepath.Join(s.dir, safeName(system)+legacySuffix)
 }
 
 // decodeSnapshot unmarshals and validates one snapshot document — the
 // shared half of Load and LoadAll. label names the source in errors.
+// The format is sniffed from the content, not the file name: binary
+// containers open with the magic, anything else decodes as the legacy
+// v2 JSON document.
 func decodeSnapshot(data []byte, label string) (*Snapshot, error) {
+	if bytes.HasPrefix(data, snapMagic) {
+		return decodeBinarySnapshot(data, label)
+	}
 	var snap Snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("campaignstore: corrupt snapshot for %s: %w", label, err)
@@ -245,7 +280,12 @@ func decodeSnapshot(data []byte, label string) (*Snapshot, error) {
 func (s *Store) Load(system string) (*Snapshot, error) {
 	data, err := os.ReadFile(s.Path(system))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w for %s", ErrNotExist, system)
+		// A store written by a pre-binary build keeps its snapshot at the
+		// legacy JSON path until the next save migrates it.
+		data, err = os.ReadFile(s.LegacyPath(system))
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w for %s", ErrNotExist, system)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("campaignstore: %w", err)
@@ -267,26 +307,24 @@ func (s *Store) Load(system string) (*Snapshot, error) {
 // misfiled snapshot fails the whole call, because a merge must never
 // silently skip a shard's data.
 func (s *Store) LoadAll() ([]*Snapshot, error) {
-	entries, err := os.ReadDir(s.dir)
+	names, err := s.snapshotFiles()
 	if err != nil {
-		return nil, fmt.Errorf("campaignstore: %w", err)
+		return nil, err
 	}
 	var snaps []*Snapshot
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".campaign.json") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("campaignstore: %w", err)
 		}
-		snap, err := decodeSnapshot(data, e.Name())
+		snap, err := decodeSnapshot(data, name)
 		if err != nil {
 			return nil, err
 		}
-		if want := filepath.Base(s.Path(snap.System)); want != e.Name() {
+		base := safeName(snap.System)
+		if name != base+snapSuffix && name != base+legacySuffix {
 			return nil, fmt.Errorf("campaignstore: %s names system %q, which belongs in %s",
-				e.Name(), snap.System, want)
+				name, snap.System, base+snapSuffix)
 		}
 		snaps = append(snaps, snap)
 	}
@@ -294,20 +332,89 @@ func (s *Store) LoadAll() ([]*Snapshot, error) {
 	return snaps, nil
 }
 
-// Save writes the snapshot atomically: the document lands in a
-// temporary file in the state directory, is fsynced, and is renamed
-// over the final path. The fsync before the rename matters as much as
-// the rename itself: without it a crash shortly after Save could leave
-// the rename durable but the data not, and Load would find a
-// zero-length snapshot at the final path on every subsequent run. With
-// it, the final path only ever holds a complete document (or the
-// previous one).
+// snapshotFiles lists the store's snapshot file names, one per system
+// base. When both a binary and a legacy JSON file exist for the same
+// base (only transiently possible — Save removes the legacy file after
+// a successful migration), the binary one wins.
+func (s *Store) snapshotFiles() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	binaries := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), snapSuffix) {
+			binaries[strings.TrimSuffix(e.Name(), snapSuffix)] = true
+		}
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(e.Name(), snapSuffix):
+			names = append(names, e.Name())
+		case strings.HasSuffix(e.Name(), legacySuffix):
+			if !binaries[strings.TrimSuffix(e.Name(), legacySuffix)] {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	return names, nil
+}
+
+// Save writes the snapshot atomically: the binary container streams
+// outcome-by-outcome into a temporary file in the state directory, is
+// fsynced, and is renamed over the final path. The fsync before the
+// rename matters as much as the rename itself: without it a crash
+// shortly after Save could leave the rename durable but the data not,
+// and Load would find a zero-length snapshot at the final path on every
+// subsequent run. With it, the final path only ever holds a complete
+// document (or the previous one).
+//
+// A successful save also migrates a JSON-era store (the legacy v2
+// document is removed once the binary file is in place) and rebuilds
+// the system's outcome-index sidecar, so the daemon's read path never
+// re-parses what was just written. Setting SPEX_SNAPSHOT_JSON=1 writes
+// the legacy JSON document instead (migration test coverage).
 func (s *Store) Save(snap *Snapshot) error {
+	if os.Getenv(legacyJSONEnv) != "" {
+		return s.saveLegacyJSON(snap)
+	}
+	w, err := s.NewStreamWriter(snap)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(snap.Outcomes))
+	for k := range snap.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		stamp := snap.Stamps[k]
+		if stamp.IsZero() {
+			stamp = snap.SavedAt
+		}
+		if err := w.Add(k, stamp, snap.Outcomes[k]); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	_, err = w.Close()
+	return err
+}
+
+// saveLegacyJSON is the pre-binary Save: the whole snapshot as one
+// indented JSON document at the legacy path. Kept (behind
+// SPEX_SNAPSHOT_JSON) so migration tests can manufacture JSON-era
+// stores with exactly the old writer.
+func (s *Store) saveLegacyJSON(snap *Snapshot) error {
 	data, err := json.MarshalIndent(snap, "", " ")
 	if err != nil {
 		return fmt.Errorf("campaignstore: %w", err)
 	}
-	final := s.Path(snap.System)
+	final := s.LegacyPath(snap.System)
 	tmp, err := os.CreateTemp(s.dir, filepath.Base(final)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("campaignstore: %w", err)
@@ -334,6 +441,10 @@ func (s *Store) Save(snap *Snapshot) error {
 		_ = d.Sync()
 		d.Close()
 	}
+	// A JSON-era writer supersedes any binary file and index sidecar
+	// for the system — leaving them would shadow this save.
+	_ = os.Remove(s.Path(snap.System))
+	_ = os.Remove(s.IndexPath(snap.System))
 	return nil
 }
 
@@ -374,29 +485,62 @@ func WriteJSON(path string, v any) error {
 // each snapshot document; files that do not minimally parse are
 // skipped — Load will report them properly when asked.
 func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	names, err := s.snapshotFiles()
 	if err != nil {
-		return nil, fmt.Errorf("campaignstore: %w", err)
+		return nil, err
 	}
 	var systems []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".campaign.json") {
+	for _, name := range names {
+		system, err := readSystemName(filepath.Join(s.dir, name))
+		if err != nil || system == "" {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
-		if err != nil {
-			continue
-		}
-		var head struct {
-			System string `json:"system"`
-		}
-		if json.Unmarshal(data, &head) != nil || head.System == "" {
-			continue
-		}
-		systems = append(systems, head.System)
+		systems = append(systems, system)
 	}
 	sort.Strings(systems)
 	return systems, nil
+}
+
+// readSystemName extracts the system name from a snapshot file as
+// cheaply as the format allows: a binary container yields it from the
+// header frame without touching the outcome records; a legacy JSON
+// document must be read whole.
+func readSystemName(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	magic := make([]byte, len(snapMagic))
+	if n, _ := io.ReadFull(f, magic); n == len(snapMagic) && bytes.Equal(magic, snapMagic) {
+		br := bufio.NewReader(f)
+		blobLen, err := binary.ReadUvarint(br)
+		if err != nil || blobLen > maxFrameLen {
+			return "", fmt.Errorf("campaignstore: corrupt header in %s", path)
+		}
+		head := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, head); err != nil {
+			return "", fmt.Errorf("campaignstore: corrupt header in %s", path)
+		}
+		var hdr struct {
+			System string `json:"system"`
+		}
+		if err := json.Unmarshal(head, &hdr); err != nil {
+			return "", err
+		}
+		return hdr.System, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var head struct {
+		System string `json:"system"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", err
+	}
+	return head.System, nil
 }
 
 // lockName is the store's exclusive-writer mark. It does not end in

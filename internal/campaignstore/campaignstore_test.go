@@ -169,28 +169,35 @@ func TestLoadRejectsStaleSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := mkSet(basicC("p"))
-	if err := store.Save(New("storefake", set, inject.DefaultOptions(), nil)); err != nil {
-		t.Fatal(err)
-	}
-	// Rewrite the file as an older build would have written it.
-	data, err := os.ReadFile(store.Path("storefake"))
+	// Write the snapshot as an older (pre-binary) build would have: a
+	// legacy JSON document carrying a foreign schema fingerprint.
+	snap := New("storefake", set, inject.DefaultOptions(), nil)
+	snap.Schema = "v0-deadbeefdeadbeef"
+	data, err := json.Marshal(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var raw map[string]json.RawMessage
-	if err := json.Unmarshal(data, &raw); err != nil {
-		t.Fatal(err)
-	}
-	raw["schema"] = json.RawMessage(`"v0-deadbeefdeadbeef"`)
-	data, err = json.Marshal(raw)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(store.Path("storefake"), data, 0o644); err != nil {
+	if err := os.WriteFile(store.LegacyPath("storefake"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := store.Load("storefake"); !errors.Is(err, ErrStale) {
 		t.Fatalf("err = %v, want ErrStale", err)
+	}
+
+	// The same staleness check guards the binary container's header.
+	if err := store.Save(New("storefake2", set, inject.DefaultOptions(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	bin, err := os.ReadFile(store.Path("storefake2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = []byte(strings.Replace(string(bin), SchemaFingerprint(), "v0-0123456789abcdef", 1))
+	if err := os.WriteFile(store.Path("storefake2"), bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("storefake2"); !errors.Is(err, ErrStale) {
+		t.Fatalf("binary err = %v, want ErrStale", err)
 	}
 }
 

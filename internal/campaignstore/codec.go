@@ -1,0 +1,506 @@
+// Binary snapshot container: the storage format behind Save since the
+// read-path refactor. The JSON document format (now "legacy v2") held
+// every outcome in one json.MarshalIndent blob, so both ends of the
+// pipeline were O(whole snapshot in RAM) and the daemon re-parsed
+// megabytes per table request. The binary container is a stream of
+// length-prefixed records:
+//
+//	magic "SPEXSNP1"
+//	uvarint len | header JSON   (schema, system, saved_at, options,
+//	                             set_fingerprint, constraints)
+//	repeated records, in ascending key order:
+//	  uvarint len(key) | key    (len > 0; inject.CacheKey)
+//	  varint  stamp             (UnixNano of the outcome's freshness stamp)
+//	  uvarint len | outcome JSON (compact json.Marshal of inject.Outcome)
+//	uvarint 0                   (terminator)
+//	uvarint record count
+//	uint32  CRC-32 (IEEE, little-endian) of every preceding byte
+//
+// Records carry the outcome as compact JSON behind a binary frame: the
+// frame is what buys streaming (read or write one outcome at a time,
+// skip without parsing), and the payload bytes are exactly what
+// Snapshot.Fingerprint hashes, so a streaming writer folds the
+// fingerprint for free as records pass through. The ascending key order
+// is load-bearing twice: it makes the fingerprint computable in one
+// pass, and it lets shard.Merge fold k shard files with a k-way merge
+// that holds one record per shard in memory.
+//
+// The logical schema (SchemaVersion, SchemaFingerprint) is unchanged by
+// the container: a binary snapshot and its legacy JSON form carry the
+// same schema fingerprint and the same Snapshot.Fingerprint, which is
+// what lets a v2 JSON store migrate to binary on its next save without
+// perturbing replay equivalence checks.
+package campaignstore
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"spex/internal/inject"
+)
+
+// snapMagic opens every binary snapshot file.
+var snapMagic = []byte("SPEXSNP1")
+
+// maxFrameLen bounds any single length prefix — a corrupt prefix must
+// not turn into a multi-gigabyte allocation.
+const maxFrameLen = 1 << 30
+
+// Fingerprinter folds Snapshot.Fingerprint incrementally: the same hash
+// as the in-memory method, computed record by record in ascending key
+// order, so streaming writers (Save, shard.Merge) get the fingerprint
+// as a byproduct of encoding instead of a second pass over the store.
+type Fingerprinter struct {
+	h       hash.Hash
+	last    string
+	started bool
+}
+
+// NewFingerprinter starts the hash with the snapshot's header lines.
+func NewFingerprinter(schema, system, options, setFingerprint string) *Fingerprinter {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema %s\nsystem %s\noptions %s\nset %s\n",
+		schema, system, options, setFingerprint)
+	return &Fingerprinter{h: h}
+}
+
+// Add folds one outcome record. outJSON must be the outcome's compact
+// json.Marshal bytes; keys must arrive in strictly ascending order.
+func (f *Fingerprinter) Add(key string, outJSON []byte) error {
+	if f.started && key <= f.last {
+		return fmt.Errorf("campaignstore: fingerprint keys out of order (%q after %q)", key, f.last)
+	}
+	f.started, f.last = true, key
+	fmt.Fprintf(f.h, "outcome %d:%s %d:%s\n", len(key), key, len(outJSON), outJSON)
+	return nil
+}
+
+// Sum returns the fingerprint accumulated so far.
+func (f *Fingerprinter) Sum() string {
+	return hex.EncodeToString(f.h.Sum(nil))[:32]
+}
+
+// snapshotHeader is the container's header blob — Snapshot minus the
+// outcome records.
+type snapshotHeader struct {
+	Schema         string          `json:"schema"`
+	System         string          `json:"system"`
+	SavedAt        time.Time       `json:"saved_at"`
+	Options        string          `json:"options"`
+	SetFingerprint string          `json:"set_fingerprint"`
+	Constraints    json.RawMessage `json:"constraints"`
+}
+
+// crcWriter folds everything written into a running CRC.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// SnapshotEncoder streams one snapshot into a writer: header first,
+// then Add per outcome in ascending key order, then Finish. The encoder
+// folds the container CRC and the snapshot fingerprint as records pass
+// through, so the caller never holds more than one outcome in memory.
+type SnapshotEncoder struct {
+	bw      *bufio.Writer
+	cw      *crcWriter
+	fp      *Fingerprinter
+	count   int
+	last    string
+	started bool
+	scratch []byte
+}
+
+// NewSnapshotEncoder writes the magic and header. hdr carries the
+// snapshot's metadata; its Outcomes/Stamps are ignored.
+func NewSnapshotEncoder(w io.Writer, hdr *Snapshot) (*SnapshotEncoder, error) {
+	rawSet, err := json.Marshal(hdr.Constraints)
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	head, err := json.Marshal(snapshotHeader{
+		Schema:         hdr.Schema,
+		System:         hdr.System,
+		SavedAt:        hdr.SavedAt,
+		Options:        hdr.Options,
+		SetFingerprint: hdr.SetFingerprint,
+		Constraints:    rawSet,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	cw := &crcWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	// The CRC must cover the buffered bytes in write order, so the CRC
+	// sits *under* the bufio layer.
+	e := &SnapshotEncoder{
+		bw: bw,
+		cw: cw,
+		fp: NewFingerprinter(hdr.Schema, hdr.System, hdr.Options, hdr.SetFingerprint),
+	}
+	if _, err := bw.Write(snapMagic); err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := e.writeBlob(head); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *SnapshotEncoder) writeUvarint(v uint64) error {
+	e.scratch = binary.AppendUvarint(e.scratch[:0], v)
+	_, err := e.bw.Write(e.scratch)
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	return nil
+}
+
+func (e *SnapshotEncoder) writeBlob(b []byte) error {
+	if err := e.writeUvarint(uint64(len(b))); err != nil {
+		return err
+	}
+	if _, err := e.bw.Write(b); err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	return nil
+}
+
+// Add appends one outcome record. Keys must be non-empty and strictly
+// ascending — the order the fingerprint and the k-way merge depend on.
+func (e *SnapshotEncoder) Add(key string, stamp time.Time, out inject.Outcome) error {
+	if key == "" {
+		return errors.New("campaignstore: empty outcome key")
+	}
+	if e.started && key <= e.last {
+		return fmt.Errorf("campaignstore: outcome keys out of order (%q after %q)", key, e.last)
+	}
+	e.started, e.last = true, key
+	data, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := e.fp.Add(key, data); err != nil {
+		return err
+	}
+	if err := e.writeBlob([]byte(key)); err != nil {
+		return err
+	}
+	e.scratch = binary.AppendVarint(e.scratch[:0], stamp.UnixNano())
+	if _, err := e.bw.Write(e.scratch); err != nil {
+		return fmt.Errorf("campaignstore: %w", err)
+	}
+	if err := e.writeBlob(data); err != nil {
+		return err
+	}
+	e.count++
+	return nil
+}
+
+// Finish writes the terminator, record count, and CRC trailer, flushes,
+// and returns the snapshot fingerprint.
+func (e *SnapshotEncoder) Finish() (string, error) {
+	if err := e.writeUvarint(0); err != nil {
+		return "", err
+	}
+	if err := e.writeUvarint(uint64(e.count)); err != nil {
+		return "", err
+	}
+	if err := e.bw.Flush(); err != nil {
+		return "", fmt.Errorf("campaignstore: %w", err)
+	}
+	// The trailer CRC covers everything up to itself; write it past the
+	// CRC fold (directly, the buffer is flushed).
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], e.cw.crc)
+	if _, err := e.cw.w.Write(tail[:]); err != nil {
+		return "", fmt.Errorf("campaignstore: %w", err)
+	}
+	return e.fp.Sum(), nil
+}
+
+// crcStream folds the bytes the decoder *consumes* into a running CRC.
+// The fold must sit above the bufio layer, not below it: bufio prefetches
+// past the decoder's logical position, and a fold on the raw reader
+// would swallow the trailer (and anything after it) ahead of time.
+type crcStream struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+func (c *crcStream) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+func (c *crcStream) Read(p []byte) (int, error) {
+	n, err := c.br.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// SnapshotDecoder streams a binary snapshot: NewSnapshotDecoder
+// validates the header (magic, schema staleness, constraint
+// fingerprint — the same fail-safe checks as the JSON path), then Next
+// yields one record at a time in ascending key order; after the last
+// record the trailer's count and CRC are verified, so a truncated or
+// bit-flipped file surfaces as an error before the caller trusts the
+// stream was complete.
+type SnapshotDecoder struct {
+	s     *crcStream
+	hdr   *Snapshot
+	label string
+	count int
+	done  bool
+	last  string
+}
+
+// corruptf builds the decoder's uniform corruption error.
+func (d *SnapshotDecoder) corruptf(format string, args ...any) error {
+	return fmt.Errorf("campaignstore: corrupt snapshot for %s: %s", d.label, fmt.Sprintf(format, args...))
+}
+
+// NewSnapshotDecoder reads and validates the container header. label
+// names the source in errors. The reader must be positioned at the
+// magic (callers sniff the first 8 bytes to pick binary vs JSON).
+func NewSnapshotDecoder(r io.Reader, label string) (*SnapshotDecoder, error) {
+	d := &SnapshotDecoder{s: &crcStream{br: bufio.NewReaderSize(r, 1<<16)}, label: label}
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(d.s, magic); err != nil || !bytes.Equal(magic, snapMagic) {
+		return nil, d.corruptf("bad magic")
+	}
+	head, err := d.readBlob()
+	if err != nil {
+		return nil, err
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(head, &hdr); err != nil {
+		return nil, d.corruptf("header: %v", err)
+	}
+	snap := &Snapshot{
+		Schema:         hdr.Schema,
+		System:         hdr.System,
+		SavedAt:        hdr.SavedAt,
+		Options:        hdr.Options,
+		SetFingerprint: hdr.SetFingerprint,
+	}
+	if len(hdr.Constraints) > 0 && !bytes.Equal(hdr.Constraints, []byte("null")) {
+		if err := json.Unmarshal(hdr.Constraints, &snap.Constraints); err != nil {
+			return nil, d.corruptf("constraint set: %v", err)
+		}
+	}
+	if snap.Schema != SchemaFingerprint() {
+		return nil, fmt.Errorf("%w: snapshot %q, this build %q", ErrStale, snap.Schema, SchemaFingerprint())
+	}
+	if snap.Constraints == nil {
+		return nil, fmt.Errorf("campaignstore: snapshot for %s has no constraint set", label)
+	}
+	if fp := snap.Constraints.Fingerprint(); fp != snap.SetFingerprint {
+		return nil, fmt.Errorf("campaignstore: snapshot for %s fails its constraint fingerprint (%s != %s)",
+			label, fp, snap.SetFingerprint)
+	}
+	d.hdr = snap
+	return d, nil
+}
+
+// Header returns the decoded snapshot metadata (Outcomes/Stamps nil).
+func (d *SnapshotDecoder) Header() *Snapshot { return d.hdr }
+
+func (d *SnapshotDecoder) readBlob() ([]byte, error) {
+	n, err := binary.ReadUvarint(d.s)
+	if err != nil {
+		return nil, d.corruptf("truncated length prefix")
+	}
+	if n > maxFrameLen {
+		return nil, d.corruptf("frame length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.s, b); err != nil {
+		return nil, d.corruptf("truncated frame")
+	}
+	return b, nil
+}
+
+// Next returns the next outcome record. After the final record it
+// verifies the trailer and returns io.EOF. The returned outJSON is the
+// record's compact outcome encoding (what the fingerprint hashes); out
+// is its decoded form.
+func (d *SnapshotDecoder) Next() (key string, stamp time.Time, outJSON []byte, out inject.Outcome, err error) {
+	if d.done {
+		return "", time.Time{}, nil, inject.Outcome{}, io.EOF
+	}
+	n, rerr := binary.ReadUvarint(d.s)
+	if rerr != nil {
+		return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("truncated record")
+	}
+	if n == 0 {
+		// Terminator: verify count, then CRC.
+		want, rerr := binary.ReadUvarint(d.s)
+		if rerr != nil {
+			return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("truncated trailer")
+		}
+		if int(want) != d.count {
+			return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("record count %d, trailer says %d", d.count, want)
+		}
+		sum := d.s.crc // CRC of everything consumed before the trailer CRC
+		var tail [4]byte
+		if _, rerr := io.ReadFull(d.s.br, tail[:]); rerr != nil {
+			return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("truncated CRC trailer")
+		}
+		if got := binary.LittleEndian.Uint32(tail[:]); got != sum {
+			return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("CRC mismatch")
+		}
+		d.done = true
+		return "", time.Time{}, nil, inject.Outcome{}, io.EOF
+	}
+	if n > maxFrameLen {
+		return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("key length %d exceeds limit", n)
+	}
+	kb := make([]byte, n)
+	if _, rerr := io.ReadFull(d.s, kb); rerr != nil {
+		return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("truncated key")
+	}
+	key = string(kb)
+	if d.last != "" && key <= d.last {
+		return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("keys out of order (%q after %q)", key, d.last)
+	}
+	d.last = key
+	nano, rerr := binary.ReadVarint(d.s)
+	if rerr != nil {
+		return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("truncated stamp")
+	}
+	stamp = time.Unix(0, nano).UTC()
+	outJSON, err = d.readBlob()
+	if err != nil {
+		return "", time.Time{}, nil, inject.Outcome{}, err
+	}
+	if rerr := json.Unmarshal(outJSON, &out); rerr != nil {
+		return "", time.Time{}, nil, inject.Outcome{}, d.corruptf("outcome %q: %v", key, rerr)
+	}
+	d.count++
+	return key, stamp, outJSON, out, nil
+}
+
+// decodeBinarySnapshot materializes a whole binary snapshot — the Load
+// path. Every record is decoded and the trailer verified before the
+// snapshot is returned, so a truncated or corrupt file yields an error
+// and a nil snapshot, never a partial replay.
+func decodeBinarySnapshot(data []byte, label string) (*Snapshot, error) {
+	d, err := NewSnapshotDecoder(bytes.NewReader(data), label)
+	if err != nil {
+		return nil, err
+	}
+	snap := d.Header()
+	snap.Outcomes = make(map[string]inject.Outcome)
+	snap.Stamps = make(map[string]time.Time)
+	for {
+		key, stamp, _, out, err := d.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		snap.Outcomes[key] = out
+		snap.Stamps[key] = stamp
+	}
+	return snap, nil
+}
+
+// SnapshotIter streams one snapshot file's records in ascending key
+// order — the shard merge's per-source cursor. A binary container is
+// truly streamed (one record in memory at a time); a legacy v2 JSON
+// document has no record framing, so it is materialized once and
+// replayed in key order — memory is bounded by that single legacy file,
+// never by the whole shard set.
+type SnapshotIter struct {
+	hdr  *Snapshot
+	next func() (string, time.Time, inject.Outcome, error)
+	f    *os.File
+}
+
+// OpenSnapshotIter opens the snapshot file at path for streaming reads.
+// Header validation (magic, schema staleness, constraint fingerprint)
+// happens here, before any record is consumed; label names the source
+// in errors.
+func OpenSnapshotIter(path, label string) (*SnapshotIter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	peek, _ := br.Peek(len(snapMagic))
+	if bytes.Equal(peek, snapMagic) {
+		d, err := NewSnapshotDecoder(br, label)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &SnapshotIter{hdr: d.Header(), f: f, next: func() (string, time.Time, inject.Outcome, error) {
+			k, stamp, _, out, err := d.Next()
+			return k, stamp, out, err
+		}}, nil
+	}
+	data, err := io.ReadAll(br)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("campaignstore: %w", err)
+	}
+	snap, err := decodeSnapshot(data, label)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(snap.Outcomes))
+	for k := range snap.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	return &SnapshotIter{hdr: snap, next: func() (string, time.Time, inject.Outcome, error) {
+		if i >= len(keys) {
+			return "", time.Time{}, inject.Outcome{}, io.EOF
+		}
+		k := keys[i]
+		i++
+		return k, snap.Stamps[k], snap.Outcomes[k], nil
+	}}, nil
+}
+
+// Header returns the source snapshot's metadata (for a binary source,
+// Outcomes/Stamps are nil — the records only exist in the stream).
+func (it *SnapshotIter) Header() *Snapshot { return it.hdr }
+
+// Next returns the next record, or io.EOF after the last one (for a
+// binary source, only once the trailer verified the stream complete).
+func (it *SnapshotIter) Next() (key string, stamp time.Time, out inject.Outcome, err error) {
+	return it.next()
+}
+
+// Close releases the underlying file.
+func (it *SnapshotIter) Close() error {
+	if it.f != nil {
+		return it.f.Close()
+	}
+	return nil
+}

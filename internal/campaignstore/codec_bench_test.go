@@ -1,0 +1,113 @@
+package campaignstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"spex/internal/confgen"
+	"spex/internal/inject"
+)
+
+// benchSnapshot builds an n-outcome snapshot shaped like a real
+// campaign's (misconf payloads, log dumps on failures, source locs).
+func benchSnapshot(n int) *Snapshot {
+	c := basicC("p")
+	outcomes := make(map[string]inject.Outcome, n)
+	for i := 0; i < n; i++ {
+		m := confgen.Misconf{
+			ID: fmt.Sprintf("m%06d", i), Param: fmt.Sprintf("param%d", i%40),
+			Rule:        "null",
+			Values:      map[string]string{fmt.Sprintf("param%d", i%40): "bad-value"},
+			Violates:    c,
+			Description: "injected out-of-range value",
+		}
+		o := inject.Outcome{Misconf: m, Reaction: inject.Reaction(i % 4), SimCost: i % 17, Pinpointed: i%2 == 0}
+		if i%3 == 0 {
+			o.FailedTest = "ping"
+			o.LogDump = "ERR request failed: connection reset by peer\nWARN retrying\n"
+		}
+		outcomes[inject.CacheKey(m)] = o
+	}
+	snap := New("benchsys", mkSet(c), inject.DefaultOptions(), outcomes)
+	snap.SavedAt = time.Unix(1700000000, 0).UTC()
+	return snap
+}
+
+// encodeBinary streams the snapshot through the container codec.
+func encodeBinary(snap *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	enc, err := NewSnapshotEncoder(&buf, snap)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(snap.Outcomes))
+	for k := range snap.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := enc.Add(k, snap.SavedAt, snap.Outcomes[k]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := enc.Finish(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// BenchmarkSnapshotCodec compares the binary container against the
+// legacy JSON document on the same 5000-outcome snapshot. SetBytes
+// reports MB/s over each format's own encoded size.
+func BenchmarkSnapshotCodec(b *testing.B) {
+	snap := benchSnapshot(5000)
+
+	bin, err := encodeBinary(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The legacy writer used MarshalIndent; plain Marshal is the
+	// conservative (faster) baseline.
+	jsonData, err := json.Marshal(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("encoded size: binary %d bytes, json %d bytes", len(bin), len(jsonData))
+
+	b.Run("encode/binary", func(b *testing.B) {
+		b.SetBytes(int64(len(bin)))
+		for i := 0; i < b.N; i++ {
+			if _, err := encodeBinary(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode/json", func(b *testing.B) {
+		b.SetBytes(int64(len(jsonData)))
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/binary", func(b *testing.B) {
+		b.SetBytes(int64(len(bin)))
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeBinarySnapshot(bin, "benchsys"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode/json", func(b *testing.B) {
+		b.SetBytes(int64(len(jsonData)))
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeSnapshot(jsonData, "benchsys"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+package campaignstore
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spex/internal/inject"
+)
+
+// fixtureOutcomes builds a deterministic outcome map large enough to
+// exercise multi-record streaming.
+func fixtureOutcomes(t *testing.T, n int) map[string]inject.Outcome {
+	t.Helper()
+	c := basicC("p")
+	out := make(map[string]inject.Outcome, n)
+	for i, m := range misconfs(c, n) {
+		o := inject.Outcome{Misconf: m, Reaction: inject.Reaction(i % 4), SimCost: i, Pinpointed: i%2 == 0}
+		if i%3 == 1 {
+			o.FailedTest = "ping"
+			o.LogDump = "ERR request failed\n"
+		}
+		out[inject.CacheKey(m)] = o
+	}
+	return out
+}
+
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := mkSet(basicC("p"), rangeC("q", 1))
+	outcomes := fixtureOutcomes(t, 24)
+	snap := New("storefake", set, inject.DefaultOptions(), outcomes)
+	wantFP, err := snap.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(store.Path("storefake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, snapMagic) {
+		t.Fatalf("saved snapshot does not start with the binary magic: % x", data[:8])
+	}
+	if _, err := os.Stat(store.LegacyPath("storefake")); !os.IsNotExist(err) {
+		t.Fatalf("binary save left a legacy JSON file: %v", err)
+	}
+
+	got, err := store.Load("storefake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Outcomes, outcomes) {
+		t.Fatal("binary round trip changed the outcome map")
+	}
+	if got.Schema != SchemaFingerprint() || got.Options != snap.Options ||
+		got.SetFingerprint != set.Fingerprint() ||
+		got.Constraints == nil || got.Constraints.Fingerprint() != set.Fingerprint() {
+		t.Fatalf("header fields lost in round trip: %+v", got)
+	}
+	gotFP, err := got.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFP != wantFP {
+		t.Fatalf("fingerprint changed across the binary round trip: %s != %s", gotFP, wantFP)
+	}
+	// Stamps survive (Save stamps unstamped keys with SavedAt).
+	for k := range outcomes {
+		if got.Stamps[k].IsZero() {
+			t.Fatalf("key %s lost its freshness stamp", k)
+		}
+	}
+}
+
+// TestLegacyJSONMigratesOnSave is the format-compat contract: a v2 JSON
+// store (produced by the previous format via the SPEX_SNAPSHOT_JSON
+// hatch) loads transparently, and the next save migrates it to the
+// binary container with an identical snapshot fingerprint — migration
+// never perturbs replay equivalence.
+func TestLegacyJSONMigratesOnSave(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := mkSet(basicC("p"))
+	outcomes := fixtureOutcomes(t, 12)
+
+	t.Setenv(legacyJSONEnv, "1")
+	if err := store.Save(New("storefake", set, inject.DefaultOptions(), outcomes)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store.LegacyPath("storefake")); err != nil {
+		t.Fatalf("legacy hatch did not write the JSON file: %v", err)
+	}
+	if _, err := os.Stat(store.Path("storefake")); !os.IsNotExist(err) {
+		t.Fatalf("legacy hatch wrote a binary file too: %v", err)
+	}
+	t.Setenv(legacyJSONEnv, "")
+
+	// The JSON-era store loads transparently through the same API.
+	snap, err := store.Load("storefake")
+	if err != nil {
+		t.Fatalf("legacy JSON store did not load: %v", err)
+	}
+	legacyFP, err := snap.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names, err := store.List(); err != nil || len(names) != 1 || names[0] != "storefake" {
+		t.Fatalf("List over a legacy store = %v, %v", names, err)
+	}
+
+	// Saving migrates: binary appears, the JSON file is removed, and
+	// the fingerprint is bit-identical.
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store.Path("storefake")); err != nil {
+		t.Fatalf("migration did not write the binary file: %v", err)
+	}
+	if _, err := os.Stat(store.LegacyPath("storefake")); !os.IsNotExist(err) {
+		t.Fatalf("migration left the legacy JSON file behind: %v", err)
+	}
+	migrated, err := store.Load("storefake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	migratedFP, err := migrated.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migratedFP != legacyFP {
+		t.Fatalf("migration changed the snapshot fingerprint: %s != %s", migratedFP, legacyFP)
+	}
+	if !reflect.DeepEqual(migrated.Outcomes, snap.Outcomes) {
+		t.Fatal("migration changed the outcome map")
+	}
+}
+
+func TestCorruptBinarySnapshotRejected(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := mkSet(basicC("p"))
+	if err := store.Save(New("storefake", set, inject.DefaultOptions(), fixtureOutcomes(t, 12))); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(store.Path("storefake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation at any depth must be loud, never a partial load.
+	for _, cut := range []int{len(data) - 3, len(data) / 2, len(snapMagic) + 2} {
+		if err := os.WriteFile(store.Path("storefake"), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Load("storefake"); err == nil || !strings.Contains(err.Error(), "corrupt") {
+			t.Fatalf("truncation at %d loaded anyway: %v", cut, err)
+		}
+	}
+
+	// A flipped bit in the record region fails the CRC (or an inner
+	// frame check) — either way the load reports corruption.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-10] ^= 0xff
+	if err := os.WriteFile(store.Path("storefake"), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load("storefake"); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("bit flip loaded anyway: %v", err)
+	}
+}
+
+// TestCampaignFallsBackOnCorruptBinary: the fail-safe semantics carry
+// over from the JSON era — a truncated binary snapshot triggers a full
+// campaign that rebuilds it, never a partial replay.
+func TestCampaignFallsBackOnCorruptBinary(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := &storeSystem{}
+	c := basicC("p")
+	set := mkSet(c)
+	ms := misconfs(c, 6)
+	if _, _, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(store.Path(sys.Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(sys.Name()), data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boots := sys.boots.Load()
+	rep, st, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed || !strings.Contains(st.Fallback, "corrupt") {
+		t.Fatalf("status = %+v, want corrupt-snapshot fallback", st)
+	}
+	if rep.Replayed != 0 {
+		t.Fatalf("corrupt snapshot replayed %d outcomes", rep.Replayed)
+	}
+	if got := sys.boots.Load() - boots; got != 6 {
+		t.Fatalf("fallback booted %d times, want the full 6", got)
+	}
+	if _, err := store.Load(sys.Name()); err != nil {
+		t.Fatalf("snapshot not rebuilt after fallback: %v", err)
+	}
+}
+
+// TestLoadIndexSidecar: a save writes the index sidecar; LoadIndex
+// serves it while fresh and rebuilds (and rewrites it) when it is
+// missing or stale.
+func TestLoadIndexSidecar(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := mkSet(basicC("p"))
+	outcomes := fixtureOutcomes(t, 18)
+	snap := New("storefake", set, inject.DefaultOptions(), outcomes)
+	if err := store.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := snap.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(store.IndexPath("storefake")); err != nil {
+		t.Fatalf("save did not write the index sidecar: %v", err)
+	}
+
+	idx, err := store.LoadIndex("storefake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.System != "storefake" || idx.Fingerprint != fp || len(idx.Docs) != len(outcomes) {
+		t.Fatalf("sidecar index wrong: system=%q fp=%s docs=%d", idx.System, idx.Fingerprint, len(idx.Docs))
+	}
+
+	// Deleting the sidecar forces a rebuild from the snapshot with the
+	// same content, and the rebuild rewrites the sidecar.
+	if err := os.Remove(store.IndexPath("storefake")); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := store.LoadIndex("storefake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Fingerprint != fp || len(rebuilt.Docs) != len(idx.Docs) ||
+		!reflect.DeepEqual(rebuilt.Agg, idx.Agg) {
+		t.Fatal("rebuilt index differs from the sidecar index")
+	}
+	if _, err := os.Stat(store.IndexPath("storefake")); err != nil {
+		t.Fatalf("rebuild did not rewrite the sidecar: %v", err)
+	}
+
+	// A sidecar whose recorded snapshot identity no longer matches is
+	// stale: garbage in the file must never be served.
+	if err := os.WriteFile(store.IndexPath("storefake"), []byte(`{"version":1,"snap":"other","sys":{"system":"storefake"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again, err := store.LoadIndex("storefake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Docs) != len(outcomes) {
+		t.Fatalf("stale sidecar served: %d docs, want %d", len(again.Docs), len(outcomes))
+	}
+}

@@ -127,3 +127,55 @@ func TestReplayFromStoreRejectsIncompleteState(t *testing.T) {
 		t.Fatalf("err = %v, want ErrStateIncomplete", err)
 	}
 }
+
+// TestReplayFromIndexMatchesStoreReplay: the index-backed read path
+// must render every table byte-identically to both the snapshot replay
+// and the live run — the daemon serves tables from indexes alone.
+func TestReplayFromIndexMatchesStoreReplay(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	live, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, Global: true, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := ReplayFromIndex(ctx, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= MaxTable; n++ {
+		if n == 10 {
+			continue // rendered together with table 9
+		}
+		a, err := RenderTableText(n, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RenderTableText(n, indexed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("table %d: index-backed rendering differs from the live run's", n)
+		}
+	}
+	// The campaign-consuming figures too.
+	if a, b := Figure3(live), Figure3(indexed); a != b {
+		t.Error("figure 3: index-backed rendering differs")
+	}
+	if a, b := Figure6(live), Figure6(indexed); a != b {
+		t.Error("figure 6: index-backed rendering differs")
+	}
+
+	// An empty store still refuses partial service.
+	empty, err := campaignstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayFromIndex(ctx, empty); !errors.Is(err, ErrStateIncomplete) {
+		t.Fatalf("err = %v, want ErrStateIncomplete", err)
+	}
+}

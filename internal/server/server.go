@@ -14,8 +14,13 @@
 //	GET    /v1/jobs/{id}/events      live progress (Server-Sent Events)
 //	GET    /v1/systems               systems with snapshots in the store
 //	GET    /v1/systems/{name}/outcomes   one system's recorded outcomes
+//	                                 (?limit/?offset paging, 1000 per
+//	                                 page by default, 10000 max)
 //	GET    /v1/tables/{n}            evaluation table n (json or text —
 //	                                 text is byte-identical to spexeval)
+//	GET    /v1/query                 cross-system misconfiguration query
+//	                                 (?param=, ?kind=, ?reaction=,
+//	                                 ?min-systems=N, ?all=1)
 //	GET    /v1/status                daemon status
 //
 // Jobs run strictly serially behind an in-memory queue: the store lock
@@ -24,25 +29,38 @@
 // flows through the shared pipeline (shard.Hub) onto the SSE stream,
 // the same events a CLI -progress renderer consumes. Every job is
 // journaled durably under <state>/jobs/, so a restarted daemon still
-// lists finished jobs; table and outcome reads are served read-only
-// from the store's atomic snapshots and need no lock at all, even
-// while a job is writing.
+// lists finished jobs.
+//
+// The read path never touches snapshot records: every read endpoint is
+// served from the store's outcome indexes (internal/outcomeindex),
+// cached in memory per system and revalidated with one stat call per
+// request against the snapshot file's (path, size, mtime) — a job's
+// atomic snapshot rename is exactly what changes that identity, so
+// cache invalidation needs no coupling to the job lifecycle. Reads
+// need no lock at all, even while a job is writing. Every read
+// endpoint carries an ETag derived from the snapshot fingerprint(s) it
+// serves (the replay-equivalence hash, not the bytes) and honors
+// If-None-Match with 304 Not Modified.
 package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"spex/internal/campaignstore"
 	"spex/internal/coord"
 	"spex/internal/inject"
+	"spex/internal/outcomeindex"
 	"spex/internal/report"
 	"spex/internal/shard"
 	"spex/internal/sim"
@@ -98,13 +116,31 @@ type Server struct {
 	closeOnce  sync.Once
 	closeErr   error
 
+	// idxMu guards idxCache, the in-memory outcome indexes behind the
+	// read path. An entry is valid only while the snapshot file it was
+	// derived from keeps its (path, size, mtime) identity — one stat
+	// call per request, rechecked every time, so a foreign writer (or a
+	// job's save) invalidates it without any signalling.
+	idxMu    sync.Mutex
+	idxCache map[string]*cachedIndex
+
 	// tablesMu guards tablesCache, the memoized read-only analysis
-	// behind /v1/tables. Snapshots only change when a job completes
-	// (the daemon holds the store's only writer lock), so finishJob is
-	// the one invalidation point; holding the mutex across the compute
-	// also single-flights concurrent table requests.
+	// behind /v1/tables, keyed by the combined store fingerprint
+	// (tablesKey) so it survives exactly as long as every underlying
+	// snapshot does. finishJob also drops it eagerly; holding the mutex
+	// across the compute single-flights concurrent table requests.
 	tablesMu    sync.Mutex
+	tablesKey   string
 	tablesCache []*report.SystemResult
+}
+
+// cachedIndex pins one system's in-memory index to the snapshot file
+// identity it was derived from.
+type cachedIndex struct {
+	path  string
+	size  int64
+	mtime int64
+	sys   *outcomeindex.System
 }
 
 // New opens the state directory, takes its exclusive writer lock, and
@@ -132,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		ctx:        ctx,
 		cancel:     cancel,
 		jobs:       make(map[string]*job),
+		idxCache:   make(map[string]*cachedIndex),
 		seq:        seq,
 		queue:      make(chan *job, 256),
 		runnerDone: make(chan struct{}),
@@ -431,10 +468,10 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSum
 			saveErr = fmt.Errorf("%s: snapshot not saved: %w", run.Sys.Name(), run.Err)
 		}
 		if run.Status.Saved {
-			if snap, err := s.store.Load(run.Sys.Name()); err == nil {
-				if fp, err := snap.Fingerprint(); err == nil {
-					sum.Fingerprint = fp
-				}
+			// The save just wrote the index sidecar, so this is a stat
+			// plus one small JSON read — not a snapshot re-parse.
+			if idx, err := s.index(run.Sys.Name()); err == nil {
+				sum.Fingerprint = idx.Fingerprint
 			}
 		}
 		summaries = append(summaries, sum)
@@ -485,12 +522,8 @@ func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, sy
 	var summaries []SystemSummary
 	for _, st := range res.Stats {
 		sum := SystemSummary{System: st.System, Outcomes: st.Outcomes, Fingerprint: st.Fingerprint}
-		if snap, err := s.store.Load(st.System); err == nil {
-			for _, o := range snap.Outcomes {
-				if o.Err == "" && o.Reaction.Vulnerability() {
-					sum.Vulnerabilities++
-				}
-			}
+		if idx, err := s.index(st.System); err == nil {
+			sum.Vulnerabilities = idx.Agg.Vulnerabilities
 		}
 		summaries = append(summaries, sum)
 	}
@@ -532,6 +565,91 @@ func describeSpec(spec JobSpec) string {
 	return target
 }
 
+// ---- index cache ----
+
+// index returns the system's outcome index, serving the in-memory copy
+// while the snapshot file on disk still matches the (path, size, mtime)
+// identity the copy was built from, and falling through to
+// store.LoadIndex (sidecar, or full rebuild) otherwise.
+func (s *Server) index(name string) (*outcomeindex.System, error) {
+	path, fi, err := s.store.SnapshotInfo(name)
+	if err != nil {
+		return nil, err
+	}
+	s.idxMu.Lock()
+	if c := s.idxCache[name]; c != nil &&
+		c.path == path && c.size == fi.Size() && c.mtime == fi.ModTime().UnixNano() {
+		sys := c.sys
+		s.idxMu.Unlock()
+		return sys, nil
+	}
+	s.idxMu.Unlock()
+	sys, err := s.store.LoadIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	s.idxMu.Lock()
+	s.idxCache[name] = &cachedIndex{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano(), sys: sys}
+	s.idxMu.Unlock()
+	return sys, nil
+}
+
+// indexAll returns every stored system's index, sorted by system name.
+func (s *Server) indexAll() ([]*outcomeindex.System, error) {
+	names, err := s.store.List()
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	out := make([]*outcomeindex.System, 0, len(names))
+	for _, name := range names {
+		sys, err := s.index(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sys)
+	}
+	return out, nil
+}
+
+// combinedEtag folds the per-system snapshot fingerprints into one
+// entity tag for endpoints whose response spans systems. Any change to
+// any snapshot changes its fingerprint, which changes the tag.
+func combinedEtag(systems []*outcomeindex.System) string {
+	h := sha256.New()
+	for _, sys := range systems {
+		fmt.Fprintf(h, "%s:%s\n", sys.System, sys.Fingerprint)
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil))[:32] + `"`
+}
+
+// etagMatch reports whether the request's If-None-Match covers etag.
+func etagMatch(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// serveCached sets the ETag and answers 304 when the client already
+// holds this version. Returns true when the request is done.
+func serveCached(w http.ResponseWriter, r *http.Request, etag string) bool {
+	w.Header().Set("ETag", etag)
+	if etagMatch(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
 // ---- HTTP ----
 
 // Handler returns the daemon's HTTP API.
@@ -546,6 +664,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	mux.HandleFunc("GET /v1/systems/{name}/outcomes", s.handleOutcomes)
 	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	return mux
 }
 
@@ -722,10 +841,17 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
-	systems, err := s.store.List()
+	idxs, err := s.indexAll()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if serveCached(w, r, combinedEtag(idxs)) {
+		return
+	}
+	systems := make([]string, len(idxs))
+	for i, idx := range idxs {
+		systems[i] = idx.System
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"systems": systems})
 }
@@ -744,78 +870,175 @@ type OutcomeView struct {
 	SimCost       int    `json:"sim_cost"`
 }
 
+// Paging bounds for the outcomes listing: without ?limit a page holds
+// defaultPageLimit outcomes, and no ?limit can raise it past
+// maxPageLimit — a million-outcome system must never be one response.
+const (
+	defaultPageLimit = 1000
+	maxPageLimit     = 10000
+)
+
+// pageParams parses ?limit/?offset. A limit above maxPageLimit clamps.
+func pageParams(r *http.Request) (limit, offset int, err error) {
+	limit = defaultPageLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 {
+			return 0, 0, fmt.Errorf("bad limit %q (want a positive integer)", v)
+		}
+		if limit > maxPageLimit {
+			limit = maxPageLimit
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q (want a non-negative integer)", v)
+		}
+	}
+	return limit, offset, nil
+}
+
+// storeErrCode maps a store read failure to its HTTP status: no
+// campaign yet is the client's to fix (submit a job), a schema-stale
+// snapshot converges by rerunning the campaign, anything else is a
+// server fault.
+func storeErrCode(err error) int {
+	switch {
+	case errors.Is(err, campaignstore.ErrNotExist):
+		return http.StatusNotFound
+	case errors.Is(err, campaignstore.ErrStale):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	snap, err := s.store.Load(name)
+	limit, offset, err := pageParams(r)
 	if err != nil {
-		switch {
-		case errors.Is(err, campaignstore.ErrNotExist):
-			// No campaign yet: submit a job first.
-			writeError(w, http.StatusNotFound, err)
-		case errors.Is(err, campaignstore.ErrStale):
-			// Schema-stale snapshot: rerunning the campaign converges.
-			writeError(w, http.StatusConflict, err)
-		default:
-			// Corrupt or unreadable snapshot: a server fault, not
-			// something a retry or resubmitted job fixes.
-			writeError(w, http.StatusInternalServerError, err)
-		}
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	keys := make([]string, 0, len(snap.Outcomes))
-	for k := range snap.Outcomes {
-		keys = append(keys, k)
+	idx, err := s.index(name)
+	if err != nil {
+		writeError(w, storeErrCode(err), err)
+		return
 	}
-	sort.Strings(keys)
-	views := make([]OutcomeView, 0, len(keys))
-	byReaction := map[string]int{}
-	vulns := 0
-	for _, k := range keys {
-		o := snap.Outcomes[k]
-		v := OutcomeView{
-			Key:           k,
-			ID:            o.Misconf.ID,
-			Param:         o.Misconf.Param,
-			Description:   o.Misconf.Description,
-			Reaction:      o.Reaction.String(),
-			Vulnerability: o.Reaction.Vulnerability(),
-			Pinpointed:    o.Pinpointed,
-			FailedTest:    o.FailedTest,
-			Loc:           o.Loc.String(),
-			SimCost:       o.SimCost,
+	if serveCached(w, r, `"`+idx.Fingerprint+`"`) {
+		return
+	}
+	// The page slices the doc list (already in ascending key order);
+	// the tallies always cover the whole system, not the page.
+	page := idx.Docs
+	if offset >= len(page) {
+		page = nil
+	} else {
+		page = page[offset:]
+		if len(page) > limit {
+			page = page[:limit]
 		}
-		byReaction[v.Reaction]++
-		if v.Vulnerability {
-			vulns++
+	}
+	views := make([]OutcomeView, len(page))
+	for i := range page {
+		d := &page[i]
+		views[i] = OutcomeView{
+			Key:           d.Key,
+			ID:            d.ID,
+			Param:         d.Param,
+			Description:   d.Description,
+			Reaction:      d.ReactionName(),
+			Vulnerability: d.Vulnerability(),
+			Pinpointed:    d.Pinpointed,
+			FailedTest:    d.FailedTest,
+			Loc:           d.LocString(),
+			SimCost:       d.SimCost,
 		}
-		views = append(views, v)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"system":          snap.System,
-		"saved_at":        snap.SavedAt,
+		"system":          idx.System,
+		"saved_at":        idx.SavedAt,
+		"total":           idx.Agg.Outcomes,
+		"offset":          offset,
+		"limit":           limit,
 		"outcomes":        views,
-		"by_reaction":     byReaction,
-		"vulnerabilities": vulns,
+		"by_reaction":     idx.Agg.ByReaction,
+		"vulnerabilities": idx.Agg.Vulnerabilities,
+	})
+}
+
+// handleQuery answers the cross-system misconfiguration query from the
+// outcome indexes alone: which (parameter, rule) families match the
+// filters, in how many systems, with what reactions. No snapshot is
+// parsed — the posting lists narrow the scan per system.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := outcomeindex.Query{
+		Param:    r.URL.Query().Get("param"),
+		Kind:     r.URL.Query().Get("kind"),
+		Reaction: r.URL.Query().Get("reaction"),
+	}
+	if v := r.URL.Query().Get("min-systems"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min-systems %q (want a non-negative integer)", v))
+			return
+		}
+		q.MinSystems = n
+	}
+	switch v := r.URL.Query().Get("all"); v {
+	case "", "0", "false":
+	case "1", "true":
+		q.All = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad all %q (want 1 or 0)", v))
+		return
+	}
+	idxs, err := s.indexAll()
+	if err != nil {
+		writeError(w, storeErrCode(err), err)
+		return
+	}
+	if serveCached(w, r, combinedEtag(idxs)) {
+		return
+	}
+	groups := outcomeindex.Run(idxs, q)
+	systems := make([]string, len(idxs))
+	for i, idx := range idxs {
+		systems[i] = idx.System
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"systems": systems,
+		"total":   len(groups),
+		"groups":  groups,
 	})
 }
 
 // replayResults serves the memoized read-only analysis, recomputing it
-// (report.ReplayFromStore) only after a job completion invalidated the
-// cache — a client fetching all twelve tables pays for one replay, not
-// twelve. Failed replays (incomplete state) are never cached; the next
-// request retries.
-func (s *Server) replayResults(ctx context.Context) ([]*report.SystemResult, error) {
+// (report.ReplayFromIndex — the tables never parse a snapshot record)
+// only when the combined store fingerprint moved — a client fetching
+// all twelve tables pays for one index replay, not twelve. Failed
+// replays (incomplete state) are never cached; the next request
+// retries. The returned etag identifies the store state the analysis
+// was computed from.
+func (s *Server) replayResults(ctx context.Context) ([]*report.SystemResult, string, error) {
+	idxs, err := s.indexAll()
+	if err != nil {
+		return nil, "", err
+	}
+	etag := combinedEtag(idxs)
 	s.tablesMu.Lock()
 	defer s.tablesMu.Unlock()
-	if s.tablesCache != nil {
-		return s.tablesCache, nil
+	if s.tablesCache != nil && s.tablesKey == etag {
+		return s.tablesCache, etag, nil
 	}
-	results, err := report.ReplayFromStore(ctx, s.store)
+	results, err := report.ReplayFromIndex(ctx, s.store)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	s.tablesCache = results
-	return results, nil
+	s.tablesKey = etag
+	return results, etag, nil
 }
 
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
@@ -824,7 +1047,7 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q (want 1-%d)", r.PathValue("n"), report.MaxTable))
 		return
 	}
-	results, err := s.replayResults(r.Context())
+	results, etag, err := s.replayResults(r.Context())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, report.ErrStateIncomplete) || errors.Is(err, campaignstore.ErrStale) ||
@@ -832,6 +1055,9 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusConflict
 		}
 		writeError(w, code, err)
+		return
+	}
+	if serveCached(w, r, etag) {
 		return
 	}
 	if r.URL.Query().Get("format") == "text" {

@@ -238,6 +238,21 @@ func TestDaemonEndToEnd(t *testing.T) {
 		if string(body) != wantText+"\n" {
 			t.Errorf("table %d text differs from the CLI rendering", n)
 		}
+		// The table carries the store-state ETag and honors it.
+		if tag := resp.Header.Get("ETag"); tag == "" {
+			t.Errorf("table %d has no ETag", n)
+		} else {
+			req, _ := http.NewRequest("GET", fmt.Sprintf("%s/v1/tables/%d?format=text", ts.URL, n), nil)
+			req.Header.Set("If-None-Match", tag)
+			cresp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cresp.Body.Close()
+			if cresp.StatusCode != http.StatusNotModified {
+				t.Errorf("table %d with If-None-Match: %d, want 304", n, cresp.StatusCode)
+			}
+		}
 		// And the JSON form must re-render to the same bytes.
 		jresp, err := http.Get(fmt.Sprintf("%s/v1/tables/%d", ts.URL, n))
 		if err != nil {
@@ -492,5 +507,172 @@ func TestDaemonValidationAndRestart(t *testing.T) {
 	}
 	if got := waitTerminal(t, ts2.URL, doc2.ID, time.Minute); got.State != server.StateDone {
 		t.Fatalf("post-restart job ended %s: %s", got.State, got.Error)
+	}
+}
+
+// TestReadPathPagingEtagQuery exercises the index-served read path:
+// ?limit/?offset paging with the whole-system tallies, ETag /
+// If-None-Match revalidation on every read endpoint, and the
+// cross-system /v1/query endpoint.
+func TestReadPathPagingEtagQuery(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := daemon(t, server.Config{StateDir: dir, Workers: 4})
+
+	doc := postJob(t, ts.URL, `{"systems": ["ldapd"], "workers": 4}`)
+	if final := waitTerminal(t, ts.URL, doc.ID, time.Minute); final.State != server.StateDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+
+	type envelope struct {
+		System          string               `json:"system"`
+		Total           int                  `json:"total"`
+		Offset          int                  `json:"offset"`
+		Limit           int                  `json:"limit"`
+		Outcomes        []server.OutcomeView `json:"outcomes"`
+		ByReaction      map[string]int       `json:"by_reaction"`
+		Vulnerabilities int                  `json:"vulnerabilities"`
+	}
+	get := func(url string) (envelope, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env envelope
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return env, resp
+	}
+
+	full, resp := get(ts.URL + "/v1/systems/ldapd/outcomes")
+	if resp.StatusCode != http.StatusOK || full.Total == 0 || len(full.Outcomes) != full.Total {
+		t.Fatalf("full listing: %d, total=%d n=%d", resp.StatusCode, full.Total, len(full.Outcomes))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("outcomes response carries no ETag")
+	}
+
+	// A page is a slice of the full listing; the tallies stay whole.
+	page, resp := get(ts.URL + "/v1/systems/ldapd/outcomes?limit=2&offset=1")
+	if resp.StatusCode != http.StatusOK || len(page.Outcomes) != 2 || page.Offset != 1 || page.Limit != 2 {
+		t.Fatalf("page: %d, %+v", resp.StatusCode, page)
+	}
+	if page.Outcomes[0].Key != full.Outcomes[1].Key || page.Outcomes[1].Key != full.Outcomes[2].Key {
+		t.Fatal("page is not a slice of the full listing")
+	}
+	if page.Total != full.Total || page.Vulnerabilities != full.Vulnerabilities {
+		t.Fatalf("page tallies differ from the full listing: %+v", page)
+	}
+	if past, resp := get(fmt.Sprintf("%s/v1/systems/ldapd/outcomes?offset=%d", ts.URL, full.Total)); resp.StatusCode != http.StatusOK || len(past.Outcomes) != 0 {
+		t.Fatalf("offset past the end: %d, n=%d", resp.StatusCode, len(past.Outcomes))
+	}
+	for _, bad := range []string{"?limit=0", "?limit=-1", "?limit=x", "?offset=-1"} {
+		if _, resp := get(ts.URL + "/v1/systems/ldapd/outcomes" + bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Conditional revalidation on every read endpoint. (/v1/tables
+	// needs all seven systems' snapshots — its ETag round trip runs in
+	// TestDaemonEndToEnd.)
+	for _, path := range []string{"/v1/systems/ldapd/outcomes", "/v1/systems", "/v1/query?all=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		tag := resp.Header.Get("ETag")
+		if resp.StatusCode != http.StatusOK || tag == "" {
+			t.Fatalf("%s: %d etag=%q", path, resp.StatusCode, tag)
+		}
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", tag)
+		cresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(cresp.Body)
+		cresp.Body.Close()
+		if cresp.StatusCode != http.StatusNotModified || len(body) != 0 {
+			t.Fatalf("%s with If-None-Match: %d (%d body bytes), want empty 304", path, cresp.StatusCode, len(body))
+		}
+		if got := cresp.Header.Get("ETag"); got != tag {
+			t.Fatalf("%s: 304 carries etag %q, want %q", path, got, tag)
+		}
+	}
+
+	// The cross-system query groups misconfigurations by (param, rule).
+	qresp, err := http.Get(ts.URL + "/v1/query?all=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var query struct {
+		Systems []string `json:"systems"`
+		Total   int      `json:"total"`
+		Groups  []struct {
+			Param     string         `json:"param"`
+			Systems   []string       `json:"systems"`
+			Outcomes  int            `json:"outcomes"`
+			Reactions map[string]int `json:"reactions"`
+		} `json:"groups"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&query); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if len(query.Systems) != 1 || query.Systems[0] != "ldapd" || query.Total == 0 || query.Total != len(query.Groups) {
+		t.Fatalf("query envelope implausible: %+v", query)
+	}
+	total := 0
+	for _, g := range query.Groups {
+		total += g.Outcomes
+	}
+	if total != full.Total {
+		t.Fatalf("query groups cover %d outcomes, store holds %d", total, full.Total)
+	}
+
+	// Filtered query: one parameter family only.
+	param := query.Groups[0].Param
+	fresp, err := http.Get(ts.URL + "/v1/query?all=1&param=" + param)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var filtered struct {
+		Groups []struct {
+			Param string `json:"param"`
+		} `json:"groups"`
+	}
+	if err := json.NewDecoder(fresp.Body).Decode(&filtered); err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if len(filtered.Groups) == 0 {
+		t.Fatal("param-filtered query found nothing")
+	}
+	for _, g := range filtered.Groups {
+		if g.Param != param {
+			t.Fatalf("param filter leaked %q", g.Param)
+		}
+	}
+
+	// Bad query parameters are rejected.
+	for _, bad := range []string{"?min-systems=x", "?all=maybe"} {
+		bresp, err := http.Get(ts.URL + "/v1/query" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bresp.Body.Close()
+		if bresp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query%s: %d, want 400", bad, bresp.StatusCode)
+		}
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -185,29 +186,65 @@ type MergeStat struct {
 	// Path is the merged snapshot file.
 	Path string
 	// Fingerprint is the merged snapshot's replay-equivalence hash
-	// (campaignstore.Snapshot.Fingerprint), computed from the in-memory
-	// document — equal to an unsharded run's store fingerprint when the
-	// shards covered the same campaign.
+	// (campaignstore.Snapshot.Fingerprint), folded record-by-record by
+	// the streaming writer — equal to an unsharded run's store
+	// fingerprint when the shards covered the same campaign.
 	Fingerprint string
+}
+
+// source is one shard directory's snapshot file for a system.
+type source struct{ dir, path string }
+
+// mergeCursor is one shard file's read position in the k-way merge:
+// the streaming iterator plus its current record.
+type mergeCursor struct {
+	dir  string
+	it   *campaignstore.SnapshotIter
+	key  string
+	st   time.Time
+	out  inject.Outcome
+	done bool
+}
+
+// advance loads the cursor's next record.
+func (c *mergeCursor) advance() error {
+	key, st, out, err := c.it.Next()
+	if errors.Is(err, io.EOF) {
+		c.done = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", c.dir, err)
+	}
+	c.key, c.st, c.out = key, st, out
+	return nil
 }
 
 // Merge folds shard state directories into one canonical store at
 // dstDir: for every system with a snapshot in any source directory, the
-// shards' outcome maps union into a single snapshot. Validation is
-// strict — all of a system's shards must carry this build's schema
-// fingerprint (LoadAll enforces it), the same constraint-set
-// fingerprint, and the same outcome-affecting options identity
-// (campaignstore OptionsID); mixing an optimized shard with a
-// -no-optimizations shard is an error, not a silent blend. Duplicate
-// outcome keys resolve freshest-wins by each outcome's own stamp
-// (Snapshot.Stamps — when it was last executed or re-validated, NOT
-// when its snapshot happened to be saved, so a shard that merely
-// carried a peer's outcome through its save can never shadow the
-// peer's fresher retest; exactly-equal stamps tie-break to the
-// lexicographically greatest source directory, so the merge result is
-// a function of the shard set, not of the order the directories were
-// listed in), and the merged snapshot replays exactly like an
-// unsharded run's.
+// shards' records fold into a single snapshot via a k-way streaming
+// merge — every source file's records arrive in ascending key order
+// (the binary container's invariant), so the merge holds one record per
+// shard in memory and writes the result through the store's streaming
+// writer, never materializing any shard's full outcome set. (A legacy
+// v2 JSON source has no record framing and is materialized alone; memory
+// is bounded by the largest single legacy file, not the shard set.)
+//
+// Validation is strict — all of a system's shards must carry this
+// build's schema fingerprint (the iterator's header check enforces it),
+// the same constraint-set fingerprint, and the same outcome-affecting
+// options identity (campaignstore OptionsID); mixing an optimized shard
+// with a -no-optimizations shard is an error, not a silent blend.
+// Duplicate outcome keys resolve freshest-wins by each outcome's own
+// stamp (Snapshot.Stamps — when it was last executed or re-validated,
+// NOT when its snapshot happened to be saved, so a shard that merely
+// carried a peer's outcome through its save can never shadow the peer's
+// fresher retest; exactly-equal stamps tie-break to the
+// lexicographically greatest source directory, so the merge result is a
+// function of the shard set, not of the order the directories were
+// listed in), and the merged snapshot replays exactly like an unsharded
+// run's — its fingerprint, folded record-by-record during the write, is
+// identical to an unsharded run's store fingerprint.
 func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 	if len(srcDirs) == 0 {
 		return nil, errors.New("shard: no shard directories to merge")
@@ -217,11 +254,7 @@ func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 		return nil, err
 	}
 
-	type part struct {
-		dir  string
-		snap *campaignstore.Snapshot
-	}
-	bySystem := map[string][]part{}
+	bySystem := map[string][]source{}
 	var systems []string
 	for _, dir := range srcDirs {
 		// Sources must already exist — Open would create a typo'd path
@@ -233,90 +266,135 @@ func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 		if err != nil {
 			return nil, err
 		}
-		snaps, err := store.LoadAll()
+		paths, err := store.Snapshots()
 		if err != nil {
 			return nil, fmt.Errorf("shard: %s: %w", dir, err)
 		}
-		if len(snaps) == 0 {
+		if len(paths) == 0 {
 			return nil, fmt.Errorf("shard: %s holds no campaign snapshots", dir)
 		}
-		for _, snap := range snaps {
-			if len(bySystem[snap.System]) == 0 {
-				systems = append(systems, snap.System)
+		for system, path := range paths {
+			if len(bySystem[system]) == 0 {
+				systems = append(systems, system)
 			}
-			bySystem[snap.System] = append(bySystem[snap.System], part{dir: dir, snap: snap})
+			bySystem[system] = append(bySystem[system], source{dir: dir, path: path})
 		}
 	}
 	sort.Strings(systems)
 
 	var stats []MergeStat
 	for _, system := range systems {
-		parts := bySystem[system]
-		first := parts[0]
-		for _, p := range parts[1:] {
-			if p.snap.Options != first.snap.Options {
-				return nil, fmt.Errorf(
-					"shard: %s: shards disagree on campaign options (%s has %q, %s has %q) — refusing to merge",
-					system, first.dir, first.snap.Options, p.dir, p.snap.Options)
-			}
-			if p.snap.SetFingerprint != first.snap.SetFingerprint {
-				return nil, fmt.Errorf(
-					"shard: %s: shards disagree on the constraint set (%s has %s, %s has %s) — refusing to merge",
-					system, first.dir, first.snap.SetFingerprint, p.dir, p.snap.SetFingerprint)
-			}
-		}
-
-		merged := make(map[string]inject.Outcome)
-		stamps := make(map[string]time.Time)
-		holder := make(map[string]string) // key -> source dir of the current winner
-		duplicates := 0
-		for _, p := range parts {
-			for key, out := range p.snap.Outcomes {
-				stamp := p.snap.Stamps[key]
-				prev, seen := stamps[key]
-				if seen {
-					duplicates++
-					if stamp.Before(prev) {
-						continue
-					}
-					if stamp.Equal(prev) && p.dir < holder[key] {
-						// Equal stamps: the lexicographically greatest
-						// shard directory wins, independent of srcDirs
-						// order.
-						continue
-					}
-				}
-				merged[key] = out
-				stamps[key] = stamp
-				holder[key] = p.dir
-			}
-		}
-
-		snap := &campaignstore.Snapshot{
-			Schema:         campaignstore.SchemaFingerprint(),
-			System:         system,
-			SavedAt:        time.Now().UTC(),
-			Options:        first.snap.Options,
-			SetFingerprint: first.snap.SetFingerprint,
-			Constraints:    first.snap.Constraints,
-			Outcomes:       merged,
-			Stamps:         stamps,
-		}
-		if err := dst.Save(snap); err != nil {
-			return nil, err
-		}
-		fp, err := snap.Fingerprint()
+		stat, err := mergeSystem(dst, system, bySystem[system])
 		if err != nil {
 			return nil, err
 		}
-		stats = append(stats, MergeStat{
-			System:      system,
-			Shards:      len(parts),
-			Outcomes:    len(merged),
-			Duplicates:  duplicates,
-			Path:        dst.Path(system),
-			Fingerprint: fp,
-		})
+		stats = append(stats, stat)
 	}
 	return stats, nil
+}
+
+// mergeSystem streams one system's shard files into the destination
+// store.
+func mergeSystem(dst *campaignstore.Store, system string, srcs []source) (MergeStat, error) {
+	cursors := make([]*mergeCursor, 0, len(srcs))
+	defer func() {
+		for _, c := range cursors {
+			c.it.Close()
+		}
+	}()
+	for _, src := range srcs {
+		it, err := campaignstore.OpenSnapshotIter(src.path, system)
+		if err != nil {
+			return MergeStat{}, fmt.Errorf("shard: %s: %w", src.dir, err)
+		}
+		c := &mergeCursor{dir: src.dir, it: it}
+		cursors = append(cursors, c)
+		if err := c.advance(); err != nil {
+			return MergeStat{}, err
+		}
+	}
+	first := cursors[0]
+	for _, c := range cursors[1:] {
+		if c.it.Header().Options != first.it.Header().Options {
+			return MergeStat{}, fmt.Errorf(
+				"shard: %s: shards disagree on campaign options (%s has %q, %s has %q) — refusing to merge",
+				system, first.dir, first.it.Header().Options, c.dir, c.it.Header().Options)
+		}
+		if c.it.Header().SetFingerprint != first.it.Header().SetFingerprint {
+			return MergeStat{}, fmt.Errorf(
+				"shard: %s: shards disagree on the constraint set (%s has %s, %s has %s) — refusing to merge",
+				system, first.dir, first.it.Header().SetFingerprint, c.dir, c.it.Header().SetFingerprint)
+		}
+	}
+
+	w, err := dst.NewStreamWriter(&campaignstore.Snapshot{
+		Schema:         campaignstore.SchemaFingerprint(),
+		System:         system,
+		SavedAt:        time.Now().UTC(),
+		Options:        first.it.Header().Options,
+		SetFingerprint: first.it.Header().SetFingerprint,
+		Constraints:    first.it.Header().Constraints,
+	})
+	if err != nil {
+		return MergeStat{}, err
+	}
+	outcomes, duplicates := 0, 0
+	for {
+		// The frontier: the smallest key any cursor is parked on.
+		var min string
+		live := false
+		for _, c := range cursors {
+			if c.done {
+				continue
+			}
+			if !live || c.key < min {
+				min, live = c.key, true
+			}
+		}
+		if !live {
+			break
+		}
+		// All cursors holding the frontier key compete; the freshest
+		// stamp wins, equal stamps tie-break to the lexicographically
+		// greatest shard directory (independent of srcDirs order).
+		var win *mergeCursor
+		for _, c := range cursors {
+			if c.done || c.key != min {
+				continue
+			}
+			if win == nil {
+				win = c
+				continue
+			}
+			duplicates++
+			if c.st.After(win.st) || (c.st.Equal(win.st) && c.dir > win.dir) {
+				win = c
+			}
+		}
+		if err := w.Add(min, win.st, win.out); err != nil {
+			w.Abort()
+			return MergeStat{}, err
+		}
+		outcomes++
+		for _, c := range cursors {
+			if !c.done && c.key == min {
+				if err := c.advance(); err != nil {
+					w.Abort()
+					return MergeStat{}, err
+				}
+			}
+		}
+	}
+	fp, err := w.Close()
+	if err != nil {
+		return MergeStat{}, err
+	}
+	return MergeStat{
+		System:      system,
+		Shards:      len(cursors),
+		Outcomes:    outcomes,
+		Duplicates:  duplicates,
+		Path:        dst.Path(system),
+		Fingerprint: fp,
+	}, nil
 }
