@@ -41,7 +41,7 @@ var (
 func analyzed(b *testing.B) []*report.SystemResult {
 	b.Helper()
 	analyzeOnce.Do(func() {
-		allResults, analyzeErr = report.AnalyzeAll()
+		allResults, analyzeErr = report.AnalyzeAllContext(context.Background(), report.AnalyzeOptions{})
 	})
 	if analyzeErr != nil {
 		b.Fatal(analyzeErr)

@@ -105,17 +105,24 @@ func run() int {
 		return 2
 	}
 
+	var lock *campaignstore.Lock
 	if *state != "" && !*index {
 		store, err := campaignstore.Open(*state)
 		if err != nil {
 			return fail(err)
 		}
-		// One writer per state directory, same contract as spexinj.
-		lock, err := store.Lock()
+		// One writer per state directory, same contract as spexinj. The
+		// handle is passed down as the analysis's snapshot-write
+		// capability.
+		lock, err = store.Lock()
 		if err != nil {
 			return fail(err)
 		}
-		defer lock.Unlock()
+		defer func() {
+			if uerr := lock.Unlock(); uerr != nil {
+				fmt.Fprintf(os.Stderr, "spexeval: %v\n", uerr)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -136,7 +143,7 @@ func run() int {
 			return fail(err)
 		}
 	} else {
-		opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, StateDir: *state, Global: *global, Shard: plan}
+		opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, State: lock, Global: *global, Shard: plan}
 		var finishProgress func()
 		if *progress {
 			if *global || plan.Enabled() {

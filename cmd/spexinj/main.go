@@ -221,22 +221,27 @@ func run() int {
 		return runWorker(ctx, *leaseFlag, *state, systems, opts, *workers)
 	}
 
-	var store *campaignstore.Store
+	var lock *campaignstore.Lock
 	if *state != "" {
-		var err error
-		store, err = campaignstore.Open(*state)
+		store, err := campaignstore.Open(*state)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
 			return 1
 		}
 		// One writer per state directory: a concurrent run fails fast
 		// here instead of silently losing the race of snapshot saves.
-		lock, err := store.Lock()
+		// The handle is the snapshot-write capability the scheduler
+		// saves through.
+		lock, err = store.Lock()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
 			return 1
 		}
-		defer lock.Unlock()
+		defer func() {
+			if uerr := lock.Unlock(); uerr != nil {
+				fmt.Fprintf(os.Stderr, "spexinj: %v\n", uerr)
+			}
+		}()
 	}
 
 	// Inference fans out on the engine pool, then every system's
@@ -262,7 +267,7 @@ func run() int {
 	if *progress {
 		gopts.OnProgress, finishProgress = progressui.Attach(os.Stderr, "spexinj")
 	}
-	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, lock, ws, gopts)
 	if finishProgress != nil {
 		finishProgress()
 	}
@@ -307,7 +312,7 @@ func run() int {
 		}
 		fmt.Printf("  vulnerabilities: %d at %d unique code locations; simulated cost %d units\n",
 			len(rep.Vulnerabilities()), rep.UniqueLocations(), rep.TotalSimCost)
-		if store != nil {
+		if lock != nil {
 			// Executed = outcomes that genuinely ran to completion this
 			// run; errored and cancelled-in-flight rows re-execute next
 			// run and are not counted.

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spex/internal/analysis"
+)
+
+// TestRepoIsClean runs the full spexlint suite over every package in
+// the module, tests included, and fails on any finding. This is the
+// meta-test behind the CI gate: the tree must hold its own invariants,
+// with every deliberate waiver carried by an auditable
+// //spexlint:ignore directive.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := analysis.Load(root, true, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	for _, u := range units {
+		for _, e := range u.TypeErrors {
+			t.Errorf("%s: type error: %v", u.PkgPath, e)
+		}
+		diags, err := analysis.RunAnalyzers(u.Fset, u.Files, u.Types, u.Info, suite())
+		if err != nil {
+			t.Fatalf("%s: %v", u.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

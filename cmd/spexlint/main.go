@@ -1,0 +1,39 @@
+// Spexlint is the repo's custom static-analysis suite: four analyzers
+// that enforce the cross-cutting invariants of the campaign pipeline —
+// the campaignstore writer-lock ownership model, context threading,
+// fingerprint determinism, and the non-blocking progress fan-out.
+// See internal/analysis for the checked-invariant catalogue.
+//
+// Two ways to run it:
+//
+//	spexlint ./...                              # standalone, tests included
+//	go vet -vettool=$(which spexlint) ./...     # as a vet tool, cached by the build system
+//
+// Findings exit 2; a //spexlint:ignore <analyzer> <reason> directive
+// on or above the flagged line waives one finding with an audit trail.
+package main
+
+import (
+	"os"
+
+	"spex/internal/analysis"
+	"spex/internal/analysis/ctxflow"
+	"spex/internal/analysis/fingerprintpurity"
+	"spex/internal/analysis/hubsend"
+	"spex/internal/analysis/lockcontract"
+)
+
+// suite is the full analyzer set; the repo-wide cleanliness test runs
+// the same list the binary does.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockcontract.Analyzer,
+		ctxflow.Analyzer,
+		fingerprintpurity.Analyzer,
+		hubsend.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(analysis.Main(suite(), os.Args[1:]))
+}

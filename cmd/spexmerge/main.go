@@ -66,9 +66,13 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "spexmerge: %v\n", err)
 		return 1
 	}
-	defer lock.Unlock()
+	defer func() {
+		if uerr := lock.Unlock(); uerr != nil {
+			fmt.Fprintf(os.Stderr, "spexmerge: %v\n", uerr)
+		}
+	}()
 
-	stats, err := shard.Merge(*out, dirs)
+	stats, err := shard.Merge(lock, dirs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexmerge: %v\n", err)
 		return 1

@@ -289,6 +289,21 @@
 // no writer lock, no snapshot record parsed — byte-identical to a
 // -state replay (report.ReplayFromIndex).
 //
+// # Checked invariants (spexlint)
+//
+// The contracts that hold this design together — writer locks acquired
+// once per state directory and never on the serving or progress paths,
+// contexts threaded instead of re-rooted, fingerprint inputs
+// deterministic, the progress fan-out non-blocking — are enforced by a
+// custom static-analysis suite, cmd/spexlint, runnable standalone
+// (`spexlint ./...`) or as `go vet -vettool=$(which spexlint) ./...`
+// and gated in CI. internal/analysis documents the full invariant
+// catalogue and the //spexlint:ignore waiver syntax; the writer-lock
+// half of the contract is structural — (*campaignstore.Lock).Save and
+// NewStreamWriter are the only snapshot-write capability, so holding
+// the lock is a type-level precondition for writing, and only the
+// acquisition discipline is left to the analyzer.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package spex

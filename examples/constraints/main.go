@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,7 +13,7 @@ import (
 )
 
 func main() {
-	results, err := report.AnalyzeAll()
+	results, err := report.AnalyzeAllContext(context.Background(), report.AnalyzeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

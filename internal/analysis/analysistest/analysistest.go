@@ -1,0 +1,181 @@
+// Package analysistest runs one analyzer over a fixture package and
+// diffs its diagnostics against `// want "regexp"` comments, the
+// golden-test idiom of golang.org/x/tools/go/analysis/analysistest.
+// Fixtures live in <analyzer package>/testdata/src/<name>/ and are
+// ordinary Go sources — they may import the real spex packages, whose
+// compiled export data comes from one shared `go list -export` pass
+// over the module — but they are not part of the module's package
+// graph, so the intentional violations inside them never trip the
+// repo-wide spexlint run.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"spex/internal/analysis"
+)
+
+var (
+	indexOnce sync.Once
+	indexVal  analysis.ExportIndex
+	indexErr  error
+	rootVal   string
+)
+
+// sharedIndex builds the module-wide export index once per test
+// process; every fixture type-check resolves imports through it.
+func sharedIndex(t *testing.T) (string, analysis.ExportIndex) {
+	t.Helper()
+	indexOnce.Do(func() {
+		rootVal, indexErr = moduleRoot()
+		if indexErr != nil {
+			return
+		}
+		indexVal, indexErr = analysis.LoadExportIndex(rootVal, "./...")
+	})
+	if indexErr != nil {
+		t.Fatalf("analysistest: building export index: %v", indexErr)
+	}
+	return rootVal, indexVal
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run checks the analyzer against testdata/src/<fixture> relative to
+// the calling test's package directory: every diagnostic must match a
+// `// want "regexp"` on its line, and every want must be matched.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	_, idx := sharedIndex(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no fixture sources in %s", dir)
+	}
+	fset := token.NewFileSet()
+	unit, err := analysis.CheckFiles(fset, idx, fixture, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, e := range unit.TypeErrors {
+		t.Errorf("analysistest: fixture does not type-check: %v", e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	diags, err := analysis.RunAnalyzers(fset, unit.Files, unit.Types, unit.Info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	wants := collectWants(t, fset, unit)
+	matchDiagnostics(t, diags, wants)
+}
+
+// want is one expectation: a diagnostic on (file base name, line)
+// whose message matches re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+func collectWants(t *testing.T, fset *token.FileSet, unit *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllString(text[len("want "):], -1) {
+					pat := m
+					if strings.HasPrefix(pat, "`") {
+						pat = strings.Trim(pat, "`")
+					} else if unq, err := strconv.Unquote(pat); err == nil {
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func matchDiagnostics(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", base, d.Pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

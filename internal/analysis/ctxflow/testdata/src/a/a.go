@@ -1,0 +1,49 @@
+// Positive cases for ctxflow.
+package a
+
+import (
+	"context"
+	"net/http"
+	"os/exec"
+	"time"
+
+	"spex/internal/conffile"
+	"spex/internal/confgen"
+	"spex/internal/inject"
+	"spex/internal/sim"
+)
+
+func roots() context.Context {
+	return context.Background() // want `context.Background\(\) outside package main`
+}
+
+func todos() context.Context {
+	return context.TODO() // want `context.TODO\(\) outside package main`
+}
+
+func sleeps(ctx context.Context) {
+	time.Sleep(time.Second) // want `time.Sleep ignores the context`
+}
+
+func spawns(ctx context.Context) *exec.Cmd {
+	return exec.Command("true") // want `exec.Command ignores the context`
+}
+
+func fetches(ctx context.Context) (*http.Response, error) {
+	return http.Get("http://localhost/") // want `http.Get ignores the context`
+}
+
+func campaigns(ctx context.Context, sys sim.System, ms []confgen.Misconf) (*inject.Report, error) {
+	return inject.Run(sys, ms, inject.DefaultOptions()) // want `inject.Run ignores the context`
+}
+
+func monitors(ctx context.Context, sys sim.System, env *sim.Env, cfg *conffile.File) sim.StartOutcome {
+	return sim.MonitorStart(sys, env, cfg, time.Second) // want `sim.MonitorStart ignores the context`
+}
+
+// A nested literal still sees the outer function's context.
+func nested(ctx context.Context) func() {
+	return func() {
+		time.Sleep(time.Minute) // want `time.Sleep ignores the context`
+	}
+}

@@ -1,0 +1,12 @@
+package fingerprintpurity_test
+
+import (
+	"testing"
+
+	"spex/internal/analysis/analysistest"
+	"spex/internal/analysis/fingerprintpurity"
+)
+
+func TestFingerprintPurity(t *testing.T) {
+	analysistest.Run(t, fingerprintpurity.Analyzer, "a")
+}

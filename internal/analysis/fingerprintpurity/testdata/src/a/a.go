@@ -1,0 +1,44 @@
+// Positive cases for fingerprintpurity.
+package a
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/inject"
+	"spex/internal/outcomeindex"
+)
+
+func hashesSavedAt(snap *campaignstore.Snapshot) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s", snap.SavedAt) // want `Snapshot.SavedAt is wall-clock provenance`
+	return h.Sum(nil)
+}
+
+func hashesStamps(snap *campaignstore.Snapshot) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%v", snap.Stamps) // want `Snapshot.Stamps is wall-clock provenance`
+	return h.Sum(nil)
+}
+
+func writesSavedAt(h hash.Hash, snap *campaignstore.Snapshot) {
+	h.Write([]byte(snap.SavedAt.String())) // want `Snapshot.SavedAt is wall-clock provenance`
+}
+
+func streamsFromMap(w *campaignstore.StreamWriter, outcomes map[string]inject.Outcome, stamp time.Time) error {
+	for k, out := range outcomes {
+		if err := w.Add(k, stamp, out); err != nil { // want `fingerprint sink fed from a map range`
+			return err
+		}
+	}
+	return nil
+}
+
+func indexesFromMap(b *outcomeindex.Builder, outcomes map[string]inject.Outcome) {
+	for k, out := range outcomes {
+		b.Add(k, out) // want `fingerprint sink fed from a map range`
+	}
+}

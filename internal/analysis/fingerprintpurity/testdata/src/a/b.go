@@ -1,0 +1,35 @@
+// Negative cases: deterministic inputs and sorted emission.
+package a
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"time"
+
+	"spex/internal/campaignstore"
+	"spex/internal/inject"
+)
+
+// Deterministic snapshot metadata may feed the fingerprint.
+func hashesIdentity(snap *campaignstore.Snapshot) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s %s %d", snap.System, snap.SetFingerprint, len(snap.Outcomes))
+	return h.Sum(nil)
+}
+
+// Sorting the keys first makes the emission order deterministic; the
+// counting range over the map contains no sink.
+func streamsSorted(w *campaignstore.StreamWriter, outcomes map[string]inject.Outcome, stamp time.Time) error {
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := w.Add(k, stamp, outcomes[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

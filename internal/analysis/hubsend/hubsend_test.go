@@ -1,0 +1,12 @@
+package hubsend_test
+
+import (
+	"testing"
+
+	"spex/internal/analysis/analysistest"
+	"spex/internal/analysis/hubsend"
+)
+
+func TestHubSend(t *testing.T) {
+	analysistest.Run(t, hubsend.Analyzer, "a")
+}

@@ -1,0 +1,182 @@
+// AST walking utilities shared by the analyzers: a parent-path
+// inspector and the handle-lifetime classifier behind "every Lock is
+// dominated by an Unlock" and "every NewTicker is stopped".
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithPath walks root like ast.Inspect, additionally passing the chain
+// of ancestor nodes (outermost first, not including n). Return false
+// to prune the subtree.
+func WithPath(root ast.Node, fn func(n ast.Node, path []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in path (the body a statement executes in), nil at file scope.
+func EnclosingFunc(path []ast.Node) ast.Node {
+	for i := len(path) - 1; i >= 0; i-- {
+		switch path[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return path[i]
+		}
+	}
+	return nil
+}
+
+// HandleFate describes what a function body does with a resource
+// handle after acquiring it.
+type HandleFate struct {
+	// Released: the named release method is invoked on the handle
+	// (directly or under defer, possibly inside a nested literal).
+	Released bool
+	// Escaped: the handle leaves the function — returned, passed as a
+	// call argument, stored into a composite, field or other variable,
+	// sent on
+	// a channel, or captured by address — making release the recipient's
+	// responsibility.
+	Escaped bool
+}
+
+// ClassifyHandle inspects every use of obj inside fn and reports
+// whether the handle is released by method release or escapes.
+// Method calls other than release and nil-comparisons are benign uses;
+// everything else counts as an escape (conservative: an escaped handle
+// never triggers a missing-release diagnostic).
+func ClassifyHandle(info *types.Info, fn ast.Node, obj types.Object, release string) HandleFate {
+	var fate HandleFate
+	WithPath(fn, func(n ast.Node, path []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		if len(path) == 0 {
+			return true
+		}
+		switch parent := path[len(path)-1].(type) {
+		case *ast.SelectorExpr:
+			if parent.X == id && parent.Sel.Name == release {
+				// Only a genuine call releases; a method value
+				// (`f := h.Unlock`) defers the decision to whoever calls
+				// f, which is an escape.
+				if len(path) >= 2 {
+					if call, ok := path[len(path)-2].(*ast.CallExpr); ok && call.Fun == parent {
+						fate.Released = true
+						return true
+					}
+				}
+				fate.Escaped = true
+				return true
+			}
+			if parent.X == id {
+				return true // other method call or field read: benign
+			}
+			fate.Escaped = true
+		case *ast.BinaryExpr:
+			// nil-checks and comparisons don't move the handle.
+		case *ast.AssignStmt:
+			// The defining assignment binds the handle; appearing on a
+			// right-hand side afterwards aliases it away.
+			for _, lhs := range parent.Lhs {
+				if lhs == id {
+					return true
+				}
+			}
+			fate.Escaped = true
+		default:
+			fate.Escaped = true
+		}
+		return true
+	})
+	return fate
+}
+
+// AssignedIdent returns the identifier a call's first result is bound
+// to, when the call is the sole RHS of an assignment ( `h, err := f()`
+// or `h := f()` ), and that identifier's object. Nil when the result
+// is discarded or used inline.
+func AssignedIdent(info *types.Info, path []ast.Node, call *ast.CallExpr) (*ast.Ident, types.Object) {
+	if len(path) == 0 {
+		return nil, nil
+	}
+	assign, ok := path[len(path)-1].(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 || assign.Rhs[0] != call || len(assign.Lhs) == 0 {
+		return nil, nil
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return id, obj
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return id, obj
+	}
+	return nil, nil
+}
+
+// ResultDiscarded reports whether the call's results are dropped on
+// the floor: a bare expression statement, a go/defer statement, or an
+// assignment binding the first result to the blank identifier. A call
+// nested in a return, argument list or composite literal hands its
+// result to a recipient instead.
+func ResultDiscarded(path []ast.Node, call *ast.CallExpr) bool {
+	if len(path) == 0 {
+		return false
+	}
+	switch p := path[len(path)-1].(type) {
+	case *ast.ExprStmt, *ast.GoStmt, *ast.DeferStmt:
+		return true
+	case *ast.AssignStmt:
+		if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) > 0 {
+			if id, ok := p.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncHasParamType reports whether the function declaration or literal
+// has a parameter of the named type (after pointer indirection).
+func FuncHasParamType(info *types.Info, fn ast.Node, pkgPath, name string) bool {
+	var ft *ast.FuncType
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft = f.Type
+	case *ast.FuncLit:
+		ft = f.Type
+	default:
+		return false
+	}
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if NamedType(info.TypeOf(field.Type), pkgPath, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHasCtxParam reports whether the function takes a
+// context.Context parameter.
+func FuncHasCtxParam(info *types.Info, fn ast.Node) bool {
+	return FuncHasParamType(info, fn, "context", "Context")
+}

@@ -1,0 +1,12 @@
+package lockcontract_test
+
+import (
+	"testing"
+
+	"spex/internal/analysis/analysistest"
+	"spex/internal/analysis/lockcontract"
+)
+
+func TestLockContract(t *testing.T) {
+	analysistest.Run(t, lockcontract.Analyzer, "a")
+}

@@ -378,11 +378,18 @@ func (s *Store) snapshotFiles() ([]string, error) {
 // the system's outcome-index sidecar, so the daemon's read path never
 // re-parses what was just written. Setting SPEX_SNAPSHOT_JSON=1 writes
 // the legacy JSON document instead (migration test coverage).
-func (s *Store) Save(snap *Snapshot) error {
+//
+// Save lives on *Lock, not *Store: the held writer lock is the one
+// capability for snapshot writes, so the "lock before you write" rule
+// is a type-system fact instead of a convention (and spexlint's
+// lockcontract analyzer can check the acquisition side).
+func (l *Lock) Save(snap *Snapshot) error { return l.store.save(snap) }
+
+func (s *Store) save(snap *Snapshot) error {
 	if os.Getenv(legacyJSONEnv) != "" {
 		return s.saveLegacyJSON(snap)
 	}
-	w, err := s.NewStreamWriter(snap)
+	w, err := s.newStreamWriter(snap)
 	if err != nil {
 		return err
 	}
@@ -441,9 +448,16 @@ func (s *Store) saveLegacyJSON(snap *Snapshot) error {
 		_ = d.Sync()
 		d.Close()
 	}
-	// A JSON-era writer supersedes any binary file and index sidecar
-	// for the system — leaving them would shadow this save.
-	_ = os.Remove(s.Path(snap.System))
+	// A JSON-era writer supersedes any binary file for the system. This
+	// removal must not be best-effort: Load prefers the binary path, so
+	// a surviving stale binary would silently shadow the save we just
+	// made durable.
+	if err := os.Remove(s.Path(snap.System)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("campaignstore: removing superseded binary snapshot: %w", err)
+	}
+	// The index sidecar is derived data keyed by the snapshot's stat
+	// identity — a stale one fails validation and rebuilds — so its
+	// removal genuinely is best-effort.
 	_ = os.Remove(s.IndexPath(snap.System))
 	return nil
 }
@@ -547,6 +561,14 @@ func readSystemName(path string) (string, error) {
 // .campaign.json, so List/LoadAll never mistake it for a snapshot.
 const lockName = ".spex.lock"
 
+// LockPath returns the writer-lock file guarding a state directory —
+// the one place the lock file's name is spelled. Callers that need to
+// observe the lock from outside (tests asserting a clean release,
+// operator tooling deciding whether a directory is claimed) go through
+// this instead of hard-coding the name; spexlint's lockcontract
+// analyzer flags the literal anywhere outside this package.
+func LockPath(dir string) string { return filepath.Join(dir, lockName) }
+
 // LockStaleAfter bounds how long an unrefreshed lock is honored: a
 // live holder re-stamps its lock file's mtime every quarter of this
 // interval, so a lock whose mtime is older than this belongs to a
@@ -569,13 +591,24 @@ type lockInfo struct {
 // Lock is a held store writer lock; Unlock releases it. While held, a
 // background refresher re-stamps the lock file so the staleness age
 // bound never evicts a live holder.
+//
+// The handle is also the write capability: Save and NewStreamWriter
+// live on *Lock, so holding the lock is not merely advisory — code
+// that never acquired it cannot reach the snapshot-write path at all.
+// Read-side methods (Load, List, Prepare, LoadIndex, ...) stay on
+// *Store, because the read path is designed to be lock-free.
 type Lock struct {
-	path string
-	pid  int
-	host string
-	stop chan struct{}
-	done chan struct{}
+	store *Store
+	path  string
+	pid   int
+	host  string
+	stop  chan struct{}
+	done  chan struct{}
 }
+
+// Store returns the store this lock guards — the handle back to the
+// read-side API for callers handed only the write capability.
+func (l *Lock) Store() *Store { return l.store }
 
 // Lock acquires the store's exclusive writer lock: a lock file naming
 // this process, created atomically with its payload (hard-linked into
@@ -624,7 +657,7 @@ func (s *Store) Lock() (*Lock, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		err := os.Link(tmp.Name(), path)
 		if err == nil {
-			l := &Lock{path: path, pid: os.Getpid(), host: host,
+			l := &Lock{store: s, path: path, pid: os.Getpid(), host: host,
 				stop: make(chan struct{}), done: make(chan struct{})}
 			go l.refresh()
 			return l, nil
@@ -824,16 +857,20 @@ func (s *Store) Prepare(system string, set *constraint.Set, ms []confgen.Misconf
 // (the engine records only err-free results), so the snapshot saved
 // after a cancelled run holds exactly the finished outcomes and the
 // next run re-executes exactly the unfinished ones.
-func Campaign(ctx context.Context, store *Store, sys sim.System, set *constraint.Set, ms []confgen.Misconf, opts inject.Options) (*inject.Report, Status, error) {
+//
+// The lock handle is the write capability (Lock.Save), so Campaign
+// takes the held *Lock rather than a bare store — a caller cannot reach
+// the snapshot save without having acquired the writer lock first.
+func Campaign(ctx context.Context, lock *Lock, sys sim.System, set *constraint.Set, ms []confgen.Misconf, opts inject.Options) (*inject.Report, Status, error) {
 	cache := inject.NewResultCache()
-	st, _ := store.Prepare(sys.Name(), set, ms, opts, nil, cache)
+	st, _ := lock.Store().Prepare(sys.Name(), set, ms, opts, nil, cache)
 	opts.Cache = cache
 	rep, runErr := inject.RunContext(ctx, sys, ms, opts)
 
 	if rep != nil {
 		// Save even after cancellation: the cache holds only finished
 		// outcomes, so the next run resumes where this one stopped.
-		if err := store.Save(New(sys.Name(), set, opts, cache.Snapshot())); err != nil {
+		if err := lock.Save(New(sys.Name(), set, opts, cache.Snapshot())); err != nil {
 			if runErr != nil {
 				return rep, st, fmt.Errorf("%w (and saving the snapshot failed: %v)", runErr, err)
 			}

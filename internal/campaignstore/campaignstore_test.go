@@ -113,7 +113,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		"k2": {Misconf: confgen.Misconf{ID: "m2", Param: "p", Values: map[string]string{"p": "good"}},
 			Reaction: inject.ReactionTolerated, SimCost: 3},
 	}
-	if err := store.Save(New("storefake", set, inject.DefaultOptions(), outcomes)); err != nil {
+	if err := store.save(New("storefake", set, inject.DefaultOptions(), outcomes)); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := store.Load("storefake")
@@ -185,7 +185,7 @@ func TestLoadRejectsStaleSchema(t *testing.T) {
 	}
 
 	// The same staleness check guards the binary container's header.
-	if err := store.Save(New("storefake2", set, inject.DefaultOptions(), nil)); err != nil {
+	if err := store.save(New("storefake2", set, inject.DefaultOptions(), nil)); err != nil {
 		t.Fatal(err)
 	}
 	bin, err := os.ReadFile(store.Path("storefake2"))
@@ -208,7 +208,7 @@ func TestLoadRejectsFingerprintMismatch(t *testing.T) {
 	}
 	snap := New("storefake", mkSet(basicC("p")), inject.DefaultOptions(), nil)
 	snap.SetFingerprint = "0000000000000000"
-	if err := store.Save(snap); err != nil {
+	if err := store.save(snap); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := store.Load("storefake"); err == nil || !strings.Contains(err.Error(), "fingerprint") {
@@ -228,7 +228,7 @@ func TestCampaignReplaysAcrossRuns(t *testing.T) {
 	opts := inject.DefaultOptions()
 
 	// Run 1: full campaign, snapshot rebuilt from scratch.
-	rep1, st1, err := Campaign(context.Background(), store, sys, set, ms, opts)
+	rep1, st1, err := Campaign(context.Background(), testWriter(store), sys, set, ms, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestCampaignReplaysAcrossRuns(t *testing.T) {
 	}
 
 	// Run 2: unchanged constraints — everything replays, zero fresh cost.
-	rep2, st2, err := Campaign(context.Background(), store, sys, set, ms, opts)
+	rep2, st2, err := Campaign(context.Background(), testWriter(store), sys, set, ms, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestCampaignReplaysAcrossRuns(t *testing.T) {
 	c2 := rangeC("p", 5)
 	set2 := mkSet(c2)
 	ms2 := misconfs(c2, 9)
-	rep3, st3, err := Campaign(context.Background(), store, sys, set2, ms2, opts)
+	rep3, st3, err := Campaign(context.Background(), testWriter(store), sys, set2, ms2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestCampaignDeltaRetestsOnlyAffected(t *testing.T) {
 		ID: "q-low", Param: "q", Values: map[string]string{"q": "0"}, Violates: cQ,
 	})
 
-	if _, _, err := Campaign(context.Background(), store, sys, mkSet(cP, cQ), ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store), sys, mkSet(cP, cQ), ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	boots := sys.boots.Load()
@@ -302,7 +302,7 @@ func TestCampaignDeltaRetestsOnlyAffected(t *testing.T) {
 	ms2 := append(append([]confgen.Misconf(nil), ms[:6]...), confgen.Misconf{
 		ID: "q-low", Param: "q", Values: map[string]string{"q": "0"}, Violates: cQ2,
 	})
-	rep, st, err := Campaign(context.Background(), store, sys, mkSet(cP, cQ2), ms2, inject.DefaultOptions())
+	rep, st, err := Campaign(context.Background(), testWriter(store), sys, mkSet(cP, cQ2), ms2, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestCampaignFallsBackOnStaleSnapshot(t *testing.T) {
 	c := basicC("p")
 	set := mkSet(c)
 	ms := misconfs(c, 6)
-	if _, _, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the snapshot's schema in place.
@@ -340,7 +340,7 @@ func TestCampaignFallsBackOnStaleSnapshot(t *testing.T) {
 	}
 
 	boots := sys.boots.Load()
-	rep, st, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions())
+	rep, st, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestCampaignFallsBackOnChangedOptions(t *testing.T) {
 	c := basicC("p")
 	set := mkSet(c)
 	ms := misconfs(c, 6)
-	if _, _, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	boots := sys.boots.Load()
@@ -378,7 +378,7 @@ func TestCampaignFallsBackOnChangedOptions(t *testing.T) {
 	noOpt := inject.DefaultOptions()
 	noOpt.StopOnFirstFailure = false
 	noOpt.SortTests = false
-	rep, st, err := Campaign(context.Background(), store, sys, set, ms, noOpt)
+	rep, st, err := Campaign(context.Background(), testWriter(store), sys, set, ms, noOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestCampaignFallsBackOnChangedOptions(t *testing.T) {
 	}
 
 	// The rebuilt snapshot replays for the same no-opt options...
-	rep2, st2, err := Campaign(context.Background(), store, sys, set, ms, noOpt)
+	rep2, st2, err := Campaign(context.Background(), testWriter(store), sys, set, ms, noOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestCampaignCancelThenResume(t *testing.T) {
 			cancel()
 		}
 	}
-	rep, st, err := Campaign(ctx, store, sys, set, ms, opts)
+	rep, st, err := Campaign(ctx, testWriter(store), sys, set, ms, opts)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -448,7 +448,7 @@ func TestCampaignCancelThenResume(t *testing.T) {
 
 	// Resume: only the unfinished misconfigurations re-execute.
 	boots := sys.boots.Load()
-	rep2, st2, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions())
+	rep2, st2, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,7 +490,7 @@ func TestSaveSurvivesReplacement(t *testing.T) {
 	set := mkSet(basicC("p"))
 	for i := 0; i < 3; i++ {
 		snap := New("storefake", set, inject.DefaultOptions(), map[string]inject.Outcome{})
-		if err := store.Save(snap); err != nil {
+		if err := store.save(snap); err != nil {
 			t.Fatalf("save %d: %v", i, err)
 		}
 	}
@@ -543,7 +543,7 @@ func TestListReturnsSavedSystems(t *testing.T) {
 	}
 	for _, name := range []string{"zeta", "alpha"} {
 		snap := New(name, constraint.NewSet(name), inject.DefaultOptions(), map[string]inject.Outcome{})
-		if err := store.Save(snap); err != nil {
+		if err := store.save(snap); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -731,3 +731,8 @@ func TestUnlockAfterTakeoverLeavesSuccessorLock(t *testing.T) {
 		t.Errorf("the displaced holder's Unlock removed the successor's lock: %v", err)
 	}
 }
+
+// testWriter returns a write-capable handle without claiming the lock
+// file: these tests exercise Campaign's replay logic against private
+// temp stores, and the lock-file contract has its own tests above.
+func testWriter(s *Store) *Lock { return &Lock{store: s} }

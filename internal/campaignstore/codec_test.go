@@ -40,7 +40,7 @@ func TestBinarySnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := store.Save(snap); err != nil {
+	if err := store.save(snap); err != nil {
 		t.Fatal(err)
 	}
 
@@ -96,7 +96,7 @@ func TestLegacyJSONMigratesOnSave(t *testing.T) {
 	outcomes := fixtureOutcomes(t, 12)
 
 	t.Setenv(legacyJSONEnv, "1")
-	if err := store.Save(New("storefake", set, inject.DefaultOptions(), outcomes)); err != nil {
+	if err := store.save(New("storefake", set, inject.DefaultOptions(), outcomes)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(store.LegacyPath("storefake")); err != nil {
@@ -122,7 +122,7 @@ func TestLegacyJSONMigratesOnSave(t *testing.T) {
 
 	// Saving migrates: binary appears, the JSON file is removed, and
 	// the fingerprint is bit-identical.
-	if err := store.Save(snap); err != nil {
+	if err := store.save(snap); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(store.Path("storefake")); err != nil {
@@ -153,7 +153,7 @@ func TestCorruptBinarySnapshotRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	set := mkSet(basicC("p"))
-	if err := store.Save(New("storefake", set, inject.DefaultOptions(), fixtureOutcomes(t, 12))); err != nil {
+	if err := store.save(New("storefake", set, inject.DefaultOptions(), fixtureOutcomes(t, 12))); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(store.Path("storefake"))
@@ -195,7 +195,7 @@ func TestCampaignFallsBackOnCorruptBinary(t *testing.T) {
 	c := basicC("p")
 	set := mkSet(c)
 	ms := misconfs(c, 6)
-	if _, _, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(store.Path(sys.Name()))
@@ -207,7 +207,7 @@ func TestCampaignFallsBackOnCorruptBinary(t *testing.T) {
 	}
 
 	boots := sys.boots.Load()
-	rep, st, err := Campaign(context.Background(), store, sys, set, ms, inject.DefaultOptions())
+	rep, st, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestLoadIndexSidecar(t *testing.T) {
 	set := mkSet(basicC("p"))
 	outcomes := fixtureOutcomes(t, 18)
 	snap := New("storefake", set, inject.DefaultOptions(), outcomes)
-	if err := store.Save(snap); err != nil {
+	if err := store.save(snap); err != nil {
 		t.Fatal(err)
 	}
 	fp, err := snap.Fingerprint()

@@ -49,7 +49,13 @@ type StreamWriter struct {
 
 // NewStreamWriter opens a streaming save for the snapshot's system.
 // hdr supplies the header metadata; its Outcomes/Stamps are ignored.
-func (s *Store) NewStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
+// Like Save, it lives on *Lock: the held writer lock is the only
+// capability that can open the snapshot-write path.
+func (l *Lock) NewStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
+	return l.store.newStreamWriter(hdr)
+}
+
+func (s *Store) newStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
 	final := s.Path(hdr.System)
 	tmp, err := os.CreateTemp(s.dir, filepath.Base(final)+".tmp-*")
 	if err != nil {

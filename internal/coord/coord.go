@@ -110,12 +110,15 @@ type Config struct {
 	// store and re-executes only what never saved, so a retry costs one
 	// spawn, not a repeated partition.
 	WorkerRetries int
-	// Locked declares that the caller already holds the state root's
-	// writer lock (campaignstore.Store.Lock) and the coordinator must
-	// not try to take it again — the daemon (internal/server) owns its
-	// state directory's lock for its whole lifetime. Workers still lock
-	// their own shard directories either way.
-	Locked bool
+	// Lock, when non-nil, is the state root's already-held writer lock
+	// (campaignstore.Store.Lock) — the daemon (internal/server) owns its
+	// state directory's lock for its whole lifetime and hands the
+	// coordinator the handle instead of letting it take a second one.
+	// The handle is also the write capability the final merge needs, so
+	// "caller already locked" is no longer a boolean the coordinator has
+	// to trust. Nil makes Run acquire (and release) its own lock.
+	// Workers still lock their own shard directories either way.
+	Lock *campaignstore.Lock
 	// Spawn launches workers (required).
 	Spawn SpawnFunc
 	// OnEvent, if set, streams lifecycle events (serialized).
@@ -144,7 +147,7 @@ type Result struct {
 // the leases, spawn the workers, watch heartbeats and rebalance by
 // stealing, and merge the shard stores into the canonical store at the
 // state root. See the package comment for the protocol.
-func Run(ctx context.Context, cfg Config) (*Result, error) {
+func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("coord: %d workers (want at least 1)", cfg.Workers)
 	}
@@ -160,16 +163,26 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	root, err := campaignstore.Open(cfg.StateDir)
-	if err != nil {
-		return nil, err
-	}
-	if !cfg.Locked {
-		lock, err := root.Lock()
-		if err != nil {
-			return nil, err
+	lock := cfg.Lock
+	if lock == nil {
+		root, openErr := campaignstore.Open(cfg.StateDir)
+		if openErr != nil {
+			return nil, openErr
 		}
-		defer lock.Unlock()
+		lock, openErr = root.Lock()
+		if openErr != nil {
+			return nil, openErr
+		}
+		owned := lock
+		// A failed release is a real error, not cleanup noise: if the
+		// lock file could not be removed (and was not taken over), the
+		// next campaign against this root will refuse to start until the
+		// staleness window expires, so the caller must hear about it.
+		defer func() {
+			if uerr := owned.Unlock(); uerr != nil && err == nil {
+				res, err = nil, fmt.Errorf("coord: releasing the state root lock: %w", uerr)
+			}
+		}()
 	}
 	coordDir := filepath.Join(cfg.StateDir, CoordDirName)
 	if err := os.MkdirAll(coordDir, 0o755); err != nil {
@@ -236,9 +249,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for i := range states {
 		states[i] = &workerState{lease: leases[i]}
 	}
-	res := &Result{Resumed: resumed}
+	res = &Result{Resumed: resumed}
 	running := 0
 	spawn := func(i int) error {
+		// A select with a ready ctx.Done case can still pick another
+		// ready branch, so a cancelled coordinator could otherwise keep
+		// respawning thieves on its way down; every spawn re-checks.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
 		spec := WorkerSpec{
 			Worker:    i + 1,
 			LeasePath: LeasePath(coordDir, i+1),
@@ -458,7 +477,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(dirs) == 0 {
 		return nil, errors.New("coord: no worker produced a shard snapshot")
 	}
-	stats, err := shard.Merge(cfg.StateDir, dirs)
+	stats, err := shard.Merge(lock, dirs)
 	if err != nil {
 		return nil, err
 	}
@@ -515,7 +534,13 @@ func planOrResume(coordDir string, man *manifest, allKeys []KeyRef, owners []int
 	}
 	for _, e := range entries {
 		if !e.IsDir() && (strings.HasSuffix(e.Name(), ".json") || strings.HasSuffix(e.Name(), ".log")) {
-			os.Remove(filepath.Join(coordDir, e.Name()))
+			// Not best-effort: a stale lease that survives the wipe would
+			// be read back by the next resumable() check — or worse, by a
+			// worker — as live coordination state for a different
+			// campaign.
+			if err := os.Remove(filepath.Join(coordDir, e.Name())); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, false, fmt.Errorf("coord: wiping stale coordination state: %w", err)
+			}
 		}
 	}
 	leases := make([]*Lease, man.Workers)
@@ -630,6 +655,7 @@ func ExecSpawner(argv []string) SpawnFunc {
 		// Deliberately not CommandContext: context cancellation must
 		// reach the child as an interrupt (so it saves its snapshot),
 		// never as a kill. The coordinator's Interrupt does that.
+		//spexlint:ignore ctxflow cancellation is delivered as SIGINT via Handle.Interrupt, not SIGKILL
 		cmd := exec.Command(args[0], args[1:]...)
 		logf, err := os.OpenFile(spec.LogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -99,8 +99,15 @@ func unshardedFingerprint(t testing.TB, w shard.Workload) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := shard.CampaignAll(context.Background(), store, []shard.Workload{w},
+	lk, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.CampaignAll(context.Background(), lk, []shard.Workload{w},
 		shard.Options{Workers: 4, Inject: inject.DefaultOptions()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Unlock(); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := store.Load(w.Sys.Name())
@@ -155,7 +162,12 @@ func TestCoordinatorMatchesUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := shard.CampaignAll(context.Background(), root, []shard.Workload{w},
+	rootLock, err := root.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rootLock.Unlock()
+	runs, err := shard.CampaignAll(context.Background(), rootLock, []shard.Workload{w},
 		shard.Options{Workers: 4, Inject: inject.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)

@@ -62,7 +62,7 @@ type WorkerResult struct {
 // On cancellation the finished outcomes are saved (the campaignstore
 // contract) and the context error is returned alongside the partial
 // result, so a resumed run replays them at zero cost.
-func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.System, opts WorkerOptions) (*WorkerResult, error) {
+func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.System, opts WorkerOptions) (res *WorkerResult, err error) {
 	if opts.Poll <= 0 {
 		opts.Poll = 200 * time.Millisecond
 	}
@@ -70,7 +70,7 @@ func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.Sy
 	if err != nil {
 		return nil, err
 	}
-	res := &WorkerResult{Lease: lease}
+	res = &WorkerResult{Lease: lease}
 	hbPath := HeartbeatPath(leasePath)
 	hb := &Heartbeat{Worker: lease.Worker, Generation: lease.Generation, PID: os.Getpid(), UpdatedAt: time.Now().UTC()}
 	if len(lease.Keys) == 0 {
@@ -85,7 +85,14 @@ func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.Sy
 	if err != nil {
 		return nil, err
 	}
-	defer lock.Unlock()
+	defer func() {
+		// An Unlock that fails after a takeover means another worker owns
+		// this shard store now; surfacing it keeps the coordinator from
+		// merging a store that a live writer is still appending to.
+		if uerr := lock.Unlock(); uerr != nil && err == nil {
+			res, err = nil, fmt.Errorf("coord: worker %d releasing shard lock: %w", lease.Worker, uerr)
+		}
+	}()
 
 	results, err := spex.InferAll(ctx, systems, opts.Workers)
 	if err != nil {
@@ -192,7 +199,7 @@ func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.Sy
 		},
 	}
 
-	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, lock, ws, gopts)
 	stopWatch()
 	watcherDone.Wait()
 	res.Runs = runs

@@ -283,6 +283,8 @@ func DefaultOptions() Options {
 // Run executes a full campaign: every misconfiguration in ms against the
 // target system.
 func Run(sys sim.System, ms []confgen.Misconf, opts Options) (*Report, error) {
+	// Context-free compatibility shim; scheduled callers use RunContext.
+	//spexlint:ignore ctxflow context-free entry point
 	return RunContext(context.Background(), sys, ms, opts)
 }
 

@@ -87,7 +87,7 @@ func TestTableJSONRoundTrips(t *testing.T) {
 func TestReplayFromStoreMatchesLiveAnalysis(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
-	live, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, Global: true, StateDir: dir})
+	live, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, Global: true, State: lockedState(t, dir)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestReplayFromStoreRejectsIncompleteState(t *testing.T) {
 func TestReplayFromIndexMatchesStoreReplay(t *testing.T) {
 	dir := t.TempDir()
 	ctx := context.Background()
-	live, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, Global: true, StateDir: dir})
+	live, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, Global: true, State: lockedState(t, dir)})
 	if err != nil {
 		t.Fatal(err)
 	}

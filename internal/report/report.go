@@ -73,13 +73,15 @@ type AnalyzeOptions struct {
 	// (shard.Hub → internal/progressui), giving it the same per-system
 	// bar display as spexinj. Calls are serialized by the scheduler.
 	OnCampaignProgress func(shard.Progress)
-	// StateDir, when set, persists each system's campaign snapshot under
-	// this directory (internal/campaignstore): campaigns replay recorded
-	// outcomes across spexeval runs and re-execute only the
+	// State, when set, persists each system's campaign snapshot through
+	// this held writer lock (internal/campaignstore): campaigns replay
+	// recorded outcomes across spexeval runs and re-execute only the
 	// misconfigurations the constraint delta selects. Missing, corrupt
 	// or schema-stale snapshots fall back to a full campaign and are
-	// rebuilt.
-	StateDir string
+	// rebuilt. The caller acquires (and later releases) the lock — the
+	// handle is the write capability, so an unlocked analysis cannot
+	// save snapshots by construction.
+	State *campaignstore.Lock
 	// Global schedules the campaigns on one cross-target pool
 	// (internal/shard) instead of one pool per system: inference fans
 	// out Workers wide, then every system's misconfigurations
@@ -96,15 +98,10 @@ type AnalyzeOptions struct {
 	// spexmerge folds the shard directories and a plain
 	// `spexeval -state <merged>` replays the whole campaign at zero
 	// fresh cost, rendering tables byte-identical to an unsharded
-	// run's. Requires StateDir (a shard's outcomes ARE its snapshots)
+	// run's. Requires State (a shard's outcomes ARE its snapshots)
 	// and implies Global. Sharded results cover partial campaigns, so
 	// drivers should not render tables from them directly.
 	Shard shard.Plan
-}
-
-// Analyze runs the full pipeline for one system.
-func Analyze(sys sim.System) (*SystemResult, error) {
-	return analyze(context.Background(), sys, AnalyzeOptions{})
 }
 
 func analyze(ctx context.Context, sys sim.System, aopts AnalyzeOptions) (*SystemResult, error) {
@@ -124,12 +121,8 @@ func analyze(ctx context.Context, sys sim.System, aopts AnalyzeOptions) (*System
 	}
 	var rep *inject.Report
 	var stateErr error
-	if aopts.StateDir != "" {
-		store, err := campaignstore.Open(aopts.StateDir)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", sys.Name(), err)
-		}
-		rep, _, err = campaignstore.Campaign(ctx, store, sys, res.Set, ms, opts)
+	if aopts.State != nil {
+		rep, _, err = campaignstore.Campaign(ctx, aopts.State, sys, res.Set, ms, opts)
 		if err != nil {
 			// A completed campaign whose snapshot failed to save is
 			// still a full analysis — the tables matter more than the
@@ -155,11 +148,6 @@ func analyze(ctx context.Context, sys sim.System, aopts AnalyzeOptions) (*System
 	}, nil
 }
 
-// AnalyzeAll runs the pipeline over all seven targets.
-func AnalyzeAll() ([]*SystemResult, error) {
-	return AnalyzeAllContext(context.Background(), AnalyzeOptions{})
-}
-
 // AnalyzeAllContext runs the pipeline over all seven targets through the
 // engine scheduler: systems fan out opts.Workers wide, each campaign
 // runs opts.CampaignWorkers wide, and results come back in the paper's
@@ -169,8 +157,8 @@ func AnalyzeAll() ([]*SystemResult, error) {
 func AnalyzeAllContext(ctx context.Context, opts AnalyzeOptions) ([]*SystemResult, error) {
 	systems := targets.All()
 	if opts.Shard.Enabled() {
-		if opts.StateDir == "" {
-			return nil, fmt.Errorf("report: a sharded analysis needs a state directory (its outcomes are its snapshots)")
+		if opts.State == nil {
+			return nil, fmt.Errorf("report: a sharded analysis needs a locked state store (its outcomes are its snapshots)")
 		}
 		return analyzeAllGlobal(ctx, systems, opts)
 	}
@@ -216,13 +204,6 @@ func analyzeAllGlobal(ctx context.Context, systems []sim.System, opts AnalyzeOpt
 	if err != nil {
 		return nil, fmt.Errorf("report: %w", err)
 	}
-	var store *campaignstore.Store
-	if opts.StateDir != "" {
-		store, err = campaignstore.Open(opts.StateDir)
-		if err != nil {
-			return nil, fmt.Errorf("report: %w", err)
-		}
-	}
 	gopts := shard.Options{Workers: opts.Workers, Inject: inject.DefaultOptions()}
 	if opts.OnProgress != nil {
 		// A system whose shard partition is empty emits no outcome
@@ -253,7 +234,7 @@ func analyzeAllGlobal(ctx context.Context, systems []sim.System, opts AnalyzeOpt
 			opts.OnCampaignProgress(p)
 		}
 	}
-	runs, runErr := shard.CampaignAll(ctx, store, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, opts.State, ws, gopts)
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -267,26 +248,6 @@ func analyzeAllGlobal(ctx context.Context, systems []sim.System, opts AnalyzeOpt
 			Accuracy:  spex.Score(rs[i].Set, systems[i].GroundTruth()),
 			StateErr:  run.Err,
 		}
-	}
-	return out, nil
-}
-
-// InferOnly runs inference (no campaign) over all targets — enough for
-// Tables 1, 4, 6, 7, 8, 11, 12.
-func InferOnly() ([]*SystemResult, error) {
-	systems := targets.All()
-	rs, err := spex.InferAll(context.Background(), systems, 0)
-	if err != nil {
-		return nil, err
-	}
-	var out []*SystemResult
-	for i, res := range rs {
-		out = append(out, &SystemResult{
-			Sys:       systems[i],
-			Inference: res,
-			Audit:     designcheck.Run(res),
-			Accuracy:  spex.Score(res.Set, systems[i].GroundTruth()),
-		})
 	}
 	return out, nil
 }
@@ -364,6 +325,10 @@ var surveyOnce struct {
 
 func cachedSurvey() ([]minicorpus.SurveyResult, error) {
 	surveyOnce.Do(func() {
+		// The memoized value outlives any one caller, so no caller's
+		// context may scope the survey (a cancelled first request would
+		// poison the cache for the process).
+		//spexlint:ignore ctxflow process-wide memo must not inherit a caller's cancellation
 		surveyOnce.rows, surveyOnce.err = minicorpus.Survey(context.Background(), 0)
 	})
 	return surveyOnce.rows, surveyOnce.err

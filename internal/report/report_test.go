@@ -5,8 +5,29 @@ import (
 	"strings"
 	"testing"
 
+	"spex/internal/campaignstore"
 	"spex/internal/shard"
 )
+
+// lockedState opens dir as a campaign store and holds its writer lock
+// for the remainder of the test — the handle AnalyzeOptions.State needs.
+func lockedState(t *testing.T, dir string) *campaignstore.Lock {
+	t.Helper()
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := store.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := lk.Unlock(); err != nil {
+			t.Error(err)
+		}
+	})
+	return lk
+}
 
 // analyzeAllOnce caches the expensive full analysis across tests.
 var cachedResults []*SystemResult
@@ -14,9 +35,9 @@ var cachedResults []*SystemResult
 func allResults(t *testing.T) []*SystemResult {
 	t.Helper()
 	if cachedResults == nil {
-		rs, err := AnalyzeAll()
+		rs, err := AnalyzeAllContext(context.Background(), AnalyzeOptions{})
 		if err != nil {
-			t.Fatalf("AnalyzeAll: %v", err)
+			t.Fatalf("AnalyzeAllContext: %v", err)
 		}
 		cachedResults = rs
 	}
@@ -154,7 +175,7 @@ func TestShardedAnalysisMergesIdentical(t *testing.T) {
 	for i := 1; i <= 2; i++ {
 		dir := t.TempDir()
 		_, err := AnalyzeAllContext(ctx, AnalyzeOptions{
-			Workers: 4, StateDir: dir, Shard: shard.Plan{Shard: i, Of: 2},
+			Workers: 4, State: lockedState(t, dir), Shard: shard.Plan{Shard: i, Of: 2},
 		})
 		if err != nil {
 			t.Fatalf("shard %d/2: %v", i, err)
@@ -162,10 +183,22 @@ func TestShardedAnalysisMergesIdentical(t *testing.T) {
 		dirs = append(dirs, dir)
 	}
 	merged := t.TempDir()
-	if _, err := shard.Merge(merged, dirs); err != nil {
+	mstore, err := campaignstore.Open(merged)
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, StateDir: merged})
+	mlock, err := mstore.Lock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mergeErr := shard.Merge(mlock, dirs)
+	if err := mlock.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	if mergeErr != nil {
+		t.Fatal(mergeErr)
+	}
+	got, err := AnalyzeAllContext(ctx, AnalyzeOptions{Workers: 4, State: lockedState(t, merged)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +213,12 @@ func TestShardedAnalysisMergesIdentical(t *testing.T) {
 	}
 }
 
-// TestShardedAnalysisRequiresStateDir: a shard's only output is its
-// snapshots, so refusing to run without a state dir is the API contract.
-func TestShardedAnalysisRequiresStateDir(t *testing.T) {
+// TestShardedAnalysisRequiresState: a shard's only output is its
+// snapshots, so refusing to run without a locked store is the API
+// contract.
+func TestShardedAnalysisRequiresState(t *testing.T) {
 	_, err := AnalyzeAllContext(context.Background(), AnalyzeOptions{Shard: shard.Plan{Shard: 1, Of: 2}})
-	if err == nil || !strings.Contains(err.Error(), "state directory") {
-		t.Errorf("sharded analysis without StateDir = %v, want a state-directory error", err)
+	if err == nil || !strings.Contains(err.Error(), "state store") {
+		t.Errorf("sharded analysis without State = %v, want a locked-state error", err)
 	}
 }

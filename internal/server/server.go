@@ -157,9 +157,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	docs, seq, err := loadJournal(cfg.StateDir)
 	if err != nil {
-		lock.Unlock()
+		_ = lock.Unlock() // the journal error is the one worth reporting
 		return nil, err
 	}
+	// The daemon's lifetime root: jobs and SSE streams hang off it, and
+	// Close cancels it. There is no inbound context to inherit here.
+	//spexlint:ignore ctxflow daemon lifetime root, cancelled by Close
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -237,6 +240,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		// Stop the campaign and the SSE streams first — Shutdown waits
 		// for active handlers, and the SSE loops exit on s.ctx.
 		s.cancel()
+		// Deliberately not derived from ctx/s.ctx: both are already
+		// cancelled here, and the drain deadline must survive them.
+		//spexlint:ignore ctxflow shutdown drain outlives the cancelled roots
 		sctx, stop := context.WithTimeout(context.Background(), 10*time.Second)
 		defer stop()
 		_ = srv.Shutdown(sctx)
@@ -448,7 +454,7 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSum
 		return nil, coordStats{}, err
 	}
 	gopts := shard.Options{Workers: workers, Inject: opts, OnProgress: j.hub.Emit}
-	runs, runErr := shard.CampaignAll(ctx, s.store, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, s.lock, ws, gopts)
 
 	var summaries []SystemSummary
 	var saveErr error
@@ -485,7 +491,8 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSum
 // executeCoordinate embeds the shard coordinator: N workers on lease
 // files under the daemon's state directory, work-stealing rebalance,
 // bounded worker retries, and the final merge into the canonical
-// store. The daemon already holds the root lock (Locked).
+// store. The daemon hands coord.Run its own writer-lock handle, so the
+// final merge writes under the lock the daemon already holds.
 func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int) ([]SystemSummary, coordStats, error) {
 	jobID := j.snapshot().ID
 	stealMin := coord.DefaultStealMin
@@ -505,7 +512,7 @@ func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, sy
 		PoolWorkers:   workers,
 		StealMin:      stealMin,
 		WorkerRetries: coord.DefaultWorkerRetries,
-		Locked:        true,
+		Lock:          s.lock,
 		Spawn:         spawn,
 		OnEvent: func(e coord.Event) {
 			ce := &CoordEvent{Kind: e.Kind, Worker: e.Worker, From: e.From, Keys: e.Keys, Attempt: e.Attempt}

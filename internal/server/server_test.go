@@ -9,12 +9,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"spex/internal/campaignstore"
 	"spex/internal/report"
 	"spex/internal/server"
 )
@@ -468,7 +468,7 @@ func TestDaemonValidationAndRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Clean lock release.
-	if _, err := os.Stat(filepath.Join(dir, ".spex.lock")); !os.IsNotExist(err) {
+	if _, err := os.Stat(campaignstore.LockPath(dir)); !os.IsNotExist(err) {
 		t.Fatalf("state lock survived shutdown: %v", err)
 	}
 

@@ -310,15 +310,21 @@ type SystemRun struct {
 // the recorded outcomes, evicts the delta-selected retests, runs
 // everything through RunGlobal (replays cost nothing), and saves the
 // updated snapshot — even after cancellation, so the next run resumes
-// with exactly the unfinished misconfigurations. A nil store runs the
-// campaign unpersisted.
-func CampaignAll(ctx context.Context, store *campaignstore.Store, ws []Workload, opts Options) ([]SystemRun, error) {
+// with exactly the unfinished misconfigurations.
+//
+// The store is addressed through its held writer lock: the campaign
+// ends in snapshot saves, and the *campaignstore.Lock handle is the
+// only capability for those, so a caller must have acquired the lock
+// before it can even name this function's persistent mode. A nil lock
+// runs the campaign unpersisted.
+func CampaignAll(ctx context.Context, lock *campaignstore.Lock, ws []Workload, opts Options) ([]SystemRun, error) {
 	runs := make([]SystemRun, len(ws))
 	for i := range ws {
 		runs[i].Sys = ws[i].Sys
 	}
 	prevStamps := make([]map[string]time.Time, len(ws))
-	if store != nil {
+	if lock != nil {
+		store := lock.Store()
 		for i := range ws {
 			w := &ws[i]
 			cache := inject.NewResultCache()
@@ -331,7 +337,7 @@ func CampaignAll(ctx context.Context, store *campaignstore.Store, ws []Workload,
 	for i := range ws {
 		runs[i].Report = reps[i]
 	}
-	if store != nil {
+	if lock != nil {
 		for i := range ws {
 			snap := campaignstore.New(ws[i].Sys.Name(), ws[i].Set, opts.Inject, ws[i].Cache.Snapshot())
 			// Keys this run executed or re-validated (everything in Ms)
@@ -352,7 +358,7 @@ func CampaignAll(ctx context.Context, store *campaignstore.Store, ws []Workload,
 					}
 				}
 			}
-			if err := store.Save(snap); err != nil {
+			if err := lock.Save(snap); err != nil {
 				runs[i].Err = err
 				continue
 			}

@@ -60,7 +60,7 @@ func BenchmarkMergeThroughput(b *testing.B) {
 		}
 		snap := campaignstore.New("benchsys", set, opts, outcomes)
 		snap.SavedAt = stamp.Add(time.Duration(s) * time.Minute)
-		if err := store.Save(snap); err != nil {
+		if err := saveLocked(b, store, snap); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -72,7 +72,7 @@ func BenchmarkMergeThroughput(b *testing.B) {
 		if err := os.MkdirAll(dst, 0o755); err != nil {
 			b.Fatal(err)
 		}
-		stats, err := Merge(dst, dirs)
+		stats, err := mergeInto(b, dst, dirs)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -220,8 +220,11 @@ func (c *mergeCursor) advance() error {
 	return nil
 }
 
-// Merge folds shard state directories into one canonical store at
-// dstDir: for every system with a snapshot in any source directory, the
+// Merge folds shard state directories into one canonical store —
+// addressed by its held writer lock (dst), the capability for the
+// streaming snapshot writes the merge performs; callers acquire it
+// with campaignstore.Store.Lock before merging, exactly like any other
+// writer. For every system with a snapshot in any source directory, the
 // shards' records fold into a single snapshot via a k-way streaming
 // merge — every source file's records arrive in ascending key order
 // (the binary container's invariant), so the merge holds one record per
@@ -245,13 +248,12 @@ func (c *mergeCursor) advance() error {
 // listed in), and the merged snapshot replays exactly like an unsharded
 // run's — its fingerprint, folded record-by-record during the write, is
 // identical to an unsharded run's store fingerprint.
-func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
+func Merge(dst *campaignstore.Lock, srcDirs []string) ([]MergeStat, error) {
+	if dst == nil {
+		return nil, errors.New("shard: merge needs the destination store's writer lock")
+	}
 	if len(srcDirs) == 0 {
 		return nil, errors.New("shard: no shard directories to merge")
-	}
-	dst, err := campaignstore.Open(dstDir)
-	if err != nil {
-		return nil, err
 	}
 
 	bySystem := map[string][]source{}
@@ -294,8 +296,8 @@ func Merge(dstDir string, srcDirs []string) ([]MergeStat, error) {
 }
 
 // mergeSystem streams one system's shard files into the destination
-// store.
-func mergeSystem(dst *campaignstore.Store, system string, srcs []source) (MergeStat, error) {
+// store through its held writer lock.
+func mergeSystem(dst *campaignstore.Lock, system string, srcs []source) (MergeStat, error) {
 	cursors := make([]*mergeCursor, 0, len(srcs))
 	defer func() {
 		for _, c := range cursors {
@@ -394,7 +396,7 @@ func mergeSystem(dst *campaignstore.Store, system string, srcs []source) (MergeS
 		Shards:      len(cursors),
 		Outcomes:    outcomes,
 		Duplicates:  duplicates,
-		Path:        dst.Path(system),
+		Path:        dst.Store().Path(system),
 		Fingerprint: fp,
 	}, nil
 }

@@ -237,7 +237,7 @@ func TestShardMergeMatchesUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CampaignAll(ctx, usStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts); err != nil {
+	if _, err := lockedCampaign(t, ctx, usStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts); err != nil {
 		t.Fatal(err)
 	}
 	usSnap, err := usStore.Load(sys.Name())
@@ -248,7 +248,7 @@ func TestShardMergeMatchesUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	usReplay, err := CampaignAll(ctx, usStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts)
+	usReplay, err := lockedCampaign(t, ctx, usStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,13 +266,13 @@ func TestShardMergeMatchesUnsharded(t *testing.T) {
 				t.Fatal(err)
 			}
 			sw := Workload{Sys: sys, Set: w.Set, Ms: plan.Filter(sys.Name(), w.Ms)}
-			if _, err := CampaignAll(ctx, store, []Workload{sw}, opts); err != nil {
+			if _, err := lockedCampaign(t, ctx, store, []Workload{sw}, opts); err != nil {
 				t.Fatalf("N=%d shard %d: %v", n, i, err)
 			}
 			dirs = append(dirs, dir)
 		}
 		mergedDir := t.TempDir()
-		stats, err := Merge(mergedDir, dirs)
+		stats, err := mergeInto(t, mergedDir, dirs)
 		if err != nil {
 			t.Fatalf("N=%d merge: %v", n, err)
 		}
@@ -294,7 +294,7 @@ func TestShardMergeMatchesUnsharded(t *testing.T) {
 		if mgFP != usFP {
 			t.Errorf("N=%d: merged store fingerprint %s != unsharded %s", n, mgFP, usFP)
 		}
-		mgReplay, err := CampaignAll(ctx, mgStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts)
+		mgReplay, err := lockedCampaign(t, ctx, mgStore, []Workload{{Sys: sys, Set: w.Set, Ms: w.Ms}}, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,12 +327,12 @@ func TestShardRefreshPreservesPeerOutcomes(t *testing.T) {
 			t.Fatal(err)
 		}
 		sw := Workload{Sys: sys, Set: w.Set, Ms: plan.Filter(sys.Name(), w.Ms)}
-		if _, err := CampaignAll(ctx, store, []Workload{sw}, opts); err != nil {
+		if _, err := lockedCampaign(t, ctx, store, []Workload{sw}, opts); err != nil {
 			t.Fatal(err)
 		}
 		dirs = append(dirs, dir)
 	}
-	if _, err := Merge(mergedDir, dirs); err != nil {
+	if _, err := mergeInto(t, mergedDir, dirs); err != nil {
 		t.Fatal(err)
 	}
 	mgStore, err := campaignstore.Open(mergedDir)
@@ -347,7 +347,7 @@ func TestShardRefreshPreservesPeerOutcomes(t *testing.T) {
 		keep[inject.CacheKey(m)] = true
 	}
 	sw := Workload{Sys: sys, Set: w.Set, Ms: plan.Filter(sys.Name(), w.Ms), Keep: keep}
-	runs, err := CampaignAll(ctx, mgStore, []Workload{sw}, opts)
+	runs, err := lockedCampaign(t, ctx, mgStore, []Workload{sw}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +390,7 @@ func saveSnapshot(t *testing.T, dir string, set *constraint.Set, opts inject.Opt
 	for k := range snap.Stamps {
 		snap.Stamps[k] = savedAt
 	}
-	if err := store.Save(snap); err != nil {
+	if err := saveLocked(t, store, snap); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -430,12 +430,12 @@ func TestMergeCarriedCopyNeverBeatsOwnersRetest(t *testing.T) {
 	snap1.SavedAt = t3
 	snap1.Stamps[keyJ] = t3
 	snap1.Stamps[keyK] = t0 // carried, never re-validated by shard 1
-	if err := store1.Save(snap1); err != nil {
+	if err := saveLocked(t, store1, snap1); err != nil {
 		t.Fatal(err)
 	}
 
 	mergedDir := t.TempDir()
-	if _, err := Merge(mergedDir, []string{d1, d2}); err != nil {
+	if _, err := mergeInto(t, mergedDir, []string{d1, d2}); err != nil {
 		t.Fatal(err)
 	}
 	store, err := campaignstore.Open(mergedDir)
@@ -462,7 +462,7 @@ func TestMergeRejectsMixedOptions(t *testing.T) {
 	d1, d2 := t.TempDir(), t.TempDir()
 	saveSnapshot(t, d1, set, optimized, map[string]inject.Outcome{}, time.Now().UTC())
 	saveSnapshot(t, d2, set, naive, map[string]inject.Outcome{}, time.Now().UTC())
-	_, err := Merge(t.TempDir(), []string{d1, d2})
+	_, err := mergeInto(t, t.TempDir(), []string{d1, d2})
 	if err == nil || !strings.Contains(err.Error(), "options") {
 		t.Errorf("merging mixed-options shards should fail on options, got %v", err)
 	}
@@ -473,7 +473,7 @@ func TestMergeRejectsMixedConstraintSets(t *testing.T) {
 	d1, d2 := t.TempDir(), t.TempDir()
 	saveSnapshot(t, d1, synthSet("p"), opts, map[string]inject.Outcome{}, time.Now().UTC())
 	saveSnapshot(t, d2, synthSet("p", "q"), opts, map[string]inject.Outcome{}, time.Now().UTC())
-	_, err := Merge(t.TempDir(), []string{d1, d2})
+	_, err := mergeInto(t, t.TempDir(), []string{d1, d2})
 	if err == nil || !strings.Contains(err.Error(), "constraint set") {
 		t.Errorf("merging mixed-set shards should fail on the constraint set, got %v", err)
 	}
@@ -497,7 +497,7 @@ func TestMergeFreshestWins(t *testing.T) {
 	saveSnapshot(t, d2, set, opts, map[string]inject.Outcome{key: older}, t0)
 
 	mergedDir := t.TempDir()
-	stats, err := Merge(mergedDir, []string{d1, d2})
+	stats, err := mergeInto(t, mergedDir, []string{d1, d2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -538,7 +538,7 @@ func TestMergeEqualStampTieBreakDeterministic(t *testing.T) {
 
 	for _, order := range [][]string{{dirA, dirB}, {dirB, dirA}} {
 		mergedDir := t.TempDir()
-		stats, err := Merge(mergedDir, order)
+		stats, err := mergeInto(t, mergedDir, order)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -575,7 +575,7 @@ func TestMergeRejectsMisfiledSnapshot(t *testing.T) {
 	if err := os.Rename(store.Path("synth"), store.Path("renamed")); err != nil {
 		t.Fatal(err)
 	}
-	_, err = Merge(t.TempDir(), []string{dir})
+	_, err = mergeInto(t, t.TempDir(), []string{dir})
 	if err == nil || !strings.Contains(err.Error(), "belongs in") {
 		t.Errorf("Merge with a misfiled snapshot = %v, want a belongs-in error", err)
 	}
@@ -598,10 +598,10 @@ func TestMergeSkipsShardsWithoutTheSystem(t *testing.T) {
 		t.Fatal(err)
 	}
 	other := campaignstore.New("othersys", constraint.NewSet("othersys"), opts, map[string]inject.Outcome{})
-	if err := store2.Save(other); err != nil {
+	if err := saveLocked(t, store2, other); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := Merge(t.TempDir(), []string{d1, d2})
+	stats, err := mergeInto(t, t.TempDir(), []string{d1, d2})
 	if err != nil {
 		t.Fatal(err)
 	}

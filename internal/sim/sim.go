@@ -187,6 +187,9 @@ type StartOutcome struct {
 // hung while holding its boot lock would wedge every later boot of that
 // target.
 func MonitorStart(sys System, env *Env, cfg *conffile.File, deadline time.Duration) StartOutcome {
+	// Context-free compatibility shim: callers with a campaign context
+	// use MonitorStartContext; this entry point has none to thread.
+	//spexlint:ignore ctxflow context-free entry point, deadline still bounds the boot
 	return MonitorStartContext(context.Background(), sys, env, cfg, deadline)
 }
 
