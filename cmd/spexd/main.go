@@ -67,6 +67,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -79,23 +80,29 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		state   = flag.String("state", "", "campaign state directory the daemon takes ownership of (required)")
-		addr    = flag.String("addr", "127.0.0.1:8476", "HTTP listen address")
-		workers = flag.Int("workers", 0, "default campaign pool width for jobs that don't set one (0 = one per CPU)")
-		spawn   = flag.String("spawn", "", "coordinate jobs: worker command template with {lease}/{state}/{worker} placeholders (default: in-process workers)")
+		state    = flag.String("state", "", "campaign state directory the daemon takes ownership of (required)")
+		addr     = flag.String("addr", "127.0.0.1:8476", "HTTP listen address")
+		workers  = flag.Int("workers", 0, "default campaign pool width for jobs that don't set one (0 = one per CPU)")
+		spawn    = flag.String("spawn", "", "coordinate jobs: worker command template with {lease}/{state}/{worker} placeholders (default: in-process workers)")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator profiling surface)")
 	)
 	flag.Parse()
 	if *state == "" {
 		fmt.Fprintln(os.Stderr, "spexd: -state is required (the daemon owns a campaign state directory)")
 		return 2
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "spexd: bad -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		return 2
+	}
 
 	cfg := server.Config{
 		StateDir: *state,
 		Workers:  *workers,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Logger:   slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		Pprof:    *pprof,
 	}
 	if *spawn != "" {
 		cfg.SpawnArgv = strings.Fields(*spawn)

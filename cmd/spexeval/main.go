@@ -58,6 +58,7 @@ import (
 	"os/signal"
 
 	"spex/internal/campaignstore"
+	"spex/internal/obs"
 	"spex/internal/progressui"
 	"spex/internal/report"
 	"spex/internal/shard"
@@ -67,17 +68,26 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		tableN    = flag.Int("table", 0, "render only this table (1-12)")
-		figureN   = flag.Int("figure", 0, "render only this figure (1-7)")
-		workers   = flag.Int("workers", 0, "parallel per-system pipelines (0 = one per CPU)")
-		campaign  = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 or 1 = sequential; systems already fan out)")
-		progress  = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
-		state     = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
-		global    = flag.Bool("global", false, "interleave all campaigns on one cross-target worker pool (tables are identical; -campaign-workers is ignored)")
-		shardFlag = flag.String("shard", "", "campaign only one shard i/N of every system's workload and persist per-shard snapshots instead of rendering tables (requires -state; merge with spexmerge, then render with -state alone)")
-		index     = flag.Bool("index", false, "render tables and figures from the store's outcome indexes without replaying snapshots — read-only: takes no writer lock, runs no campaign (requires -state)")
+		tableN     = flag.Int("table", 0, "render only this table (1-12)")
+		figureN    = flag.Int("figure", 0, "render only this figure (1-7)")
+		workers    = flag.Int("workers", 0, "parallel per-system pipelines (0 = one per CPU)")
+		campaign   = flag.Int("campaign-workers", 0, "parallel misconfigurations within each campaign (0 or 1 = sequential; systems already fan out)")
+		progress   = flag.Bool("progress", false, "stream per-system analysis progress to stderr")
+		state      = flag.String("state", "", "state directory for persistent incremental campaigns (snapshots replay across runs)")
+		global     = flag.Bool("global", false, "interleave all campaigns on one cross-target worker pool (tables are identical; -campaign-workers is ignored)")
+		shardFlag  = flag.String("shard", "", "campaign only one shard i/N of every system's workload and persist per-shard snapshots instead of rendering tables (requires -state; merge with spexmerge, then render with -state alone)")
+		index      = flag.Bool("index", false, "render tables and figures from the store's outcome indexes without replaying snapshots — read-only: takes no writer lock, runs no campaign (requires -state)")
+		metricsOut = flag.String("metrics-out", "", "on exit, dump the process metrics registry as JSON to this file (engine, store, and scheduler series)")
 	)
 	flag.Parse()
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spexeval: metrics-out: %v\n", err)
+		}
+	}()
 
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "spexeval: %v\n", err)

@@ -117,6 +117,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -126,6 +127,7 @@ import (
 	"spex/internal/campaignstore"
 	"spex/internal/coord"
 	"spex/internal/inject"
+	"spex/internal/obs"
 	"spex/internal/progressui"
 	"spex/internal/shard"
 	"spex/internal/sim"
@@ -153,8 +155,17 @@ func run() int {
 		leaseFlag  = flag.String("lease", "", "worker mode: execute the key set leased in this file (requires -state; normally set by -coordinate)")
 		simDelay   = flag.Duration("sim-delay", 0, "realize each simulated cost unit as this much wall time (scheduling knob for demos and skew experiments; 0 = full speed)")
 		skew       = flag.Int("skew", 1, "coordinator: multiply -sim-delay by this factor for worker 1, modeling a slow machine (demo/CI knob)")
+		metricsOut = flag.String("metrics-out", "", "on exit, dump the process metrics registry as JSON to this file (engine, store, scheduler, and coordinator series)")
 	)
 	flag.Parse()
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spexinj: metrics-out: %v\n", err)
+		}
+	}()
 
 	var systems []sim.System
 	if *all {
@@ -369,6 +380,7 @@ type coordArgs struct {
 // workers in lease mode over the shared state directory, rebalance by
 // stealing, merge, and print the canonical store's per-system stats.
 func runCoordinator(ctx context.Context, systems []sim.System, opts inject.Options, a coordArgs) int {
+	clog := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "coordinator")
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexinj: %v\n", err)
@@ -409,25 +421,36 @@ func runCoordinator(ctx context.Context, systems []sim.System, opts inject.Optio
 			return coord.ExecSpawner(argvFor(spec.Worker))(ctx, spec)
 		},
 		OnEvent: func(e coord.Event) {
+			// Structured lifecycle log on stderr; the stdout report stays
+			// plain text. Each message keeps its key verb ("stole",
+			// "launched", ...) so log greps keep working across the
+			// slog migration.
 			switch e.Kind {
 			case "plan":
-				fmt.Fprintf(os.Stderr, "spexinj: coordinator: planned %d misconfigurations across %d workers\n", e.Keys, a.workers)
+				clog.Info(fmt.Sprintf("planned %d misconfigurations across %d workers", e.Keys, a.workers),
+					"keys", e.Keys, "workers", a.workers)
 			case "resume":
-				fmt.Fprintf(os.Stderr, "spexinj: coordinator: resuming %d misconfigurations from persisted leases\n", e.Keys)
+				clog.Info(fmt.Sprintf("resuming %d misconfigurations from persisted leases", e.Keys),
+					"keys", e.Keys)
 			case "spawn":
-				fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d launched on %d keys\n", e.Worker, e.Keys)
+				clog.Info(fmt.Sprintf("worker %d launched on %d keys", e.Worker, e.Keys),
+					"worker", e.Worker, "keys", e.Keys)
 			case "exit":
 				if e.Err != nil {
-					fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d exited: %v\n", e.Worker, e.Err)
+					clog.Warn(fmt.Sprintf("worker %d exited: %v", e.Worker, e.Err),
+						"worker", e.Worker, "err", e.Err)
 				} else {
-					fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d drained\n", e.Worker)
+					clog.Info(fmt.Sprintf("worker %d drained", e.Worker), "worker", e.Worker)
 				}
 			case "retry":
-				fmt.Fprintf(os.Stderr, "spexinj: coordinator: respawning worker %d after failure (attempt %d): %v\n", e.Worker, e.Attempt, e.Err)
+				clog.Warn(fmt.Sprintf("respawning worker %d after failure (attempt %d): %v", e.Worker, e.Attempt, e.Err),
+					"worker", e.Worker, "attempt", e.Attempt, "err", e.Err)
 			case "steal":
-				fmt.Fprintf(os.Stderr, "spexinj: coordinator: worker %d stole %d keys from laggard worker %d\n", e.Worker, e.Keys, e.From)
+				clog.Info(fmt.Sprintf("worker %d stole %d keys from laggard worker %d", e.Worker, e.Keys, e.From),
+					"worker", e.Worker, "from", e.From, "keys", e.Keys)
 			case "merge":
-				fmt.Fprintf(os.Stderr, "spexinj: coordinator: merged %d outcomes into %s\n", e.Keys, a.state)
+				clog.Info(fmt.Sprintf("merged %d outcomes into %s", e.Keys, a.state),
+					"keys", e.Keys, "state", a.state)
 			}
 		},
 	}

@@ -1,7 +1,8 @@
-// Spexlint is the repo's custom static-analysis suite: four analyzers
+// Spexlint is the repo's custom static-analysis suite: five analyzers
 // that enforce the cross-cutting invariants of the campaign pipeline —
 // the campaignstore writer-lock ownership model, context threading,
-// fingerprint determinism, and the non-blocking progress fan-out.
+// fingerprint determinism, the non-blocking progress fan-out, and the
+// obs metric-registration discipline.
 // See internal/analysis for the checked-invariant catalogue.
 //
 // Two ways to run it:
@@ -21,6 +22,7 @@ import (
 	"spex/internal/analysis/fingerprintpurity"
 	"spex/internal/analysis/hubsend"
 	"spex/internal/analysis/lockcontract"
+	"spex/internal/analysis/obsmetric"
 )
 
 // suite is the full analyzer set; the repo-wide cleanliness test runs
@@ -31,6 +33,7 @@ func suite() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		fingerprintpurity.Analyzer,
 		hubsend.Analyzer,
+		obsmetric.Analyzer,
 	}
 }
 

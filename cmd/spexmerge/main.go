@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"spex/internal/campaignstore"
+	"spex/internal/obs"
 	"spex/internal/shard"
 )
 
@@ -40,7 +41,16 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	out := flag.String("out", "", "destination state directory for the merged store (required)")
+	metricsOut := flag.String("metrics-out", "", "on exit, dump the process metrics registry as JSON to this file (store and merge series)")
 	flag.Parse()
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spexmerge: metrics-out: %v\n", err)
+		}
+	}()
 
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "spexmerge: -out is required")

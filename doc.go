@@ -304,6 +304,25 @@
 // the lock is a type-level precondition for writing, and only the
 // acquisition discipline is left to the analyzer.
 //
+// # Observability (internal/obs)
+//
+// Every layer of the stack is instrumented against one stdlib-only
+// metrics registry (internal/obs): the engine records task latency,
+// queue depth and cache hit/miss, the campaign store its save/load
+// durations and snapshot sizes, the progress hub its emitted and
+// dropped events, the coordinator its spawns, steals and heartbeat
+// lag, the sim monitor every boot by reaction kind, and the daemon
+// its per-endpoint HTTP latency, ETag revalidation traffic, and job
+// lifecycle. spexd serves the registry at GET /metrics in Prometheus
+// text format (plus net/http/pprof behind -pprof), and the CLIs dump
+// it with -metrics-out <file> as JSON. The daemon also folds each
+// job's progress stream into a span tree — job → system → misconf,
+// steal spans for coordinate runs — journaled beside the job document
+// and served at GET /v1/jobs/{id}/trace as JSON or indented text.
+// Metric families register exactly once, at package level, under
+// package-level name constants; the spexlint obsmetric analyzer
+// enforces that discipline statically.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package spex

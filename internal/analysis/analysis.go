@@ -14,7 +14,7 @@
 //
 // # Checked invariants
 //
-// The four analyzers encode the repo's cross-cutting contracts — the
+// The five analyzers encode the repo's cross-cutting contracts — the
 // rules that hold the concurrency and persistence design together but
 // that neither the compiler nor the race detector can see:
 //
@@ -59,6 +59,15 @@
 // iteration that only fires long after the loop moved on; and a
 // goroutine spawned inside an HTTP handler must observe a context (a
 // ctx variable or a Done channel), or it outlives its request.
+//
+// obsmetric enforces the metric-registration discipline of
+// internal/obs. A registration call (Counter, Gauge, Histogram or a
+// Vec variant on an obs.Registry) must sit in a package-level var
+// initializer, its name argument must be an identifier denoting a
+// package-level string constant (never an inline or computed string),
+// and the same constant may feed only one registration call per
+// package — a duplicate would panic the first time both initializers
+// link into one binary.
 //
 // Every rule can be waived at a specific site with
 //

@@ -1,0 +1,98 @@
+// Package obsmetric enforces the metric-registration discipline of
+// internal/obs. A metric family must exist exactly once per process,
+// and its name must be greppable from the scrape output back to one
+// declaration site, so:
+//
+//   - a registration call (Counter, Gauge, Histogram, or their Vec
+//     variants on an obs.Registry) must sit in a package-level var
+//     initializer — registering inside a function either panics on the
+//     second call or silently ties family creation to control flow;
+//   - the name argument must be an identifier denoting a package-level
+//     string constant, never an inline literal or a computed string:
+//     the const is the single source of truth a dashboard query, a CI
+//     grep, and the registration share;
+//   - the same constant must not feed two registration calls in a
+//     package — the duplicate would panic the first time both
+//     initializers link into one binary.
+//
+// Test files are exempt (they exercise fresh registries with ad-hoc
+// names), as is package obs itself.
+package obsmetric
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spex/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsmetric",
+	Doc:  "obs metrics register at package level under package-level name consts, each const exactly once",
+	Run:  run,
+}
+
+const obsPkg = "spex/internal/obs"
+
+// registrationMethods are the obs.Registry methods that create a
+// metric family.
+var registrationMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == obsPkg {
+		return nil
+	}
+	// seen maps each name constant to its first registration site, so
+	// a second registration names the first in its diagnostic.
+	seen := make(map[types.Object]token.Pos)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		analysis.WithPath(file, func(n ast.Node, path []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil || !registrationMethods[fn.Name()] {
+				return true
+			}
+			if !analysis.NamedType(analysis.ReceiverType(pass.Info, call), obsPkg, "Registry") {
+				return true
+			}
+			if analysis.EnclosingFunc(path) != nil {
+				pass.Reportf(call.Pos(), "obs metric registered inside a function; registration belongs in a package-level var so the family exists exactly once for the process lifetime")
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			var obj types.Object
+			switch arg := ast.Unparen(call.Args[0]).(type) {
+			case *ast.Ident:
+				obj = pass.ObjectOf(arg)
+			case *ast.SelectorExpr:
+				obj = pass.ObjectOf(arg.Sel)
+			}
+			cst, ok := obj.(*types.Const)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(), "obs metric name must be a package-level string const, not an inline expression; the const is the single name the registration, the scrape output, and the dashboards share")
+				return true
+			}
+			if cst.Pkg() != nil && cst.Parent() != cst.Pkg().Scope() {
+				pass.Reportf(call.Args[0].Pos(), "metric name const %s is function-local; hoist it to package level", cst.Name())
+			}
+			if first, dup := seen[cst]; dup {
+				pass.Reportf(call.Pos(), "metric const %s already registered at %s; a family registers exactly once", cst.Name(), analysis.LineOf(pass.Fset, first))
+			} else {
+				seen[cst] = call.Pos()
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package obsmetric_test
+
+import (
+	"testing"
+
+	"spex/internal/analysis/analysistest"
+	"spex/internal/analysis/obsmetric"
+)
+
+func TestObsMetric(t *testing.T) {
+	analysistest.Run(t, obsmetric.Analyzer, "a")
+}

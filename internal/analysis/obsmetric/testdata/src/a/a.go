@@ -1,0 +1,21 @@
+// Positive cases for obsmetric.
+package a
+
+import "spex/internal/obs"
+
+const (
+	dupName    = "a_dup_total"
+	inFuncName = "a_in_func_total"
+	prefix     = "a_"
+)
+
+var (
+	_ = obs.Default().Counter("a_literal_total", "inline literal name") // want `must be a package-level string const`
+	_ = obs.Default().Gauge(prefix+"computed", "computed name")         // want `must be a package-level string const`
+	_ = obs.Default().Counter(dupName, "first registration")
+	_ = obs.Default().Counter(dupName, "second registration") // want `already registered`
+)
+
+func registerLate() *obs.Counter {
+	return obs.Default().Counter(inFuncName, "function-scoped registration") // want `inside a function`
+}

@@ -1,0 +1,19 @@
+// Negative cases: the package-level const discipline, every family
+// kind, each const registered exactly once.
+package a
+
+import "spex/internal/obs"
+
+const (
+	goodCounter = "b_tasks_total"
+	goodGauge   = "b_queue_depth"
+	goodHist    = "b_task_seconds"
+	goodVec     = "b_tasks_by_kind_total"
+)
+
+var (
+	bTasks = obs.Default().Counter(goodCounter, "tasks executed")
+	bDepth = obs.Default().Gauge(goodGauge, "queue depth")
+	bLat   = obs.Default().Histogram(goodHist, "task latency", obs.DurationBuckets)
+	bKinds = obs.Default().CounterVec(goodVec, "tasks by kind", "kind")
+)

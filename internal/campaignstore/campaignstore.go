@@ -278,6 +278,19 @@ func decodeSnapshot(data []byte, label string) (*Snapshot, error) {
 // caller must run a full campaign — outcomes are never replayed from a
 // snapshot that fails validation.
 func (s *Store) Load(system string) (*Snapshot, error) {
+	start := time.Now()
+	snap, err := s.load(system)
+	switch {
+	case err == nil:
+		mLoads.Inc()
+		mLoadSeconds.Observe(time.Since(start).Seconds())
+	case !errors.Is(err, ErrNotExist):
+		mLoadErrors.Inc()
+	}
+	return snap, err
+}
+
+func (s *Store) load(system string) (*Snapshot, error) {
 	data, err := os.ReadFile(s.Path(system))
 	if errors.Is(err, os.ErrNotExist) {
 		// A store written by a pre-binary build keeps its snapshot at the
@@ -386,9 +399,31 @@ func (s *Store) snapshotFiles() ([]string, error) {
 func (l *Lock) Save(snap *Snapshot) error { return l.store.save(snap) }
 
 func (s *Store) save(snap *Snapshot) error {
-	if os.Getenv(legacyJSONEnv) != "" {
-		return s.saveLegacyJSON(snap)
+	start := time.Now()
+	legacy := os.Getenv(legacyJSONEnv) != ""
+	var err error
+	if legacy {
+		err = s.saveLegacyJSON(snap)
+	} else {
+		err = s.saveBinary(snap)
 	}
+	if err != nil {
+		mSaveErrors.Inc()
+		return err
+	}
+	mSaves.Inc()
+	mSaveSeconds.Observe(time.Since(start).Seconds())
+	path := s.Path(snap.System)
+	if legacy {
+		path = s.LegacyPath(snap.System)
+	}
+	if fi, statErr := os.Stat(path); statErr == nil {
+		mSnapshotBytes.Observe(float64(fi.Size()))
+	}
+	return nil
+}
+
+func (s *Store) saveBinary(snap *Snapshot) error {
 	w, err := s.newStreamWriter(snap)
 	if err != nil {
 		return err
@@ -821,6 +856,7 @@ func (s *Store) Prepare(system string, set *constraint.Set, ms []confgen.Misconf
 		} else {
 			st.Fallback = err.Error()
 		}
+		mPrepareFallbacks.Inc()
 		return st, nil
 	}
 	cache.LoadSnapshot(snap.Outcomes)
@@ -828,6 +864,8 @@ func (s *Store) Prepare(system string, set *constraint.Set, ms []confgen.Misconf
 	retests := inject.SelectRetests(ms, d)
 	st.Replayed = true
 	st.Retests = len(retests)
+	mPrepareReplayed.Add(uint64(len(snap.Outcomes)))
+	mPrepareRetests.Add(uint64(len(retests)))
 	// The cache prep of inject.RunSelected: evict the delta so it
 	// re-executes, prune entries that left the campaign — but never the
 	// keys the caller vouched for.

@@ -272,6 +272,8 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 		states[i].running = true
 		running++
 		res.Spawns++
+		mSpawns.Inc()
+		mWorkersRunning.Add(1)
 		emit(Event{Kind: "spawn", Worker: i + 1, Keys: len(states[i].lease.Keys)})
 		go func() { exitCh <- exitMsg{worker: i, err: h.Wait()} }()
 		return nil
@@ -290,6 +292,7 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 			m := <-exitCh
 			states[m.worker].running = false
 			running--
+			mWorkersRunning.Add(-1)
 		}
 		return nil, err
 	}
@@ -319,6 +322,7 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 			if err != nil {
 				continue // torn write: next tick
 			}
+			mHeartbeatLag.Set(time.Since(hb.UpdatedAt).Seconds())
 			done := keySet(hb.Done)
 			var remaining []KeyRef
 			for _, k := range st.lease.Keys {
@@ -381,6 +385,8 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 		states[victim].lease = newVictim
 
 		res.Steals++
+		mSteals.Inc()
+		mStolenKeys.Add(uint64(len(stolen)))
 		emit(Event{Kind: "steal", Worker: thief + 1, From: victim + 1, Keys: len(stolen)})
 		return true, nil
 	}
@@ -417,6 +423,7 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 			st := states[m.worker]
 			st.running = false
 			running--
+			mWorkersRunning.Add(-1)
 			emit(Event{Kind: "exit", Worker: m.worker + 1, Err: m.err})
 			if m.err != nil {
 				if ctx.Err() != nil {
@@ -429,6 +436,7 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 				if st.retries < cfg.WorkerRetries {
 					st.retries++
 					res.Retries++
+					mRetries.Inc()
 					emit(Event{Kind: "retry", Worker: m.worker + 1,
 						Keys: len(st.lease.Keys), Attempt: st.retries, Err: m.err})
 					if err := spawn(m.worker); err != nil {

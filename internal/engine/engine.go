@@ -21,6 +21,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Result is the outcome of one task.
@@ -33,6 +34,9 @@ type Result[T any] struct {
 	Err error
 	// Cached reports that Value was replayed from the cache.
 	Cached bool
+	// Elapsed is the task's wall-clock execution time. Zero for cached
+	// and skipped results — replays cost nothing by construction.
+	Elapsed time.Duration
 	// Skipped reports that the scheduler never started the task: the run
 	// was cancelled before the task was dispatched. Err carries the
 	// context error. Tasks that were already in flight when the context
@@ -83,6 +87,7 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	if n == 0 {
 		return results, ctx.Err()
 	}
+	mQueueDepth.Add(float64(n))
 
 	var (
 		emitMu sync.Mutex
@@ -108,16 +113,24 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 					key = opts.KeyOf(i)
 					if key != "" {
 						if v, ok := opts.Cache.Get(key); ok {
+							mCacheHits.Inc()
 							emit(Result[T]{Index: i, Value: v, Cached: true})
 							continue
 						}
+						mCacheMisses.Inc()
 					}
 				}
+				mBusyWorkers.Add(1)
+				start := time.Now()
 				v, err := fn(ctx, i)
+				elapsed := time.Since(start)
+				mBusyWorkers.Add(-1)
+				mTasks.Inc()
+				mTaskSeconds.Observe(elapsed.Seconds())
 				if err == nil && key != "" {
 					opts.Cache.Put(key, v)
 				}
-				emit(Result[T]{Index: i, Value: v, Err: err})
+				emit(Result[T]{Index: i, Value: v, Err: err, Elapsed: elapsed})
 			}
 		}()
 	}
@@ -128,9 +141,11 @@ func Run[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	// that would have had to execute.
 	flush := func(from int) {
 		for j := from; j < n; j++ {
+			mQueueDepth.Add(-1)
 			if opts.Cache != nil && opts.KeyOf != nil {
 				if key := opts.KeyOf(j); key != "" {
 					if v, ok := opts.Cache.Get(key); ok {
+						mCacheHits.Inc()
 						emit(Result[T]{Index: j, Value: v, Cached: true})
 						continue
 					}
@@ -152,6 +167,7 @@ dispatch:
 		}
 		select {
 		case indices <- i: // the current index i was sent
+			mQueueDepth.Add(-1)
 		case <-ctx.Done():
 			flush(i)
 			break dispatch

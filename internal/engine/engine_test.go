@@ -37,6 +37,9 @@ func TestRunSequentialEqualsParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range seq {
+		// Elapsed is wall-clock noise by definition; everything else
+		// must be deterministic.
+		seq[i].Elapsed, par[i].Elapsed = 0, 0
 		if seq[i] != par[i] {
 			t.Fatalf("result %d differs: sequential %+v, parallel %+v", i, seq[i], par[i])
 		}

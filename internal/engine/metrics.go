@@ -1,0 +1,25 @@
+// Pool metrics: every Run feeds the process-global obs registry so
+// spexd's /metrics (and the CLIs' -metrics-out dumps) expose scheduler
+// behavior — queue depth, pool utilization, per-task latency, and the
+// cache's replay hit ratio.
+package engine
+
+import "spex/internal/obs"
+
+const (
+	metricTasks       = "spex_engine_tasks_total"
+	metricTaskSeconds = "spex_engine_task_seconds"
+	metricQueueDepth  = "spex_engine_queue_depth"
+	metricBusyWorkers = "spex_engine_workers_busy"
+	metricCacheHits   = "spex_engine_cache_hits_total"
+	metricCacheMisses = "spex_engine_cache_misses_total"
+)
+
+var (
+	mTasks       = obs.Default().Counter(metricTasks, "tasks executed by the worker pool (cache replays excluded)")
+	mTaskSeconds = obs.Default().Histogram(metricTaskSeconds, "wall-clock seconds per executed task", obs.DurationBuckets)
+	mQueueDepth  = obs.Default().Gauge(metricQueueDepth, "tasks accepted by Run but not yet dispatched or flushed")
+	mBusyWorkers = obs.Default().Gauge(metricBusyWorkers, "workers currently executing a task")
+	mCacheHits   = obs.Default().Counter(metricCacheHits, "tasks replayed from the keyed result cache")
+	mCacheMisses = obs.Default().Counter(metricCacheMisses, "keyed tasks that missed the cache and executed")
+)

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRunRecordsMetrics drives the pool hard enough that every worker
+// updates the process-global registry concurrently (the -race suite
+// exercises the registry's atomics), then checks the deltas. All
+// assertions are >= deltas: the registry is process-global and other
+// shuffled tests run engine pools too.
+func TestRunRecordsMetrics(t *testing.T) {
+	const n = 64
+	before := struct {
+		tasks, hits, misses, observed uint64
+	}{mTasks.Value(), mCacheHits.Value(), mCacheMisses.Value(), mTaskSeconds.Count()}
+
+	cache := NewCache[int]()
+	var mu sync.Mutex
+	elapsed := make(map[int]bool)
+	run := func() {
+		results, err := Run(context.Background(), n, func(ctx context.Context, i int) (int, error) {
+			return i * i, nil
+		}, Options[int]{
+			Workers: 8,
+			Cache:   cache,
+			KeyOf:   func(i int) string { return fmt.Sprint(i) },
+			OnResult: func(r Result[int]) {
+				mu.Lock()
+				if !r.Cached && r.Elapsed > 0 {
+					elapsed[r.Index] = true
+				}
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != n {
+			t.Fatalf("got %d results", len(results))
+		}
+	}
+	run() // all fresh: n misses, n executions
+	run() // all replayed: n hits, 0 executions
+
+	if d := mTasks.Value() - before.tasks; d < n {
+		t.Errorf("executed-tasks delta = %d, want >= %d", d, n)
+	}
+	if d := mCacheMisses.Value() - before.misses; d < n {
+		t.Errorf("cache-miss delta = %d, want >= %d", d, n)
+	}
+	if d := mCacheHits.Value() - before.hits; d < n {
+		t.Errorf("cache-hit delta = %d, want >= %d", d, n)
+	}
+	if d := mTaskSeconds.Count() - before.observed; d < n {
+		t.Errorf("latency observations delta = %d, want >= %d", d, n)
+	}
+	if got := mQueueDepth.Value(); got != 0 {
+		// The queue gauge must balance to zero once no pool is running...
+		// except other parallel tests may hold tasks in flight; only a
+		// negative reading is unconditionally a bug.
+		if got < 0 {
+			t.Errorf("queue depth gauge went negative: %v", got)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(elapsed) != n {
+		t.Errorf("Elapsed populated for %d/%d executed results", len(elapsed), n)
+	}
+}

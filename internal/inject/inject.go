@@ -383,6 +383,7 @@ func Assemble(system string, ms []confgen.Misconf, results []engine.Result[Outco
 			rep.TotalSimCost += out.SimCost
 		}
 	}
+	recordReportMetrics(rep)
 	return rep
 }
 

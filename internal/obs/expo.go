@@ -1,0 +1,190 @@
+// Exposition: the registry renders itself as Prometheus text format
+// 0.0.4 (served by spexd at GET /metrics) and as a JSON document (the
+// CLIs' -metrics-out dump, for offline diffing against BENCH_*.json).
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format, families and series in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range f.sortedKeys() {
+			values := f.splitKey(key)
+			f.mu.RLock()
+			m := f.children[key]
+			f.mu.RUnlock()
+			switch m := m.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(m.Value()))
+			case *Histogram:
+				var cum uint64
+				for i, b := range m.bounds {
+					cum += m.buckets[i].Load()
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", formatFloat(b)), cum)
+				}
+				cum += m.buckets[len(m.bounds)].Load()
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(m.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), cum)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// familyJSON and seriesJSON shape the -metrics-out document: one entry
+// per family, one series per live label combination.
+type familyJSON struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   any               `json:"value,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// WriteJSON renders the registry as an indented JSON array of
+// families, sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var doc []familyJSON
+	for _, f := range r.sortedFamilies() {
+		fj := familyJSON{Name: f.name, Type: f.kind.String(), Help: f.help, Series: []seriesJSON{}}
+		for _, key := range f.sortedKeys() {
+			values := f.splitKey(key)
+			f.mu.RLock()
+			m := f.children[key]
+			f.mu.RUnlock()
+			s := seriesJSON{}
+			if len(f.labels) > 0 {
+				s.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					s.Labels[l] = values[i]
+				}
+			}
+			switch m := m.(type) {
+			case *Counter:
+				s.Value = m.Value()
+			case *Gauge:
+				s.Value = m.Value()
+			case *Histogram:
+				s.Count = m.Count()
+				s.Sum = m.Sum()
+				s.Buckets = make(map[string]uint64, len(m.bounds)+1)
+				for i, b := range m.bounds {
+					s.Buckets[formatFloat(b)] = m.buckets[i].Load()
+				}
+				s.Buckets["+Inf"] = m.buckets[len(m.bounds)].Load()
+			}
+			fj.Series = append(fj.Series, s)
+		}
+		doc = append(doc, fj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteJSONFile atomically writes the WriteJSON document to path.
+func (r *Registry) WriteJSONFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".metrics-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := r.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedKeys() []string {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	f.mu.RUnlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// splitKey recovers the label values joined by child.
+func (f *family) splitKey(key string) []string {
+	if len(f.labels) == 0 {
+		return nil
+	}
+	return strings.SplitN(key, labelSep, len(f.labels))
+}
+
+// labelString renders {a="x",b="y"} (plus an optional extra pair,
+// used for histogram le labels), or "" when there are no labels.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

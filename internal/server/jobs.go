@@ -150,6 +150,10 @@ type job struct {
 	nextSub int
 	// closed marks the stream ended (terminal state published).
 	closed bool
+	// trace is the job's span recorder, set when the job starts
+	// running; nil for journaled history from previous daemon runs
+	// (their trace, if any, is read back from disk).
+	trace *traceRecorder
 }
 
 func newJob(doc Job) *job {

@@ -50,7 +50,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,6 +64,7 @@ import (
 	"spex/internal/campaignstore"
 	"spex/internal/coord"
 	"spex/internal/inject"
+	"spex/internal/obs"
 	"spex/internal/outcomeindex"
 	"spex/internal/report"
 	"spex/internal/shard"
@@ -91,16 +96,30 @@ type Config struct {
 	// -no-optimizations); a worker whose options differ from the
 	// daemon's is rejected at merge time.
 	SpawnArgv []string
-	// Logf, if set, receives daemon log lines.
-	Logf func(format string, args ...any)
+	// Logger, if set, receives the daemon's structured log records
+	// (job lifecycle, journal failures) with job/state attributes.
+	// Nil discards them.
+	Logger *slog.Logger
+	// KeepaliveInterval is the idle interval between SSE keepalive
+	// comment frames (0 = 15s). Comment frames keep intermediaries
+	// from idling out a quiet event stream; clients ignore them.
+	KeepaliveInterval time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/. Opt-in: the
+	// profiling surface is for operators, not part of the public API.
+	Pprof bool
 }
+
+// defaultKeepalive is the SSE keepalive interval when the config does
+// not set one.
+const defaultKeepalive = 15 * time.Second
 
 // Server is the daemon. Create with New, serve with Handler (any
 // http.Server) or ListenAndServe, stop with Close.
 type Server struct {
-	cfg   Config
-	store *campaignstore.Store
-	lock  *campaignstore.Lock
+	cfg    Config
+	logger *slog.Logger
+	store  *campaignstore.Store
+	lock   *campaignstore.Lock
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -164,8 +183,13 @@ func New(cfg Config) (*Server, error) {
 	// Close cancels it. There is no inbound context to inherit here.
 	//spexlint:ignore ctxflow daemon lifetime root, cancelled by Close
 	ctx, cancel := context.WithCancel(context.Background())
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:        cfg,
+		logger:     logger,
 		store:      store,
 		lock:       lock,
 		ctx:        ctx,
@@ -187,12 +211,6 @@ func New(cfg Config) (*Server, error) {
 	}
 	go s.runner()
 	return s, nil
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // Store exposes the daemon's store for read-only use (tests, status).
@@ -301,9 +319,10 @@ func (s *Server) submit(spec JobSpec) (Job, error) {
 	s.jobs[doc.ID] = j
 	s.order = append(s.order, doc.ID)
 	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-		s.logf("spexd: journal: %v", err)
+		s.logger.Error("journal write failed", "job", doc.ID, "err", err)
 	}
 	j.publish(Event{Kind: "state", Job: doc.ID, State: StateQueued})
+	mJobsByState.With(StateQueued).Inc()
 	s.queue <- j
 	s.mu.Unlock()
 	return doc, nil
@@ -342,29 +361,34 @@ func (s *Server) runJob(j *job) {
 	j.doc.StartedAt = &now
 	jctx, cancel := context.WithCancel(s.ctx)
 	j.cancel = cancel
+	rec := newTraceRecorder(j.doc.ID, now)
+	j.trace = rec
 	doc := j.docLocked()
 	j.mu.Unlock()
 	defer cancel()
 
 	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-		s.logf("spexd: journal: %v", err)
+		s.logger.Error("journal write failed", "job", doc.ID, "err", err)
 	}
 	j.publish(Event{Kind: "state", Job: doc.ID, State: StateRunning})
-	s.logf("spexd: %s running (%s)", doc.ID, describeSpec(doc.Spec))
+	mJobsByState.With(StateRunning).Inc()
+	s.logger.Info("job running", "job", doc.ID, "spec", describeSpec(doc.Spec))
 
 	// The job's campaign feeds the shared progress pipeline; one
-	// forwarder moves hub events onto the SSE stream.
+	// forwarder moves hub events onto the SSE stream and into the
+	// job's trace recorder.
 	events, cancelSub := j.hub.Subscribe(1024)
 	forwarderDone := make(chan struct{})
 	go func() {
 		defer close(forwarderDone)
 		for p := range events {
 			p := p
+			rec.observeProgress(p, time.Now().UTC())
 			j.publish(Event{Kind: "progress", Job: doc.ID, Progress: &p})
 		}
 	}()
 
-	summaries, stats, err := s.execute(jctx, j, doc.Spec)
+	summaries, stats, err := s.execute(jctx, j, doc.Spec, rec)
 	cancelSub()
 	<-forwarderDone
 
@@ -390,7 +414,11 @@ func (s *Server) runJob(j *job) {
 	j.doc.Steals, j.doc.Spawns, j.doc.Retries = stats.steals, stats.spawns, stats.retries
 	j.mu.Unlock()
 	s.finishJob(j, state, msg)
-	s.logf("spexd: %s %s", doc.ID, state)
+	tdoc := rec.finish(state, time.Now().UTC())
+	if err := campaignstore.WriteJSON(tracePath(s.cfg.StateDir, doc.ID), tdoc); err != nil {
+		s.logger.Error("trace write failed", "job", doc.ID, "err", err)
+	}
+	s.logger.Info("job finished", "job", doc.ID, "state", state)
 }
 
 // finishJob moves a job to a terminal state, journals it, publishes
@@ -405,10 +433,14 @@ func (s *Server) finishJob(j *job, state, msg string) {
 	j.doc.State = state
 	j.doc.DoneAt = &now
 	j.doc.Error = msg
+	if j.doc.StartedAt != nil {
+		mJobSeconds.Observe(now.Sub(*j.doc.StartedAt).Seconds())
+	}
 	doc := j.docLocked()
 	j.mu.Unlock()
+	mJobsByState.With(state).Inc()
 	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-		s.logf("spexd: journal: %v", err)
+		s.logger.Error("journal write failed", "job", doc.ID, "err", err)
 	}
 	// The job may have rewritten snapshots: drop the memoized table
 	// analysis.
@@ -424,7 +456,7 @@ type coordStats struct{ steals, spawns, retries int }
 
 // execute runs the campaign itself: the plain global scheduler, or the
 // embedded coordinator for coordinate jobs.
-func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSummary, coordStats, error) {
+func (s *Server) execute(ctx context.Context, j *job, spec JobSpec, rec *traceRecorder) ([]SystemSummary, coordStats, error) {
 	systems, err := resolveSystems(spec)
 	if err != nil {
 		return nil, coordStats{}, err
@@ -442,7 +474,7 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSum
 		opts.SimCostDelay = d
 	}
 	if spec.Coordinate >= 2 {
-		return s.executeCoordinate(ctx, j, spec, systems, opts, workers)
+		return s.executeCoordinate(ctx, j, spec, systems, opts, workers, rec)
 	}
 
 	results, err := spex.InferAll(ctx, systems, workers)
@@ -493,7 +525,7 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec) ([]SystemSum
 // bounded worker retries, and the final merge into the canonical
 // store. The daemon hands coord.Run its own writer-lock handle, so the
 // final merge writes under the lock the daemon already holds.
-func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int) ([]SystemSummary, coordStats, error) {
+func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int, rec *traceRecorder) ([]SystemSummary, coordStats, error) {
 	jobID := j.snapshot().ID
 	stealMin := coord.DefaultStealMin
 	if spec.StealMin != nil {
@@ -515,6 +547,7 @@ func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, sy
 		Lock:          s.lock,
 		Spawn:         spawn,
 		OnEvent: func(e coord.Event) {
+			rec.observeCoord(e, time.Now().UTC())
 			ce := &CoordEvent{Kind: e.Kind, Worker: e.Worker, From: e.From, Keys: e.Keys, Attempt: e.Attempt}
 			if e.Err != nil {
 				ce.Error = e.Err.Error()
@@ -588,6 +621,7 @@ func (s *Server) index(name string) (*outcomeindex.System, error) {
 		c.path == path && c.size == fi.Size() && c.mtime == fi.ModTime().UnixNano() {
 		sys := c.sys
 		s.idxMu.Unlock()
+		mIndexHits.Inc()
 		return sys, nil
 	}
 	s.idxMu.Unlock()
@@ -595,6 +629,7 @@ func (s *Server) index(name string) (*outcomeindex.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	mIndexRebuilds.Inc()
 	s.idxMu.Lock()
 	s.idxCache[name] = &cachedIndex{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano(), sys: sys}
 	s.idxMu.Unlock()
@@ -650,7 +685,11 @@ func etagMatch(r *http.Request, etag string) bool {
 // holds this version. Returns true when the request is done.
 func serveCached(w http.ResponseWriter, r *http.Request, etag string) bool {
 	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") != "" {
+		mEtagChecks.Inc()
+	}
 	if etagMatch(r, etag) {
+		mEtag304.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return true
 	}
@@ -659,20 +698,106 @@ func serveCached(w http.ResponseWriter, r *http.Request, etag string) bool {
 
 // ---- HTTP ----
 
+// statusWriter captures the response code for the request counters. It
+// forwards Flush so the SSE stream still streams through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handle registers one instrumented route: the wrapper times every
+// request and counts it by endpoint name and status code. The endpoint
+// name is a fixed label (never the raw path — paths carry unbounded
+// job IDs and system names, which would explode the series space).
+func handle(mux *http.ServeMux, pattern, endpoint string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		mHTTPSeconds.With(endpoint).Observe(time.Since(start).Seconds())
+		mHTTPRequests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+	})
+}
+
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
-	mux.HandleFunc("POST /v1/jobs", s.handleJobsCreate)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /v1/systems", s.handleSystems)
-	mux.HandleFunc("GET /v1/systems/{name}/outcomes", s.handleOutcomes)
-	mux.HandleFunc("GET /v1/tables/{n}", s.handleTable)
-	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	handle(mux, "GET /v1/status", "status", s.handleStatus)
+	handle(mux, "GET /v1/jobs", "jobs_list", s.handleJobsList)
+	handle(mux, "POST /v1/jobs", "jobs_create", s.handleJobsCreate)
+	handle(mux, "GET /v1/jobs/{id}", "job_get", s.handleJobGet)
+	handle(mux, "DELETE /v1/jobs/{id}", "job_delete", s.handleJobDelete)
+	handle(mux, "GET /v1/jobs/{id}/events", "job_events", s.handleJobEvents)
+	handle(mux, "GET /v1/jobs/{id}/trace", "job_trace", s.handleJobTrace)
+	handle(mux, "GET /v1/systems", "systems", s.handleSystems)
+	handle(mux, "GET /v1/systems/{name}/outcomes", "outcomes", s.handleOutcomes)
+	handle(mux, "GET /v1/tables/{n}", "table", s.handleTable)
+	handle(mux, "GET /v1/query", "query", s.handleQuery)
+	// The scrape endpoint itself stays outside the instrumented wrapper
+	// so scraping never perturbs the request counters it reports.
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the process-global registry in Prometheus text
+// exposition format — every instrumented layer the daemon links
+// (engine, store, hub, coordinator, sim monitor, this server).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// handleJobTrace serves a job's span tree: live from the recorder for
+// jobs run by this daemon, from the persisted trace document for
+// journaled history. ?format=text renders the indented tree.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookup(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	j.mu.Lock()
+	rec := j.trace
+	j.mu.Unlock()
+	var doc obs.TraceDoc
+	if rec != nil {
+		doc = rec.doc()
+	} else {
+		data, err := os.ReadFile(tracePath(s.cfg.StateDir, id))
+		if err != nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (the job never started under this daemon)", id))
+			return
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("trace document: %w", err))
+			return
+		}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, doc.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -768,8 +893,9 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 		j.doc.Error = "cancelled while queued"
 		doc := j.docLocked()
 		j.mu.Unlock()
+		mJobsByState.With(StateCancelled).Inc()
 		if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-			s.logf("spexd: journal: %v", err)
+			s.logger.Error("journal write failed", "job", doc.ID, "err", err)
 		}
 		j.publish(Event{Kind: "state", Job: doc.ID, State: StateCancelled, Error: doc.Error})
 		j.closeStream()
@@ -829,6 +955,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	flusher.Flush()
+	interval := s.cfg.KeepaliveInterval
+	if interval <= 0 {
+		interval = defaultKeepalive
+	}
+	keepalive := time.NewTicker(interval)
+	defer keepalive.Stop()
 	for {
 		select {
 		case e, open := <-ch:
@@ -839,6 +971,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			flusher.Flush()
+		case <-keepalive.C:
+			// SSE comment frame: keeps proxies and load balancers from
+			// idling out a quiet stream; clients ignore comments.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			mSSEKeepalives.Inc()
 		case <-r.Context().Done():
 			return
 		case <-s.ctx.Done():
@@ -1037,12 +1177,14 @@ func (s *Server) replayResults(ctx context.Context) ([]*report.SystemResult, str
 	s.tablesMu.Lock()
 	defer s.tablesMu.Unlock()
 	if s.tablesCache != nil && s.tablesKey == etag {
+		mTablesHits.Inc()
 		return s.tablesCache, etag, nil
 	}
 	results, err := report.ReplayFromIndex(ctx, s.store)
 	if err != nil {
 		return nil, "", err
 	}
+	mTablesRebuilds.Inc()
 	s.tablesCache = results
 	s.tablesKey = etag
 	return results, etag, nil

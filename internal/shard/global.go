@@ -129,6 +129,10 @@ type Progress struct {
 	// Done/Total count across the whole global queue.
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Elapsed is the task's wall-clock execution time (zero when the
+	// outcome was replayed from the cache). Trace recorders use it to
+	// reconstruct per-misconf spans from the event stream.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 }
 
 // Options tune one global run.
@@ -231,6 +235,7 @@ func RunGlobal(ctx context.Context, ws []Workload, opts Options) ([]*inject.Repo
 				SystemTotal: sizes[t.Target],
 				Done:        done,
 				Total:       total,
+				Elapsed:     r.Elapsed,
 			})
 		}
 	}

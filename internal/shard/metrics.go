@@ -1,0 +1,18 @@
+// Fan-out metrics: the Hub's drop-oldest load shedding becomes
+// observable — every emitted event, every drop forced by a slow
+// subscriber, and the live subscriber count feed the obs registry.
+package shard
+
+import "spex/internal/obs"
+
+const (
+	metricHubEvents      = "spex_hub_events_total"
+	metricHubDropped     = "spex_hub_dropped_events_total"
+	metricHubSubscribers = "spex_hub_subscribers"
+)
+
+var (
+	mHubEvents      = obs.Default().Counter(metricHubEvents, "progress events emitted through Hub fan-out")
+	mHubDropped     = obs.Default().Counter(metricHubDropped, "buffered events dropped because a subscriber lagged (drop-oldest policy)")
+	mHubSubscribers = obs.Default().Gauge(metricHubSubscribers, "live Hub subscribers")
+)

@@ -40,6 +40,7 @@ func (h *Hub) Emit(p Progress) {
 	if h.closed {
 		return
 	}
+	mHubEvents.Inc()
 	for _, ch := range h.subs {
 		select {
 		case ch <- p:
@@ -49,11 +50,13 @@ func (h *Hub) Emit(p Progress) {
 			// between — then the channel has room next Emit anyway.
 			select {
 			case <-ch:
+				mHubDropped.Inc()
 			default:
 			}
 			select {
 			case ch <- p:
 			default:
+				mHubDropped.Inc()
 			}
 		}
 	}
@@ -77,12 +80,14 @@ func (h *Hub) Subscribe(buf int) (<-chan Progress, func()) {
 	id := h.nextID
 	h.nextID++
 	h.subs[id] = ch
+	mHubSubscribers.Add(1)
 	return ch, func() {
 		h.mu.Lock()
 		defer h.mu.Unlock()
 		if _, ok := h.subs[id]; ok {
 			delete(h.subs, id)
 			close(ch)
+			mHubSubscribers.Add(-1)
 		}
 	}
 }
@@ -101,5 +106,6 @@ func (h *Hub) Close() {
 	for id, ch := range h.subs {
 		delete(h.subs, id)
 		close(ch)
+		mHubSubscribers.Add(-1)
 	}
 }

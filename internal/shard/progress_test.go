@@ -56,6 +56,52 @@ func TestHubDropsOldestWhenSubscriberLags(t *testing.T) {
 	}
 }
 
+// TestHubSlowSubscriberDropAccounting pins the observability contract
+// of the drop-oldest policy: every event shed for a lagging subscriber
+// increments the registry's dropped-events counter, while emitted
+// events and the subscriber gauge track the fan-out itself. Deltas use
+// >= where other shuffled tests share the process-global registry.
+func TestHubSlowSubscriberDropAccounting(t *testing.T) {
+	const emits = 50
+	droppedBefore := mHubDropped.Value()
+	eventsBefore := mHubEvents.Value()
+
+	h := NewHub()
+	slow, cancelSlow := h.Subscribe(1) // never read until the end
+	fast, cancelFast := h.Subscribe(emits)
+	defer cancelSlow()
+	defer cancelFast()
+	for i := 1; i <= emits; i++ {
+		h.Emit(Progress{Done: i, Total: emits})
+	}
+	h.Close()
+
+	if d := mHubEvents.Value() - eventsBefore; d < emits {
+		t.Errorf("emitted-events delta = %d, want >= %d", d, emits)
+	}
+	// The slow subscriber's 1-slot buffer forces a drop on every emit
+	// after the first; the fast subscriber forces none, so the counter
+	// moved by exactly the slow subscriber's losses (modulo concurrent
+	// tests, hence >=).
+	if d := mHubDropped.Value() - droppedBefore; d < emits-1 {
+		t.Errorf("dropped-events delta = %d, want >= %d", d, emits-1)
+	}
+	var kept []int
+	for p := range slow {
+		kept = append(kept, p.Done)
+	}
+	if len(kept) != 1 || kept[0] != emits {
+		t.Fatalf("slow subscriber kept %v, want just the freshest event (%d)", kept, emits)
+	}
+	n := 0
+	for range fast {
+		n++
+	}
+	if n != emits {
+		t.Fatalf("fast subscriber saw %d events, want all %d", n, emits)
+	}
+}
+
 func TestHubCloseAndCancelAreIdempotent(t *testing.T) {
 	h := NewHub()
 	ch, cancel := h.Subscribe(1)

@@ -198,6 +198,12 @@ func MonitorStart(sys System, env *Env, cfg *conffile.File, deadline time.Durati
 // deadline does and reports StartCancelled, so a parallel campaign can
 // be stopped mid-misconfiguration without waiting out the deadline.
 func MonitorStartContext(ctx context.Context, sys System, env *Env, cfg *conffile.File, deadline time.Duration) StartOutcome {
+	out := monitorStart(ctx, sys, env, cfg, deadline)
+	mBoots.With(out.Kind.String()).Inc()
+	return out
+}
+
+func monitorStart(ctx context.Context, sys System, env *Env, cfg *conffile.File, deadline time.Duration) StartOutcome {
 	type result struct {
 		inst     Instance
 		err      error
