@@ -1,22 +1,25 @@
-// Command spexd is the campaign service daemon: a resident process
-// that owns a campaign state directory, runs misconfiguration-injection
+// Command spexd is the campaign service daemon: a resident, multi-
+// tenant process that owns a root campaign state directory, hosts any
+// number of namespaces under it, runs misconfiguration-injection
 // campaigns on demand, and serves results and live progress over a
 // JSON HTTP API (internal/server). Where spexinj and spexeval are
-// one-shot CLI invocations against a -state dir, spexd takes the
-// store's exclusive writer lock once, for its whole lifetime, and
-// orders campaigns behind a serial job queue — the service form of the
-// same engine, store, scheduler, and coordinator stack.
+// one-shot CLI invocations against a -state dir, spexd holds each
+// namespace's whole-directory writer lock for its whole lifetime and
+// schedules jobs under per-system write locks — the service form of
+// the same engine, store, scheduler, and coordinator stack.
 //
-// Jobs run strictly one at a time per state directory (concurrent
-// writers are unsafe by design; that is what the lock enforces), are
-// journaled durably under <state>/jobs/ (a restarted daemon lists the
-// jobs that ran before it), and stream progress over Server-Sent
-// Events through the same progress pipeline (shard.Hub) the CLI
-// -progress renderers consume. Reads — outcome listings and the
-// paper's evaluation tables — are served read-only from the store's
-// atomic snapshots and work even while a job is writing; table text is
-// byte-identical to a `spexeval -state <dir> -table N` run over the
-// same store.
+// Jobs over disjoint system sets run concurrently (up to -max-jobs per
+// namespace); jobs sharing a system serialize on that system's lock.
+// A job may declare dependencies (needs: [jobID...]) to form a DAG,
+// or stages: ["infer", "inject", "eval"] to pipeline per system. Jobs
+// are journaled durably under <ns>/jobs/ (a restarted daemon lists
+// finished jobs and re-queues jobs that never started), and stream
+// progress over Server-Sent Events through the same progress pipeline
+// (shard.Hub) the CLI -progress renderers consume. Reads — outcome
+// listings and the paper's evaluation tables — are served read-only
+// from the store's atomic snapshots and work even while a job is
+// writing; table text is byte-identical to a
+// `spexeval -state <dir> -table N` run over the same store.
 //
 // # Quickstart (see also examples/quickstart/README.md)
 //
@@ -42,6 +45,29 @@
 //	curl -s -X POST localhost:8476/v1/jobs \
 //	     -d '{"systems": ["proxyd", "mydb"], "coordinate": 2}'
 //
+// # Namespaces and the job DAG
+//
+// Every /v1 route addresses the default namespace — the root state
+// directory, so a single-tenant daemon keeps the URLs above. The same
+// routes exist under /v1/ns/{ns}/ for named tenants, each a full state
+// directory at <state>/<ns>/ created on first job submission:
+//
+//	# tenant "alpha" gets its own store, journal, queue, and quotas
+//	curl -s -X POST localhost:8476/v1/ns/alpha/jobs \
+//	     -d '{"systems": ["proxyd"], "workers": 4}'
+//	curl -s 'localhost:8476/v1/ns/alpha/tables/5?format=text'
+//	curl -s localhost:8476/v1/ns            # list namespaces
+//
+// Jobs in one namespace schedule as a DAG: needs waits for other jobs,
+// stages pipelines infer → inject → eval per system (a fast system
+// evaluates while a slow one still injects; every transition is a
+// "stage" SSE event):
+//
+//	curl -s -X POST localhost:8476/v1/jobs \
+//	     -d '{"systems": ["mydb"], "needs": ["job-000001"]}'
+//	curl -s -X POST localhost:8476/v1/jobs \
+//	     -d '{"all": true, "stages": ["infer", "inject", "eval"]}'
+//
 // Coordinate-job workers run in-process by default; -spawn replaces
 // them with external worker processes from a command template (the
 // same {lease}/{state}/{worker} placeholders as `spexinj -spawn`, so
@@ -51,10 +77,11 @@
 // lifecycle events (spawn/steal/retry/merge) but not per-outcome
 // "progress" events — those need the in-process default.
 //
-// SIGINT/SIGTERM shut the daemon down gracefully: the running campaign
-// drains through the engine's cancellation path (finished outcomes are
-// already persisted — the store resumes where it stopped), queued jobs
-// are journaled cancelled, and the writer lock is released.
+// SIGINT/SIGTERM shut the daemon down gracefully: running campaigns
+// drain through the engine's cancellation path (finished outcomes are
+// already persisted — the stores resume where they stopped), queued
+// jobs are journaled cancelled, and every namespace's writer lock is
+// released.
 //
 // Usage:
 //
@@ -86,6 +113,8 @@ func run() int {
 		spawn    = flag.String("spawn", "", "coordinate jobs: worker command template with {lease}/{state}/{worker} placeholders (default: in-process workers)")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator profiling surface)")
+		maxJobs  = flag.Int("max-jobs", 0, "max concurrently running jobs per namespace (0 = 4)")
+		maxQueue = flag.Int("max-queued", 0, "max queued jobs per namespace before submits answer 503 (0 = 256)")
 	)
 	flag.Parse()
 	if *state == "" {
@@ -99,10 +128,12 @@ func run() int {
 	}
 
 	cfg := server.Config{
-		StateDir: *state,
-		Workers:  *workers,
-		Logger:   slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
-		Pprof:    *pprof,
+		StateDir:          *state,
+		Workers:           *workers,
+		Logger:            slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		Pprof:             *pprof,
+		MaxConcurrentJobs: *maxJobs,
+		MaxQueuedJobs:     *maxQueue,
 	}
 	if *spawn != "" {
 		cfg.SpawnArgv = strings.Fields(*spawn)

@@ -115,7 +115,7 @@ func run() int {
 		return 2
 	}
 
-	var lock *campaignstore.Lock
+	var locks *campaignstore.LockSet
 	if *state != "" && !*index {
 		store, err := campaignstore.Open(*state)
 		if err != nil {
@@ -124,7 +124,7 @@ func run() int {
 		// One writer per state directory, same contract as spexinj. The
 		// handle is passed down as the analysis's snapshot-write
 		// capability.
-		lock, err = store.Lock()
+		lock, err := store.Lock()
 		if err != nil {
 			return fail(err)
 		}
@@ -133,6 +133,7 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "spexeval: %v\n", uerr)
 			}
 		}()
+		locks = lock.Set()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -153,7 +154,7 @@ func run() int {
 			return fail(err)
 		}
 	} else {
-		opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, State: lock, Global: *global, Shard: plan}
+		opts := report.AnalyzeOptions{Workers: *workers, CampaignWorkers: *campaign, State: locks, Global: *global, Shard: plan}
 		var finishProgress func()
 		if *progress {
 			if *global || plan.Enabled() {

@@ -233,6 +233,7 @@ func run() int {
 	}
 
 	var lock *campaignstore.Lock
+	var locks *campaignstore.LockSet
 	if *state != "" {
 		store, err := campaignstore.Open(*state)
 		if err != nil {
@@ -253,6 +254,9 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "spexinj: %v\n", uerr)
 			}
 		}()
+		// The whole-directory lock viewed as the per-system capability
+		// set the scheduler saves through.
+		locks = lock.Set()
 	}
 
 	// Inference fans out on the engine pool, then every system's
@@ -278,7 +282,7 @@ func run() int {
 	if *progress {
 		gopts.OnProgress, finishProgress = progressui.Attach(os.Stderr, "spexinj")
 	}
-	runs, runErr := shard.CampaignAll(ctx, lock, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, locks, ws, gopts)
 	if finishProgress != nil {
 		finishProgress()
 	}

@@ -82,7 +82,7 @@ func run() int {
 		}
 	}()
 
-	stats, err := shard.Merge(lock, dirs)
+	stats, err := shard.Merge(lock.Set(), dirs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spexmerge: %v\n", err)
 		return 1

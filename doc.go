@@ -207,20 +207,64 @@
 // expanded per worker by coord.ExpandArgv): an SSH preset distributes
 // workers across machines sharing the state directory.
 //
+// # Locking hierarchy
+//
+// The writer lock comes in two granularities, both the same on-disk
+// mechanism (an atomically hard-linked lock file carrying pid/host,
+// mtime-refreshed while held, with stale-lock takeover):
+//
+//   - the whole-directory lock (campaignstore.Store.Lock, .spex.lock)
+//     claims every system in a state directory at once — the CLI mode:
+//     spexinj, spexeval and spexmerge take it for the length of a run,
+//     and Lock.Set() views it as a LockSet covering all systems;
+//   - per-system locks (Store.LockSystem / LockSystems,
+//     <system>.spex.lock) claim exactly the systems a campaign
+//     touches, so writers over disjoint systems share one directory
+//     concurrently. A LockSet is all-or-nothing: claims are taken in
+//     sorted order and the whole set rolls back on any conflict, so
+//     two sets can never hold-and-wait against each other.
+//
+// The granularities exclude each other across processes — Lock refuses
+// while live foreign per-system locks exist, LockSystem refuses under
+// a live foreign directory lock — but nest within one process (same
+// pid and host): the daemon holds each namespace's directory lock for
+// its lifetime while its jobs claim per-system locks under it. Either
+// way, the handle is the write capability: Save and NewStreamWriter
+// live on Lock, SystemLock and LockSet, and a set routes each snapshot
+// to the claim scoped to its system.
+//
 // # Campaign service daemon
 //
 // cmd/spexd and internal/server turn the whole stack into a resident
-// service: the daemon takes a state directory's exclusive writer lock
-// once, for its lifetime, and serves a JSON HTTP API — POST /v1/jobs
-// submits a campaign (named systems or all, pool width, optionally
+// multi-tenant service. One daemon owns a root state directory and
+// hosts namespaces under it — the default namespace is the root itself
+// (bare /v1 URLs, the single-tenant layout), and every route repeats
+// under /v1/ns/{name} for tenants at <root>/<name>/, each a full state
+// directory with its own store, journal, queues and quotas, created on
+// first job submission. The JSON HTTP API: POST /v1/jobs submits a
+// campaign (named systems or all, pool width, optionally
 // `coordinate: N` to embed the work-stealing coordinator), GET
 // /v1/jobs/{id} reports status, DELETE cancels through the engine's
 // context plumbing (finished outcomes persist; the store resumes), and
 // GET /v1/jobs/{id}/events streams live progress over Server-Sent
-// Events. Jobs run strictly serially behind an in-memory queue (the
-// store lock makes concurrent writers unsafe by design) and are
-// journaled durably under <state>/jobs/, so a restarted daemon still
-// lists earlier jobs.
+// Events.
+//
+// Jobs are scheduled as a DAG over the per-system locks: each job
+// claims exactly the systems it campaigns (all-or-nothing, from a
+// reservation board under the scheduler's mutex, then as real lock
+// files), so jobs over disjoint systems run concurrently — up to
+// Config.MaxConcurrentJobs per namespace — while jobs sharing a system
+// serialize on that system, with stores byte-identical to a serial
+// run. A spec's `needs: [jobID...]` adds explicit edges (a failed or
+// cancelled dependency fails the dependent), and
+// `stages: ["infer", "inject", "eval"]` turns the job into a
+// per-system pipeline: every system advances through its stages
+// independently, publishing each transition as a "stage" SSE event, so
+// a fast system evaluates while a slow one is still injecting. Jobs
+// are journaled durably under <ns>/jobs/: a restarted daemon lists
+// finished jobs, adopts interrupted running jobs as failed (the
+// snapshots hold every finished outcome — resubmit to resume), and
+// re-queues jobs that never started.
 //
 // Progress flows through one shared pipeline end to end: the global
 // scheduler emits shard.Progress events (typed like the single-system
@@ -299,10 +343,10 @@
 // (`spexlint ./...`) or as `go vet -vettool=$(which spexlint) ./...`
 // and gated in CI. internal/analysis documents the full invariant
 // catalogue and the //spexlint:ignore waiver syntax; the writer-lock
-// half of the contract is structural — (*campaignstore.Lock).Save and
-// NewStreamWriter are the only snapshot-write capability, so holding
-// the lock is a type-level precondition for writing, and only the
-// acquisition discipline is left to the analyzer.
+// half of the contract is structural — Save and NewStreamWriter live
+// only on the Lock, SystemLock and LockSet handles, so holding a lock
+// is a type-level precondition for writing, and only the acquisition
+// discipline (at both granularities) is left to the analyzer.
 //
 // # Observability (internal/obs)
 //

@@ -1,23 +1,27 @@
 // Package lockcontract checks the campaignstore writer-lock ownership
 // discipline. The type system already guarantees writes happen under
-// the lock — (*campaignstore.Lock).Save and NewStreamWriter are the
-// only snapshot-write capability — so this analyzer owns the
-// acquisition side of the contract:
+// a lock — Save and NewStreamWriter live on the Lock, SystemLock, and
+// LockSet handles, the only snapshot-write capabilities — so this
+// analyzer owns the acquisition side of the contract, at both
+// granularities:
 //
-//   - a (*Store).Lock call's handle must be released in the acquiring
-//     function (lock.Unlock(), usually deferred) or escape to a caller
-//     that owns the release;
-//   - a store is locked at most once per function — a second Lock on
-//     the same store with no intervening release always deadlocks the
-//     CLI contract (the lock is exclusive per state directory);
-//   - Lock never runs inside an http.ResponseWriter-bearing function
-//     (the daemon's read endpoints are lock-free by design: they serve
-//     from snapshots and the outcome index) nor inside a
+//   - a (*Store).Lock / LockSystem / LockSystems call's handle must be
+//     released in the acquiring function (handle.Unlock(), usually
+//     deferred) or escape to a caller that owns the release;
+//   - a store is whole-directory-locked at most once per function, and
+//     each system is per-system-locked at most once per function — a
+//     second acquisition of the same lock with no intervening release
+//     always deadlocks the CLI contract (both locks are exclusive);
+//   - no acquisition runs inside an http.ResponseWriter-bearing
+//     function (the daemon's read endpoints are lock-free by design:
+//     they serve from snapshots and the outcome index) nor inside a
 //     shard.Progress / coord.Event callback (those execute on the
 //     scheduler's emit path, under the very campaign the lock guards —
 //     acquiring there deadlocks the writer against itself);
-//   - the ".spex.lock" file name is campaignstore's private spelling;
-//     foreign code resolves it via campaignstore.LockPath.
+//   - the ".spex.lock" file name (the directory lock, and the suffix
+//     of every per-system lock file) is campaignstore's private
+//     spelling; foreign code resolves it via campaignstore.LockPath or
+//     campaignstore.SystemLockPath.
 //
 // Test files are exempt: lock-contract tests must be able to abuse the
 // API on purpose.
@@ -27,6 +31,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strconv"
 	"strings"
 
 	"spex/internal/analysis"
@@ -40,7 +45,7 @@ const (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "lockcontract",
-	Doc:  "campaignstore writer locks are acquired once, released or handed off, and never taken on the serving or progress paths",
+	Doc:  "campaignstore writer locks (whole-directory and per-system) are acquired once, released or handed off, and never taken on the serving or progress paths",
 	Run:  run,
 }
 
@@ -75,7 +80,7 @@ func checkLockLiterals(pass *analysis.Pass, file *ast.File) {
 	ast.Inspect(file, func(n ast.Node) bool {
 		lit, ok := n.(*ast.BasicLit)
 		if ok && lit.Kind == token.STRING && strings.Contains(lit.Value, ".spex.lock") {
-			pass.Reportf(lit.Pos(), "the %q file name belongs to campaignstore; use campaignstore.LockPath", ".spex.lock")
+			pass.Reportf(lit.Pos(), "the %q file name belongs to campaignstore; use campaignstore.LockPath (or SystemLockPath for a per-system lock file)", ".spex.lock")
 		}
 		return true
 	})
@@ -84,12 +89,14 @@ func checkLockLiterals(pass *analysis.Pass, file *ast.File) {
 // checkFunc applies the acquisition rules to one top-level function
 // and every literal nested in it.
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	// Lock calls seen so far per enclosing function, keyed by the
-	// receiver store's object, for the double-acquisition rule. Unlock
-	// calls clear the marker.
+	// Acquisitions seen so far per enclosing function, keyed by the
+	// receiver store's object plus the lock's scope — "" for the
+	// whole-directory lock, the system name for a per-system claim made
+	// with a literal argument. Unlock calls clear the markers.
 	type acquisition struct {
-		fn    ast.Node
-		store types.Object
+		fn     ast.Node
+		store  types.Object
+		system string
 	}
 	var acquired []acquisition
 
@@ -104,17 +111,17 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		switch fn.Name() {
 		case "Unlock":
-			// A direct release resets the per-store acquisition markers: a
+			// A direct release resets the acquisition markers: a
 			// sequential lock/unlock/lock pattern is legal. A deferred
-			// Unlock doesn't — it runs at function exit, so the store stays
-			// locked for the rest of the body.
+			// Unlock doesn't — it runs at function exit, so the lock stays
+			// held for the rest of the body.
 			if len(path) == 0 {
 				return true
 			}
 			if _, isDefer := path[len(path)-1].(*ast.DeferStmt); !isDefer {
 				acquired = acquired[:0]
 			}
-		case "Lock":
+		case "Lock", "LockSystem", "LockSystems":
 			if !analysis.NamedType(analysis.ReceiverType(pass.Info, call), storePkg, "Store") {
 				return true
 			}
@@ -122,16 +129,37 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			if encl == nil {
 				encl = fd
 			}
-			checkForbiddenContext(pass, call, path)
+			checkForbiddenContext(pass, fn.Name(), call, path)
 
 			storeObj := receiverObject(pass.Info, call)
 			if storeObj != nil {
-				for _, prev := range acquired {
-					if prev.store == storeObj && prev.fn == encl {
-						pass.Reportf(call.Pos(), "store already locked in this function with no intervening Unlock; the writer lock is exclusive per state directory")
+				// The scopes this call claims: the whole directory for
+				// Lock, each literal system name for LockSystem(s).
+				// Non-literal arguments are invisible to the static check;
+				// the runtime conflict error still catches those.
+				var scopes []string
+				if fn.Name() == "Lock" {
+					scopes = []string{""}
+				} else {
+					for _, arg := range call.Args {
+						if sys, ok := stringLiteral(arg); ok {
+							scopes = append(scopes, sys)
+						}
 					}
 				}
-				acquired = append(acquired, acquisition{fn: encl, store: storeObj})
+				for _, scope := range scopes {
+					for _, prev := range acquired {
+						if prev.store != storeObj || prev.fn != encl || prev.system != scope {
+							continue
+						}
+						if scope == "" {
+							pass.Reportf(call.Pos(), "store already locked in this function with no intervening Unlock; the writer lock is exclusive per state directory")
+						} else {
+							pass.Reportf(call.Pos(), "system %q already locked in this function with no intervening Unlock; the per-system writer lock is exclusive", scope)
+						}
+					}
+					acquired = append(acquired, acquisition{fn: encl, store: storeObj, system: scope})
+				}
 			}
 
 			id, obj := analysis.AssignedIdent(pass.Info, path, call)
@@ -153,6 +181,19 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
+// stringLiteral unquotes a plain string-literal expression.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
 // receiverObject resolves the object of the receiver expression when
 // it is a plain identifier or selector chain ending in one.
 func receiverObject(info *types.Info, call *ast.CallExpr) types.Object {
@@ -169,27 +210,27 @@ func receiverObject(info *types.Info, call *ast.CallExpr) types.Object {
 	return nil
 }
 
-// checkForbiddenContext flags a Lock call whose enclosing functions
-// include a request handler or a scheduler callback.
-func checkForbiddenContext(pass *analysis.Pass, call *ast.CallExpr, path []ast.Node) {
+// checkForbiddenContext flags an acquisition call whose enclosing
+// functions include a request handler or a scheduler callback.
+func checkForbiddenContext(pass *analysis.Pass, name string, call *ast.CallExpr, path []ast.Node) {
 	for i := len(path) - 1; i >= 0; i-- {
 		switch f := path[i].(type) {
 		case *ast.FuncDecl:
 			if analysis.FuncHasParamType(pass.Info, f, "net/http", "ResponseWriter") {
-				pass.Reportf(call.Pos(), "Lock inside an HTTP handler: the daemon's serving path is lock-free (snapshots and the outcome index serve reads)")
+				pass.Reportf(call.Pos(), "%s inside an HTTP handler: the daemon's serving path is lock-free (snapshots and the outcome index serve reads)", name)
 			}
 			return // outermost function reached
 		case *ast.FuncLit:
 			if analysis.FuncHasParamType(pass.Info, f, "net/http", "ResponseWriter") {
-				pass.Reportf(call.Pos(), "Lock inside an HTTP handler: the daemon's serving path is lock-free (snapshots and the outcome index serve reads)")
+				pass.Reportf(call.Pos(), "%s inside an HTTP handler: the daemon's serving path is lock-free (snapshots and the outcome index serve reads)", name)
 				return
 			}
 			if analysis.FuncHasParamType(pass.Info, f, shardPkg, "Progress") {
-				pass.Reportf(call.Pos(), "Lock inside a shard.Progress callback: progress hooks run on the campaign's emit path, under the lock's own writer")
+				pass.Reportf(call.Pos(), "%s inside a shard.Progress callback: progress hooks run on the campaign's emit path, under the lock's own writer", name)
 				return
 			}
 			if analysis.FuncHasParamType(pass.Info, f, coordPkg, "Event") {
-				pass.Reportf(call.Pos(), "Lock inside a coord.Event callback: coordinator events fire on the run's emit path, under the lock's own writer")
+				pass.Reportf(call.Pos(), "%s inside a coord.Event callback: coordinator events fire on the run's emit path, under the lock's own writer", name)
 				return
 			}
 		}

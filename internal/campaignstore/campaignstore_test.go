@@ -228,7 +228,7 @@ func TestCampaignReplaysAcrossRuns(t *testing.T) {
 	opts := inject.DefaultOptions()
 
 	// Run 1: full campaign, snapshot rebuilt from scratch.
-	rep1, st1, err := Campaign(context.Background(), testWriter(store), sys, set, ms, opts)
+	rep1, st1, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestCampaignReplaysAcrossRuns(t *testing.T) {
 	}
 
 	// Run 2: unchanged constraints — everything replays, zero fresh cost.
-	rep2, st2, err := Campaign(context.Background(), testWriter(store), sys, set, ms, opts)
+	rep2, st2, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestCampaignReplaysAcrossRuns(t *testing.T) {
 	c2 := rangeC("p", 5)
 	set2 := mkSet(c2)
 	ms2 := misconfs(c2, 9)
-	rep3, st3, err := Campaign(context.Background(), testWriter(store), sys, set2, ms2, opts)
+	rep3, st3, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set2, ms2, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestCampaignDeltaRetestsOnlyAffected(t *testing.T) {
 		ID: "q-low", Param: "q", Values: map[string]string{"q": "0"}, Violates: cQ,
 	})
 
-	if _, _, err := Campaign(context.Background(), testWriter(store), sys, mkSet(cP, cQ), ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, mkSet(cP, cQ), ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	boots := sys.boots.Load()
@@ -302,7 +302,7 @@ func TestCampaignDeltaRetestsOnlyAffected(t *testing.T) {
 	ms2 := append(append([]confgen.Misconf(nil), ms[:6]...), confgen.Misconf{
 		ID: "q-low", Param: "q", Values: map[string]string{"q": "0"}, Violates: cQ2,
 	})
-	rep, st, err := Campaign(context.Background(), testWriter(store), sys, mkSet(cP, cQ2), ms2, inject.DefaultOptions())
+	rep, st, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, mkSet(cP, cQ2), ms2, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestCampaignFallsBackOnStaleSnapshot(t *testing.T) {
 	c := basicC("p")
 	set := mkSet(c)
 	ms := misconfs(c, 6)
-	if _, _, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	// Corrupt the snapshot's schema in place.
@@ -340,7 +340,7 @@ func TestCampaignFallsBackOnStaleSnapshot(t *testing.T) {
 	}
 
 	boots := sys.boots.Load()
-	rep, st, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions())
+	rep, st, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +368,7 @@ func TestCampaignFallsBackOnChangedOptions(t *testing.T) {
 	c := basicC("p")
 	set := mkSet(c)
 	ms := misconfs(c, 6)
-	if _, _, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	boots := sys.boots.Load()
@@ -378,7 +378,7 @@ func TestCampaignFallsBackOnChangedOptions(t *testing.T) {
 	noOpt := inject.DefaultOptions()
 	noOpt.StopOnFirstFailure = false
 	noOpt.SortTests = false
-	rep, st, err := Campaign(context.Background(), testWriter(store), sys, set, ms, noOpt)
+	rep, st, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, noOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestCampaignFallsBackOnChangedOptions(t *testing.T) {
 	}
 
 	// The rebuilt snapshot replays for the same no-opt options...
-	rep2, st2, err := Campaign(context.Background(), testWriter(store), sys, set, ms, noOpt)
+	rep2, st2, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, noOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,7 @@ func TestCampaignCancelThenResume(t *testing.T) {
 			cancel()
 		}
 	}
-	rep, st, err := Campaign(ctx, testWriter(store), sys, set, ms, opts)
+	rep, st, err := Campaign(ctx, testWriter(store, sys.Name()), sys, set, ms, opts)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -448,7 +448,7 @@ func TestCampaignCancelThenResume(t *testing.T) {
 
 	// Resume: only the unfinished misconfigurations re-execute.
 	boots := sys.boots.Load()
-	rep2, st2, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions())
+	rep2, st2, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -732,7 +732,10 @@ func TestUnlockAfterTakeoverLeavesSuccessorLock(t *testing.T) {
 	}
 }
 
-// testWriter returns a write-capable handle without claiming the lock
-// file: these tests exercise Campaign's replay logic against private
-// temp stores, and the lock-file contract has its own tests above.
-func testWriter(s *Store) *Lock { return &Lock{store: s} }
+// testWriter returns a write-capable per-system handle without
+// claiming the lock file: these tests exercise Campaign's replay logic
+// against private temp stores, and the lock-file contract has its own
+// tests above.
+func testWriter(s *Store, system string) *SystemLock {
+	return &SystemLock{store: s, system: system}
+}

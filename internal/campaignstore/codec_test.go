@@ -195,7 +195,7 @@ func TestCampaignFallsBackOnCorruptBinary(t *testing.T) {
 	c := basicC("p")
 	set := mkSet(c)
 	ms := misconfs(c, 6)
-	if _, _, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions()); err != nil {
+	if _, _, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, inject.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(store.Path(sys.Name()))
@@ -207,7 +207,7 @@ func TestCampaignFallsBackOnCorruptBinary(t *testing.T) {
 	}
 
 	boots := sys.boots.Load()
-	rep, st, err := Campaign(context.Background(), testWriter(store), sys, set, ms, inject.DefaultOptions())
+	rep, st, err := Campaign(context.Background(), testWriter(store, sys.Name()), sys, set, ms, inject.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

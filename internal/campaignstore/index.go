@@ -55,6 +55,25 @@ func (l *Lock) NewStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
 	return l.store.newStreamWriter(hdr)
 }
 
+// NewStreamWriter opens a streaming save through the per-system
+// capability. The header's system must match the lock's scope.
+func (l *SystemLock) NewStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
+	if hdr.System != l.system {
+		return nil, fmt.Errorf("campaignstore: lock scoped to system %q cannot stream a snapshot for %q", l.system, hdr.System)
+	}
+	return l.store.newStreamWriter(hdr)
+}
+
+// NewStreamWriter routes the streaming save to the header system's
+// write capability in the set.
+func (ls *LockSet) NewStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
+	l, err := ls.System(hdr.System)
+	if err != nil {
+		return nil, err
+	}
+	return l.NewStreamWriter(hdr)
+}
+
 func (s *Store) newStreamWriter(hdr *Snapshot) (*StreamWriter, error) {
 	final := s.Path(hdr.System)
 	tmp, err := os.CreateTemp(s.dir, filepath.Base(final)+".tmp-*")

@@ -110,15 +110,17 @@ type Config struct {
 	// store and re-executes only what never saved, so a retry costs one
 	// spawn, not a repeated partition.
 	WorkerRetries int
-	// Lock, when non-nil, is the state root's already-held writer lock
-	// (campaignstore.Store.Lock) — the daemon (internal/server) owns its
-	// state directory's lock for its whole lifetime and hands the
-	// coordinator the handle instead of letting it take a second one.
-	// The handle is also the write capability the final merge needs, so
+	// Locks, when non-nil, is the state root's already-held write
+	// capability (a whole-directory lock's Set, or per-system locks
+	// covering every campaigned system) — the daemon (internal/server)
+	// owns its namespace's locks for the job's lifetime and hands the
+	// coordinator the handles instead of letting it take its own. The
+	// set is also the write capability the final merge needs, so
 	// "caller already locked" is no longer a boolean the coordinator has
-	// to trust. Nil makes Run acquire (and release) its own lock.
-	// Workers still lock their own shard directories either way.
-	Lock *campaignstore.Lock
+	// to trust. Nil makes Run acquire (and release) its own
+	// whole-directory lock. Workers still lock their own shard
+	// directories either way.
+	Locks *campaignstore.LockSet
 	// Spawn launches workers (required).
 	Spawn SpawnFunc
 	// OnEvent, if set, streams lifecycle events (serialized).
@@ -163,17 +165,17 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 		}
 	}
 
-	lock := cfg.Lock
-	if lock == nil {
+	locks := cfg.Locks
+	if locks == nil {
 		root, openErr := campaignstore.Open(cfg.StateDir)
 		if openErr != nil {
 			return nil, openErr
 		}
-		lock, openErr = root.Lock()
+		owned, openErr := root.Lock()
 		if openErr != nil {
 			return nil, openErr
 		}
-		owned := lock
+		locks = owned.Set()
 		// A failed release is a real error, not cleanup noise: if the
 		// lock file could not be removed (and was not taken over), the
 		// next campaign against this root will refuse to start until the
@@ -485,7 +487,7 @@ func Run(ctx context.Context, cfg Config) (res *Result, err error) {
 	if len(dirs) == 0 {
 		return nil, errors.New("coord: no worker produced a shard snapshot")
 	}
-	stats, err := shard.Merge(lock, dirs)
+	stats, err := shard.Merge(locks, dirs)
 	if err != nil {
 		return nil, err
 	}

@@ -103,7 +103,7 @@ func unshardedFingerprint(t testing.TB, w shard.Workload) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := shard.CampaignAll(context.Background(), lk, []shard.Workload{w},
+	if _, err := shard.CampaignAll(context.Background(), lk.Set(), []shard.Workload{w},
 		shard.Options{Workers: 4, Inject: inject.DefaultOptions()}); err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestCoordinatorMatchesUnsharded(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rootLock.Unlock()
-	runs, err := shard.CampaignAll(context.Background(), rootLock, []shard.Workload{w},
+	runs, err := shard.CampaignAll(context.Background(), rootLock.Set(), []shard.Workload{w},
 		shard.Options{Workers: 4, Inject: inject.DefaultOptions()})
 	if err != nil {
 		t.Fatal(err)

@@ -199,7 +199,7 @@ func RunWorker(ctx context.Context, leasePath, stateDir string, systems []sim.Sy
 		},
 	}
 
-	runs, runErr := shard.CampaignAll(ctx, lock, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, lock.Set(), ws, gopts)
 	stopWatch()
 	watcherDone.Wait()
 	res.Runs = runs

@@ -78,10 +78,11 @@ type AnalyzeOptions struct {
 	// recorded outcomes across spexeval runs and re-execute only the
 	// misconfigurations the constraint delta selects. Missing, corrupt
 	// or schema-stale snapshots fall back to a full campaign and are
-	// rebuilt. The caller acquires (and later releases) the lock — the
-	// handle is the write capability, so an unlocked analysis cannot
-	// save snapshots by construction.
-	State *campaignstore.Lock
+	// rebuilt. The caller acquires (and later releases) the locks — a
+	// whole-directory lock's Set for the CLIs, or per-system locks for
+	// the daemon's scheduler. The set is the write capability, so an
+	// unlocked analysis cannot save snapshots by construction.
+	State *campaignstore.LockSet
 	// Global schedules the campaigns on one cross-target pool
 	// (internal/shard) instead of one pool per system: inference fans
 	// out Workers wide, then every system's misconfigurations
@@ -122,7 +123,12 @@ func analyze(ctx context.Context, sys sim.System, aopts AnalyzeOptions) (*System
 	var rep *inject.Report
 	var stateErr error
 	if aopts.State != nil {
-		rep, _, err = campaignstore.Campaign(ctx, aopts.State, sys, res.Set, ms, opts)
+		var slock *campaignstore.SystemLock
+		slock, err = aopts.State.System(sys.Name())
+		if err != nil {
+			return nil, err
+		}
+		rep, _, err = campaignstore.Campaign(ctx, slock, sys, res.Set, ms, opts)
 		if err != nil {
 			// A completed campaign whose snapshot failed to save is
 			// still a full analysis — the tables matter more than the

@@ -11,7 +11,7 @@ import (
 
 // lockedState opens dir as a campaign store and holds its writer lock
 // for the remainder of the test — the handle AnalyzeOptions.State needs.
-func lockedState(t *testing.T, dir string) *campaignstore.Lock {
+func lockedState(t *testing.T, dir string) *campaignstore.LockSet {
 	t.Helper()
 	store, err := campaignstore.Open(dir)
 	if err != nil {
@@ -26,7 +26,7 @@ func lockedState(t *testing.T, dir string) *campaignstore.Lock {
 			t.Error(err)
 		}
 	})
-	return lk
+	return lk.Set()
 }
 
 // analyzeAllOnce caches the expensive full analysis across tests.
@@ -191,7 +191,7 @@ func TestShardedAnalysisMergesIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, mergeErr := shard.Merge(mlock, dirs)
+	_, mergeErr := shard.Merge(mlock.Set(), dirs)
 	if err := mlock.Unlock(); err != nil {
 		t.Fatal(err)
 	}

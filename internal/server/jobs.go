@@ -41,6 +41,43 @@ type JobSpec struct {
 	// cancellation smoke use; it does not affect outcomes or snapshot
 	// identity.
 	SimDelay string `json:"sim_delay,omitempty"`
+	// Needs lists job IDs (in the same namespace) that must reach
+	// "done" before this job may start — the DAG edge. A dependency
+	// that fails or is cancelled fails this job instead of running it.
+	// Only already-submitted jobs can be named, so cycles cannot form.
+	Needs []string `json:"needs,omitempty"`
+	// Stages declares a per-system pipeline instead of the flat
+	// campaign: an ordered subsequence of infer → inject → eval. Each
+	// system advances through the stages independently — a fast system
+	// can be in eval while a slow one is still injecting — and every
+	// transition is published as a "stage" SSE event. Incompatible with
+	// Coordinate.
+	Stages []string `json:"stages,omitempty"`
+}
+
+// Pipeline stage names (JobSpec.Stages), in pipeline order.
+const (
+	StageInfer  = "infer"
+	StageInject = "inject"
+	StageEval   = "eval"
+)
+
+// validateStages checks that stages is a non-repeating, in-order
+// subsequence of infer → inject → eval.
+func validateStages(stages []string) error {
+	pos := map[string]int{StageInfer: 0, StageInject: 1, StageEval: 2}
+	last := -1
+	for _, st := range stages {
+		p, ok := pos[st]
+		if !ok {
+			return fmt.Errorf("unknown stage %q (want %s, %s, %s)", st, StageInfer, StageInject, StageEval)
+		}
+		if p <= last {
+			return fmt.Errorf("stages must follow %s → %s → %s order without repeats", StageInfer, StageInject, StageEval)
+		}
+		last = p
+	}
+	return nil
 }
 
 // Job states. A job is terminal in StateDone, StateFailed, or
@@ -78,7 +115,10 @@ type SystemSummary struct {
 // journal document persisted under <state>/jobs/, so a restarted
 // daemon lists the jobs that ran before it.
 type Job struct {
-	ID        string     `json:"id"`
+	ID string `json:"id"`
+	// Namespace names the namespace the job was submitted to ("" in
+	// journals written before namespaces existed — the default).
+	Namespace string     `json:"namespace,omitempty"`
 	Spec      JobSpec    `json:"spec"`
 	State     string     `json:"state"`
 	CreatedAt time.Time  `json:"created_at"`
@@ -99,7 +139,7 @@ type Job struct {
 
 // Event is one entry of a job's SSE stream (GET /v1/jobs/{id}/events).
 type Event struct {
-	// Kind is "state", "progress", or "coord".
+	// Kind is "state", "progress", "coord", or "stage".
 	Kind string `json:"kind"`
 	Job  string `json:"job"`
 	// State carries the new job state ("state" events); Error the
@@ -113,6 +153,19 @@ type Event struct {
 	// Coord is one coordinator lifecycle event ("coord"): plan,
 	// resume, spawn, exit, retry, steal, merge.
 	Coord *CoordEvent `json:"coord,omitempty"`
+	// Stage is one pipeline stage transition ("stage" events, staged
+	// jobs only): a system entering or leaving infer/inject/eval.
+	Stage *StageEvent `json:"stage,omitempty"`
+}
+
+// StageEvent is one per-system stage transition of a staged pipeline
+// job.
+type StageEvent struct {
+	System string `json:"system"`
+	Stage  string `json:"stage"`
+	// State is "running", "done", or "failed".
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
 }
 
 // CoordEvent mirrors coord.Event in JSON-friendly form.
@@ -306,11 +359,13 @@ func saveJournal(stateDir string, doc Job) error {
 }
 
 // loadJournal reads every persisted job document, oldest ID first. A
-// document whose state is not terminal belonged to a daemon that died
-// mid-job: it is adopted as failed (the campaign state itself is
-// resumable — snapshots only ever hold finished outcomes — so the fix
-// is to resubmit). The repaired document is written back so the
-// journal converges.
+// document still queued belonged to a daemon that died before the job
+// ever started — no lock was claimed, no outcome written — so it is
+// returned as queued for the restarted daemon to re-queue. A document
+// that had started (running) is adopted as failed: the campaign state
+// itself is resumable — snapshots only ever hold finished outcomes —
+// so the fix is to resubmit. Repaired documents are written back so
+// the journal converges.
 func loadJournal(stateDir string) ([]Job, int, error) {
 	dir := filepath.Join(stateDir, jobsDirName)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -334,7 +389,7 @@ func loadJournal(stateDir string) ([]Job, int, error) {
 		if json.Unmarshal(data, &doc) != nil || doc.ID == "" {
 			continue
 		}
-		if !terminal(doc.State) {
+		if !terminal(doc.State) && doc.State != StateQueued {
 			doc.Error = "daemon stopped while the job was " + doc.State +
 				"; campaign snapshots hold every finished outcome — resubmit to resume"
 			doc.State = StateFailed

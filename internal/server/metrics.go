@@ -18,6 +18,9 @@ const (
 	metricJobsByState    = "spex_jobs_total"
 	metricJobSeconds     = "spex_job_seconds"
 	metricSSEKeepalives  = "spex_sse_keepalives_total"
+	metricQueueDepth     = "spex_server_queue_depth"
+	metricJobsRunning    = "spex_server_jobs_running"
+	metricLockWait       = "spex_server_lock_wait_seconds"
 )
 
 var (
@@ -38,9 +41,16 @@ var (
 	mTablesRebuilds = obs.Default().Counter(metricTablesRebuilds,
 		"table requests that recomputed the replay analysis")
 	mJobsByState = obs.Default().CounterVec(metricJobsByState,
-		"job lifecycle transitions, by state entered", "state")
+		"job lifecycle transitions, by state entered and namespace", "state", "namespace")
 	mJobSeconds = obs.Default().Histogram(metricJobSeconds,
 		"job wall-clock seconds from start to terminal state", obs.DurationBuckets)
 	mSSEKeepalives = obs.Default().Counter(metricSSEKeepalives,
 		"keepalive comment frames written to idle SSE streams")
+	mQueueDepth = obs.Default().GaugeVec(metricQueueDepth,
+		"jobs waiting in the scheduler queue, by namespace", "namespace")
+	mJobsRunning = obs.Default().GaugeVec(metricJobsRunning,
+		"jobs currently running, by namespace", "namespace")
+	mLockWait = obs.Default().HistogramVec(metricLockWait,
+		"seconds a job waited from submit until its per-system write locks were claimed, by namespace",
+		obs.DurationBuckets, "namespace")
 )

@@ -1,0 +1,446 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spex/internal/server"
+)
+
+// statusDoc is the subset of GET /v1/status the scheduler tests poll.
+type statusDoc struct {
+	Namespace   string   `json:"namespace"`
+	Running     string   `json:"running"`
+	RunningJobs []string `json:"running_jobs"`
+	Systems     []string `json:"systems"`
+}
+
+func getStatus(t *testing.T, base, path string) statusDoc {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", path, resp.StatusCode)
+	}
+	var doc statusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// postJobAt submits a job to an arbitrary jobs route (namespaced or
+// not).
+func postJobAt(t *testing.T, url, spec string) server.Job {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, body)
+	}
+	var doc server.Job
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("job document: %v\n%s", err, body)
+	}
+	return doc
+}
+
+// TestDisjointJobsRunConcurrently: two jobs over disjoint systems must
+// both be running at once under the default quota — the per-system
+// lock scheduler must not serialize what does not conflict.
+func TestDisjointJobsRunConcurrently(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := daemon(t, server.Config{StateDir: dir})
+
+	// The delay holds both campaigns open long enough to observe the
+	// overlap on /v1/status.
+	j1 := postJob(t, ts.URL, `{"systems": ["proxyd"], "workers": 1, "sim_delay": "5ms"}`)
+	j2 := postJob(t, ts.URL, `{"systems": ["ldapd"], "workers": 1, "sim_delay": "5ms"}`)
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := getStatus(t, ts.URL, "/v1/status")
+		if len(st.RunningJobs) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never overlapped: running_jobs=%v", st.RunningJobs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for _, id := range []string{j1.ID, j2.ID} {
+		if final := waitTerminal(t, ts.URL, id, time.Minute); final.State != server.StateDone {
+			t.Fatalf("job %s ended %s: %s", id, final.State, final.Error)
+		}
+	}
+}
+
+// TestSharedSystemJobsSerialize: two jobs over the same system must
+// serialize on its lock — never both running — and the store must end
+// up byte-for-byte where a strictly sequential submission lands it
+// (same snapshot fingerprints, job by job).
+func TestSharedSystemJobsSerialize(t *testing.T) {
+	dirA := t.TempDir()
+	_, tsA := daemon(t, server.Config{StateDir: dirA})
+
+	// Concurrent submission: both land in the queue in one breath; the
+	// scheduler may only dispatch one at a time.
+	a1 := postJob(t, tsA.URL, `{"systems": ["ldapd"], "workers": 2, "sim_delay": "2ms"}`)
+	a2 := postJob(t, tsA.URL, `{"systems": ["ldapd"], "workers": 2, "sim_delay": "2ms"}`)
+	bothDone := func() bool {
+		s1, s2 := getJob(t, tsA.URL, a1.ID).State, getJob(t, tsA.URL, a2.ID).State
+		return s1 == server.StateDone && s2 == server.StateDone
+	}
+	deadline := time.Now().Add(time.Minute)
+	for !bothDone() {
+		if st := getStatus(t, tsA.URL, "/v1/status"); len(st.RunningJobs) > 1 {
+			t.Fatalf("shared-system jobs ran concurrently: %v", st.RunningJobs)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	finalA1 := getJob(t, tsA.URL, a1.ID)
+	finalA2 := getJob(t, tsA.URL, a2.ID)
+
+	// Reference run: the same two jobs strictly one after the other in
+	// a fresh directory.
+	dirB := t.TempDir()
+	_, tsB := daemon(t, server.Config{StateDir: dirB})
+	b1 := postJob(t, tsB.URL, `{"systems": ["ldapd"], "workers": 2, "sim_delay": "2ms"}`)
+	finalB1 := waitTerminal(t, tsB.URL, b1.ID, time.Minute)
+	b2 := postJob(t, tsB.URL, `{"systems": ["ldapd"], "workers": 2, "sim_delay": "2ms"}`)
+	finalB2 := waitTerminal(t, tsB.URL, b2.ID, time.Minute)
+
+	fp := func(doc server.Job) string {
+		if len(doc.Systems) != 1 {
+			t.Fatalf("job %s summarizes %d systems", doc.ID, len(doc.Systems))
+		}
+		return doc.Systems[0].Fingerprint
+	}
+	if fp(finalA1) != fp(finalB1) || fp(finalA2) != fp(finalB2) {
+		t.Fatalf("concurrent-submission fingerprints diverge from sequential: %s/%s vs %s/%s",
+			fp(finalA1), fp(finalA2), fp(finalB1), fp(finalB2))
+	}
+	// The second job is a pure replay of the first either way.
+	if finalA2.Systems[0].Executed != 0 {
+		t.Errorf("second job executed fresh work after serialization: %+v", finalA2.Systems[0])
+	}
+}
+
+// TestStagedJobPipelinesPerSystem: a stages: [...] job must pipeline
+// per system — the small system (ldapd, 43 misconfigurations) reaches
+// eval while the big one (proxyd, 154) is still injecting — instead of
+// holding every system at a stage barrier.
+func TestStagedJobPipelinesPerSystem(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := daemon(t, server.Config{StateDir: dir})
+
+	doc := postJob(t, ts.URL,
+		`{"systems": ["ldapd", "proxyd"], "workers": 1, "sim_delay": "5ms", "stages": ["infer", "inject", "eval"]}`)
+	sse := collectSSE(t, ts.URL, doc.ID)
+	final := waitTerminal(t, ts.URL, doc.ID, 2*time.Minute)
+	if final.State != server.StateDone {
+		t.Fatalf("staged job ended %s: %s", final.State, final.Error)
+	}
+
+	events := sse.wait(t)
+	// Index stage transitions in stream order.
+	pos := map[string]int{}
+	for i, e := range events {
+		if e.Kind != "stage" || e.Stage == nil {
+			continue
+		}
+		key := e.Stage.System + "/" + e.Stage.Stage + "/" + e.Stage.State
+		if _, seen := pos[key]; !seen {
+			pos[key] = i
+		}
+	}
+	for _, sys := range []string{"ldapd", "proxyd"} {
+		last := -1
+		for _, step := range []string{
+			"infer/running", "infer/done",
+			"inject/running", "inject/done",
+			"eval/running", "eval/done",
+		} {
+			i, ok := pos[sys+"/"+step]
+			if !ok {
+				t.Fatalf("no stage event %s/%s (stages seen: %v)", sys, step, pos)
+			}
+			if i < last {
+				t.Errorf("stage event %s/%s out of order", sys, step)
+			}
+			last = i
+		}
+	}
+	// The pipelining claim itself: ldapd finishes its whole pipeline
+	// before proxyd finishes injecting. A stage barrier would force
+	// ldapd's eval to wait on proxyd's inject.
+	if pos["ldapd/eval/done"] > pos["proxyd/inject/done"] {
+		t.Errorf("no pipelining: ldapd eval done at %d, after proxyd inject done at %d",
+			pos["ldapd/eval/done"], pos["proxyd/inject/done"])
+	}
+
+	for _, sum := range final.Systems {
+		if sum.Fingerprint == "" || sum.Outcomes == 0 {
+			t.Errorf("staged summary incomplete: %+v", sum)
+		}
+	}
+}
+
+// TestJobDAGNeeds: needs: [...] edges delay a job until its
+// dependency finishes, and a cancelled dependency fails the dependent.
+func TestJobDAGNeeds(t *testing.T) {
+	dir := t.TempDir()
+	// One slot so the blocker keeps the queue still while the DAG is
+	// arranged.
+	_, ts := daemon(t, server.Config{StateDir: dir, MaxConcurrentJobs: 1})
+
+	blocker := postJob(t, ts.URL, `{"systems": ["proxyd"], "workers": 1, "sim_delay": "5ms"}`)
+	dep := postJob(t, ts.URL, `{"systems": ["ldapd"]}`)
+	child := postJob(t, ts.URL, fmt.Sprintf(`{"systems": ["ldapd"], "needs": [%q]}`, dep.ID))
+
+	// A dependency on an unknown job is rejected at submission.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"systems": ["ldapd"], "needs": ["job-999999"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("needs unknown job: %d, want 400", resp.StatusCode)
+	}
+
+	// Cancel the dependency while it is still queued: the child must
+	// fail, not run.
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+dep.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE queued dependency: %d, want 200", dresp.StatusCode)
+	}
+	childFinal := waitTerminal(t, ts.URL, child.ID, time.Minute)
+	if childFinal.State != server.StateFailed || !strings.Contains(childFinal.Error, "cancelled") {
+		t.Fatalf("child of cancelled dependency: %s %q", childFinal.State, childFinal.Error)
+	}
+
+	if final := waitTerminal(t, ts.URL, blocker.ID, time.Minute); final.State != server.StateDone {
+		t.Fatalf("blocker ended %s: %s", final.State, final.Error)
+	}
+
+	// The happy path: a job needing a finished job runs and replays it.
+	dep2 := postJob(t, ts.URL, `{"systems": ["ldapd"]}`)
+	if final := waitTerminal(t, ts.URL, dep2.ID, time.Minute); final.State != server.StateDone {
+		t.Fatalf("dep2 ended %s: %s", final.State, final.Error)
+	}
+	child2 := postJob(t, ts.URL, fmt.Sprintf(`{"systems": ["ldapd"], "needs": [%q]}`, dep2.ID))
+	child2Final := waitTerminal(t, ts.URL, child2.ID, time.Minute)
+	if child2Final.State != server.StateDone {
+		t.Fatalf("child2 ended %s: %s", child2Final.State, child2Final.Error)
+	}
+	if len(child2Final.Systems) != 1 || child2Final.Systems[0].Executed != 0 {
+		t.Errorf("child2 should replay its dependency's outcomes: %+v", child2Final.Systems)
+	}
+}
+
+// TestNamespaceIsolation: namespaced routes address their own state
+// directory under the root; the default namespace keeps the bare /v1
+// URLs and the root layout.
+func TestNamespaceIsolation(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := daemon(t, server.Config{StateDir: dir})
+
+	// POST creates the namespace; its store lives at <root>/alpha.
+	doc := postJobAt(t, ts.URL+"/v1/ns/alpha/jobs", `{"systems": ["ldapd"], "workers": 2}`)
+	if doc.Namespace != "alpha" {
+		t.Fatalf("job namespace %q, want alpha", doc.Namespace)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/ns/alpha/jobs/" + doc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got server.Job
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == server.StateDone {
+			break
+		}
+		if got.State == server.StateFailed || got.State == server.StateCancelled {
+			t.Fatalf("namespaced job ended %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("namespaced job still %s", got.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The snapshot landed under the namespace directory, not the root.
+	if _, err := os.Stat(filepath.Join(dir, "alpha", "ldapd.campaign.snap")); err != nil {
+		t.Errorf("namespaced snapshot missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ldapd.campaign.snap")); err == nil {
+		t.Error("namespaced job wrote into the root store")
+	}
+
+	// Each namespace sees only its own systems and jobs.
+	if st := getStatus(t, ts.URL, "/v1/ns/alpha/status"); st.Namespace != "alpha" || len(st.Systems) != 1 {
+		t.Errorf("alpha status: %+v", st)
+	}
+	if st := getStatus(t, ts.URL, "/v1/status"); st.Namespace != server.DefaultNamespace || len(st.Systems) != 0 {
+		t.Errorf("default status sees alpha's state: %+v", st)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("default namespace served alpha's job: %d", resp.StatusCode)
+	}
+
+	// Reads on an unknown namespace 404; invalid names 400.
+	resp, err = http.Get(ts.URL + "/v1/ns/nope/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown namespace: %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/ns/Bad.Name/jobs", "application/json",
+		strings.NewReader(`{"systems": ["ldapd"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid namespace name: %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/ns/jobs/jobs", "application/json",
+		strings.NewReader(`{"systems": ["ldapd"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reserved namespace name: %d, want 400", resp.StatusCode)
+	}
+
+	// The namespace listing names both tenants.
+	nresp, err := http.Get(ts.URL + "/v1/ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Namespaces []struct {
+			Name string `json:"name"`
+		} `json:"namespaces"`
+	}
+	err = json.NewDecoder(nresp.Body).Decode(&listing)
+	nresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, n := range listing.Namespaces {
+		names[n.Name] = true
+	}
+	if !names[server.DefaultNamespace] || !names["alpha"] {
+		t.Errorf("namespace listing %v, want default and alpha", names)
+	}
+
+	// A restarted daemon rediscovers the namespace from its journal
+	// directory.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	_, ts2 := daemon(t, server.Config{StateDir: dir})
+	if st := getStatus(t, ts2.URL, "/v1/ns/alpha/status"); st.Namespace != "alpha" || len(st.Systems) != 1 {
+		t.Errorf("restarted daemon lost namespace alpha: %+v", st)
+	}
+}
+
+// TestRestartRequeuesQueuedJobs is the journal-adoption contract: a
+// daemon that died leaves running jobs behind as failed (resubmit to
+// resume), but a job that never left the queue — no lock claimed, no
+// outcome written — is re-queued and runs under the new daemon.
+func TestRestartRequeuesQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	jobsDir := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(doc server.Job) {
+		t.Helper()
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(jobsDir, doc.ID+".json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	created := time.Now().UTC().Add(-time.Hour)
+	started := created.Add(time.Minute)
+	// job-000001 was mid-campaign when the old daemon died; job-000002
+	// never started.
+	write(server.Job{
+		ID:        "job-000001",
+		Spec:      server.JobSpec{Systems: []string{"ldapd"}},
+		State:     server.StateRunning,
+		CreatedAt: created,
+		StartedAt: &started,
+	})
+	write(server.Job{
+		ID:        "job-000002",
+		Spec:      server.JobSpec{Systems: []string{"ldapd"}, Workers: 2},
+		State:     server.StateQueued,
+		CreatedAt: created,
+	})
+
+	_, ts := daemon(t, server.Config{StateDir: dir})
+
+	if doc := getJob(t, ts.URL, "job-000001"); doc.State != server.StateFailed ||
+		!strings.Contains(doc.Error, "daemon stopped") {
+		t.Fatalf("interrupted running job: %s %q, want failed", doc.State, doc.Error)
+	}
+	final := waitTerminal(t, ts.URL, "job-000002", time.Minute)
+	if final.State != server.StateDone {
+		t.Fatalf("re-queued job ended %s: %s", final.State, final.Error)
+	}
+	if len(final.Systems) != 1 || final.Systems[0].Outcomes == 0 {
+		t.Fatalf("re-queued job produced no outcomes: %+v", final.Systems)
+	}
+	// New submissions continue the journal's ID sequence.
+	if doc := postJob(t, ts.URL, `{"systems": ["ldapd"]}`); doc.ID != "job-000003" {
+		t.Errorf("next job ID %s, want job-000003", doc.ID)
+	}
+}

@@ -1,11 +1,12 @@
-// Package server is spexd's engine room: a resident campaign service
-// that owns one campaign state directory (the exclusive writer lock,
-// campaignstore.Store.Lock, is held for the daemon's whole lifetime),
-// runs injection campaigns on demand, and serves results and live
-// progress over a JSON HTTP API:
+// Package server is spexd's engine room: a resident, multi-tenant
+// campaign service that owns a root state directory, hosts any number
+// of namespaces under it (one campaign store each), schedules jobs
+// concurrently under per-system write locks, and serves results and
+// live progress over a JSON HTTP API:
 //
 //	POST   /v1/jobs                  submit a campaign (systems or all,
-//	                                 workers, optional coordinate: N)
+//	                                 workers, optional coordinate: N,
+//	                                 needs: [jobID...], stages: [...])
 //	GET    /v1/jobs                  list jobs (including journaled ones
 //	                                 from previous daemon runs)
 //	GET    /v1/jobs/{id}             job status
@@ -22,14 +23,38 @@
 //	                                 (?param=, ?kind=, ?reaction=,
 //	                                 ?min-systems=N, ?all=1)
 //	GET    /v1/status                daemon status
+//	GET    /v1/ns                    list namespaces
+//	*      /v1/ns/{ns}/...           any route above, scoped to a
+//	                                 namespace (POST creates it)
 //
-// Jobs run strictly serially behind an in-memory queue: the store lock
-// makes concurrent writers unsafe by design, so the queue — not a
-// second lock holder — is what orders campaigns. Each job's progress
-// flows through the shared pipeline (shard.Hub) onto the SSE stream,
-// the same events a CLI -progress renderer consumes. Every job is
-// journaled durably under <state>/jobs/, so a restarted daemon still
-// lists finished jobs.
+// Every /v1 route above addresses the default namespace — the root
+// state directory itself, so a single-tenant daemon keeps today's URLs
+// and on-disk layout. A namespaced route addresses <root>/<namespace>/,
+// a full state directory of its own: snapshots, outcome indexes, job
+// journal, quotas. POST /v1/ns/{ns}/jobs creates the namespace on
+// first use; reads on an unknown namespace 404.
+//
+// Jobs are scheduled by a DAG scheduler over per-system write locks
+// (campaignstore.Store.LockSystems): a job claims exactly the systems
+// it campaigns, so two jobs over disjoint system sets run concurrently
+// while jobs sharing a system serialize per system, not per daemon.
+// needs: [jobID...] adds explicit edges — a job waits for its
+// dependencies to finish (a failed or cancelled dependency fails the
+// job). stages: [infer, inject, eval] turns a job into a per-system
+// pipeline: each system advances through its stages independently, so
+// a fast system evaluates while a slow one still injects, and every
+// transition streams as a "stage" SSE event. Per-namespace quotas
+// bound concurrency (Config.MaxConcurrentJobs) and queue depth
+// (Config.MaxQueuedJobs). Each job's progress flows through the shared
+// pipeline (shard.Hub) onto the SSE stream, the same events a CLI
+// -progress renderer consumes. Every job is journaled durably under
+// <ns>/jobs/, so a restarted daemon still lists finished jobs — and
+// re-queues jobs that never started.
+//
+// The daemon holds each namespace's whole-directory lock for its
+// lifetime (foreign writers stay excluded); job claims nest under it
+// as real per-system lock files, the same claim/refresh/takeover
+// machinery at file granularity.
 //
 // The read path never touches snapshot records: every read endpoint is
 // served from the store's outcome indexes (internal/outcomeindex),
@@ -55,6 +80,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,8 +101,9 @@ import (
 
 // Config tunes one daemon.
 type Config struct {
-	// StateDir is the campaign state directory the daemon takes
-	// ownership of (required).
+	// StateDir is the root state directory the daemon takes ownership
+	// of (required). It is the default namespace's store; named
+	// namespaces live in subdirectories.
 	StateDir string
 	// Workers is the default campaign pool width for jobs that do not
 	// set their own (0 = one per CPU).
@@ -107,33 +135,48 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/. Opt-in: the
 	// profiling surface is for operators, not part of the public API.
 	Pprof bool
+	// MaxConcurrentJobs caps how many jobs may run at once within one
+	// namespace (0 = 4). Jobs over disjoint system sets fill the cap;
+	// jobs sharing a system serialize on its lock regardless.
+	MaxConcurrentJobs int
+	// MaxQueuedJobs caps how many submitted jobs may wait in one
+	// namespace's queue (0 = 256). A full queue answers 503.
+	MaxQueuedJobs int
 }
 
-// defaultKeepalive is the SSE keepalive interval when the config does
-// not set one.
-const defaultKeepalive = 15 * time.Second
+const (
+	// DefaultNamespace is the namespace the un-prefixed /v1 routes
+	// address: the root state directory itself.
+	DefaultNamespace = "default"
+	// defaultKeepalive is the SSE keepalive interval when the config
+	// does not set one.
+	defaultKeepalive = 15 * time.Second
+	// defaultMaxConcurrent / defaultMaxQueued back the zero values of
+	// the per-namespace quota knobs.
+	defaultMaxConcurrent = 4
+	defaultMaxQueued     = 256
+)
 
-// Server is the daemon. Create with New, serve with Handler (any
-// http.Server) or ListenAndServe, stop with Close.
-type Server struct {
-	cfg    Config
-	logger *slog.Logger
-	store  *campaignstore.Store
-	lock   *campaignstore.Lock
+// namespace is one tenant: a campaign store with its own
+// whole-directory lock (held for the daemon's lifetime), job table,
+// queue, journal, and read caches.
+type namespace struct {
+	name  string
+	dir   string
+	store *campaignstore.Store
+	lock  *campaignstore.Lock
 
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	seq    int
-	closed bool
-
-	queue      chan *job
-	runnerDone chan struct{}
-	closeOnce  sync.Once
-	closeErr   error
+	// Scheduling state, guarded by Server.mu: the job table and
+	// submission order, the pending queue, and the reservation board —
+	// busy maps a system name to the running job holding its claim, so
+	// the dispatcher reserves all-or-nothing without hold-and-wait.
+	jobs      map[string]*job
+	order     []string
+	seq       int
+	pending   []*job
+	running   int
+	exclusive bool // a coordinate job owns the whole namespace
+	busy      map[string]string
 
 	// idxMu guards idxCache, the in-memory outcome indexes behind the
 	// read path. An entry is valid only while the snapshot file it was
@@ -153,6 +196,27 @@ type Server struct {
 	tablesCache []*report.SystemResult
 }
 
+// Server is the daemon. Create with New, serve with Handler (any
+// http.Server) or ListenAndServe, stop with Close.
+type Server struct {
+	cfg    Config
+	logger *slog.Logger
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	namespaces map[string]*namespace
+	nsOrder    []string
+	closed     bool
+
+	kick      chan struct{}
+	schedDone chan struct{}
+	jobsWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
 // cachedIndex pins one system's in-memory index to the snapshot file
 // identity it was derived from.
 type cachedIndex struct {
@@ -162,23 +226,36 @@ type cachedIndex struct {
 	sys   *outcomeindex.System
 }
 
-// New opens the state directory, takes its exclusive writer lock, and
-// starts the job runner. The journal of previous jobs is loaded;
-// documents left non-terminal by a dead daemon are adopted as failed.
+// nsNameRE bounds namespace names: a path-safe lowercase slug.
+var nsNameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,63}$`)
+
+// validateNamespaceName rejects names that cannot be a namespace:
+// malformed slugs, and names that would collide with the files the
+// root state directory already owns (the journal dir, coordinator
+// state, shard worker dirs, route segments).
+func validateNamespaceName(name string) error {
+	if !nsNameRE.MatchString(name) {
+		return fmt.Errorf("bad namespace %q (want lowercase [a-z0-9][a-z0-9_-]{0,63})", name)
+	}
+	switch name {
+	case DefaultNamespace, jobsDirName, coord.CoordDirName, "v1", "ns", "metrics", "debug":
+		return fmt.Errorf("namespace %q is reserved", name)
+	}
+	if rest, ok := strings.CutPrefix(name, "shard"); ok && rest != "" {
+		if _, err := strconv.Atoi(rest); err == nil {
+			return fmt.Errorf("namespace %q is reserved (shard worker directory)", name)
+		}
+	}
+	return nil
+}
+
+// New opens the root state directory as the default namespace (taking
+// its whole-directory writer lock), discovers previously-created
+// namespaces under it, and starts the scheduler. Each namespace's job
+// journal is loaded; documents a dead daemon left running are adopted
+// as failed, documents it left queued — jobs that never claimed a lock
+// or wrote an outcome — are re-queued.
 func New(cfg Config) (*Server, error) {
-	store, err := campaignstore.Open(cfg.StateDir)
-	if err != nil {
-		return nil, err
-	}
-	lock, err := store.Lock()
-	if err != nil {
-		return nil, err
-	}
-	docs, seq, err := loadJournal(cfg.StateDir)
-	if err != nil {
-		_ = lock.Unlock() // the journal error is the one worth reporting
-		return nil, err
-	}
 	// The daemon's lifetime root: jobs and SSE streams hang off it, and
 	// Close cancels it. There is no inbound context to inherit here.
 	//spexlint:ignore ctxflow daemon lifetime root, cancelled by Close
@@ -190,62 +267,188 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		logger:     logger,
-		store:      store,
-		lock:       lock,
 		ctx:        ctx,
 		cancel:     cancel,
-		jobs:       make(map[string]*job),
-		idxCache:   make(map[string]*cachedIndex),
-		seq:        seq,
-		queue:      make(chan *job, 256),
-		runnerDone: make(chan struct{}),
+		namespaces: make(map[string]*namespace),
+		kick:       make(chan struct{}, 1),
+		schedDone:  make(chan struct{}),
+	}
+	if _, err := s.openNamespace(DefaultNamespace); err != nil {
+		cancel()
+		return nil, err
+	}
+	// Discover named namespaces from previous daemon runs: any valid
+	// subdirectory that carries a job journal was created by a POST.
+	if entries, err := os.ReadDir(cfg.StateDir); err == nil {
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() || validateNamespaceName(e.Name()) != nil {
+				continue
+			}
+			if fi, err := os.Stat(filepath.Join(cfg.StateDir, e.Name(), jobsDirName)); err != nil || !fi.IsDir() {
+				continue
+			}
+			names = append(names, e.Name())
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := s.openNamespace(name); err != nil {
+				s.closeNamespaces()
+				cancel()
+				return nil, fmt.Errorf("server: namespace %q: %w", name, err)
+			}
+		}
+	}
+	go s.scheduler()
+	s.kickScheduler()
+	return s, nil
+}
+
+// openNamespace opens (creating if needed) one namespace's state
+// directory, takes its whole-directory lock, and loads its journal.
+// Called from New and, under s.mu, from the lazy create path of
+// POST /v1/ns/{ns}/jobs.
+func (s *Server) openNamespace(name string) (*namespace, error) {
+	dir := s.cfg.StateDir
+	if name != DefaultNamespace {
+		dir = filepath.Join(s.cfg.StateDir, name)
+	}
+	store, err := campaignstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	lock, err := store.Lock()
+	if err != nil {
+		return nil, err
+	}
+	docs, seq, err := loadJournal(dir)
+	if err != nil {
+		_ = lock.Unlock() // the journal error is the one worth reporting
+		return nil, err
+	}
+	ns := &namespace{
+		name:     name,
+		dir:      dir,
+		store:    store,
+		lock:     lock,
+		jobs:     make(map[string]*job),
+		busy:     make(map[string]string),
+		idxCache: make(map[string]*cachedIndex),
+		seq:      seq,
 	}
 	for _, doc := range docs {
 		j := newJob(doc)
+		ns.jobs[doc.ID] = j
+		ns.order = append(ns.order, doc.ID)
+		if doc.State == StateQueued {
+			// The job never started under the dead daemon: re-queue it
+			// live instead of burying it as failed history.
+			j.publish(Event{Kind: "state", Job: doc.ID, State: StateQueued})
+			ns.pending = append(ns.pending, j)
+			continue
+		}
 		// Journaled jobs are history: publish their terminal state so a
 		// late SSE subscriber sees it, then end the stream.
 		j.publish(Event{Kind: "state", Job: doc.ID, State: doc.State, Error: doc.Error})
 		j.closeStream()
-		s.jobs[doc.ID] = j
-		s.order = append(s.order, doc.ID)
 	}
-	go s.runner()
-	return s, nil
+	s.namespaces[name] = ns
+	s.nsOrder = append(s.nsOrder, name)
+	return ns, nil
 }
 
-// Store exposes the daemon's store for read-only use (tests, status).
-func (s *Server) Store() *campaignstore.Store { return s.store }
+// namespaceFor resolves a request's namespace. create opens a missing
+// (valid) namespace on the fly — the POST /v1/ns/{ns}/jobs behavior.
+func (s *Server) namespaceFor(name string, create bool) (*namespace, error) {
+	if name == "" || name == DefaultNamespace {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.namespaces[DefaultNamespace], nil
+	}
+	if err := validateNamespaceName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ns := s.namespaces[name]; ns != nil {
+		return ns, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("no namespace %q", name)
+	}
+	if s.closed {
+		return nil, fmt.Errorf("%w: daemon is shutting down", errUnavailable)
+	}
+	ns, err := s.openNamespace(name)
+	if err != nil {
+		return nil, err
+	}
+	s.logger.Info("namespace created", "namespace", name, "dir", ns.dir)
+	return ns, nil
+}
 
-// Close shuts the daemon down gracefully: the running campaign is
+// Store exposes the default namespace's store for read-only use
+// (tests, status).
+func (s *Server) Store() *campaignstore.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.namespaces[DefaultNamespace].store
+}
+
+// closeNamespaces releases every namespace's whole-directory lock.
+func (s *Server) closeNamespaces() error {
+	var first error
+	for _, name := range s.nsOrder {
+		if err := s.namespaces[name].lock.Unlock(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close shuts the daemon down gracefully: running campaigns are
 // cancelled through the engine's context plumbing (finished outcomes
-// are already persisted — the store stays resumable), queued jobs are
-// marked cancelled, and the writer lock is released. Safe to call more
-// than once.
+// are already persisted — the stores stay resumable), queued jobs are
+// marked cancelled, per-system claims are released as the job
+// goroutines drain, and every namespace lock is released. Safe to call
+// more than once.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closed = true
-		s.mu.Unlock()
-		s.cancel()
-		<-s.runnerDone
-		// Jobs still sitting in the queue never started.
-		for {
-			select {
-			case j := <-s.queue:
-				s.finishJob(j, StateCancelled, "daemon shut down before the job started")
-			default:
-				s.closeErr = s.lock.Unlock()
-				return
-			}
+		type nsJob struct {
+			ns *namespace
+			j  *job
 		}
+		var queued []nsJob
+		for _, name := range s.nsOrder {
+			ns := s.namespaces[name]
+			for _, j := range ns.pending {
+				queued = append(queued, nsJob{ns, j})
+			}
+			ns.pending = nil
+		}
+		s.mu.Unlock()
+		for _, q := range queued {
+			s.finishJob(q.ns, q.j, StateCancelled, "daemon shut down before the job started")
+		}
+		s.cancel()
+		<-s.schedDone
+		// Job goroutines observe the cancelled context, finish their
+		// documents, and release their per-system claims before the
+		// namespace locks go.
+		s.jobsWG.Wait()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.closeErr = s.closeNamespaces()
 	})
 	return s.closeErr
 }
 
 // ListenAndServe runs the HTTP server until ctx is cancelled (SIGTERM
-// in cmd/spexd), then drains: in-flight handlers and the running
-// campaign are stopped, the job journal is final, and the store lock
-// is released before returning.
+// in cmd/spexd), then drains: in-flight handlers and running campaigns
+// are stopped, the job journals are final, and every lock is released
+// before returning.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	shutdownDone := make(chan struct{})
@@ -255,7 +458,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		case <-ctx.Done():
 		case <-s.ctx.Done():
 		}
-		// Stop the campaign and the SSE streams first — Shutdown waits
+		// Stop the campaigns and the SSE streams first — Shutdown waits
 		// for active handlers, and the SSE loops exit on s.ctx.
 		s.cancel()
 		// Deliberately not derived from ctx/s.ctx: both are already
@@ -281,9 +484,9 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // queue): the spec was fine, the client should retry — 503, not 400.
 var errUnavailable = errors.New("temporarily unavailable")
 
-// submit validates a spec, registers the job, journals it, and queues
-// it for the serial runner.
-func (s *Server) submit(spec JobSpec) (Job, error) {
+// submit validates a spec, registers the job in its namespace,
+// journals it, and queues it for the scheduler.
+func (s *Server) submit(ns *namespace, spec JobSpec) (Job, error) {
 	if _, err := resolveSystems(spec); err != nil {
 		return Job{}, err
 	}
@@ -295,64 +498,226 @@ func (s *Server) submit(spec JobSpec) (Job, error) {
 			return Job{}, fmt.Errorf("bad sim_delay: %v", err)
 		}
 	}
+	if err := validateStages(spec.Stages); err != nil {
+		return Job{}, err
+	}
+	if len(spec.Stages) > 0 && spec.Coordinate != 0 {
+		return Job{}, errors.New("a staged pipeline cannot run under the coordinator (stages pipeline per system; the coordinator shards per worker)")
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return Job{}, fmt.Errorf("%w: daemon is shutting down", errUnavailable)
 	}
-	// Capacity is checked before anything is registered or journaled: a
-	// rejected POST must leave no trace. The check-then-send pair is
-	// race-free because submit holds s.mu for both and is the queue's
-	// only sender (the runner only drains it).
-	if len(s.queue) == cap(s.queue) {
-		s.mu.Unlock()
-		return Job{}, fmt.Errorf("%w: job queue is full", errUnavailable)
+	// Dependencies may only name already-submitted jobs in the same
+	// namespace, so DAG edges always point backwards and cycles cannot
+	// form. Checked under s.mu so a rejected POST leaves no trace.
+	for _, need := range spec.Needs {
+		if ns.jobs[need] == nil {
+			s.mu.Unlock()
+			return Job{}, fmt.Errorf("needs unknown job %q in namespace %q", need, ns.name)
+		}
 	}
-	s.seq++
+	maxQueued := s.cfg.MaxQueuedJobs
+	if maxQueued <= 0 {
+		maxQueued = defaultMaxQueued
+	}
+	if len(ns.pending) >= maxQueued {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: namespace %q job queue is full (%d queued)", errUnavailable, ns.name, maxQueued)
+	}
+	ns.seq++
 	doc := Job{
-		ID:        fmt.Sprintf("job-%06d", s.seq),
+		ID:        fmt.Sprintf("job-%06d", ns.seq),
+		Namespace: ns.name,
 		Spec:      spec,
 		State:     StateQueued,
 		CreatedAt: time.Now().UTC(),
 	}
 	j := newJob(doc)
-	s.jobs[doc.ID] = j
-	s.order = append(s.order, doc.ID)
-	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-		s.logger.Error("journal write failed", "job", doc.ID, "err", err)
+	ns.jobs[doc.ID] = j
+	ns.order = append(ns.order, doc.ID)
+	ns.pending = append(ns.pending, j)
+	mQueueDepth.With(ns.name).Set(float64(len(ns.pending)))
+	if err := saveJournal(ns.dir, doc); err != nil {
+		s.logger.Error("journal write failed", "job", doc.ID, "namespace", ns.name, "err", err)
 	}
 	j.publish(Event{Kind: "state", Job: doc.ID, State: StateQueued})
-	mJobsByState.With(StateQueued).Inc()
-	s.queue <- j
+	mJobsByState.With(StateQueued, ns.name).Inc()
 	s.mu.Unlock()
+	s.kickScheduler()
 	return doc, nil
 }
 
-// lookup finds a job by ID.
-func (s *Server) lookup(id string) *job {
+// lookup finds a job by ID within a namespace.
+func (s *Server) lookup(ns *namespace, id string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.jobs[id]
+	return ns.jobs[id]
 }
 
-// runner executes queued jobs strictly serially — one campaign per
-// state directory at a time, by design of the writer lock.
-func (s *Server) runner() {
-	defer close(s.runnerDone)
+// kickScheduler nudges the dispatcher; a pending nudge coalesces.
+func (s *Server) kickScheduler() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// scheduler is the DAG dispatcher loop: every kick (submit, job
+// finish, cancel) re-scans each namespace's pending queue and starts
+// every job whose dependencies are done, whose namespace has quota,
+// and whose systems are all unclaimed.
+func (s *Server) scheduler() {
+	defer close(s.schedDone)
 	for {
 		select {
 		case <-s.ctx.Done():
 			return
-		case j := <-s.queue:
-			s.runJob(j)
+		case <-s.kick:
 		}
+		s.dispatch()
 	}
 }
 
-// runJob executes one job end to end and publishes its lifecycle.
-func (s *Server) runJob(j *job) {
+// dispatch makes one scheduling pass. Reservations are all-or-nothing
+// under s.mu — a job either claims every system it campaigns or stays
+// queued — so two jobs can never hold-and-wait on each other's
+// systems. The real on-disk lock claims happen in the job goroutine;
+// the board guarantees they cannot conflict within this daemon.
+func (s *Server) dispatch() {
+	maxConcurrent := s.cfg.MaxConcurrentJobs
+	if maxConcurrent <= 0 {
+		maxConcurrent = defaultMaxConcurrent
+	}
+	type start struct {
+		ns      *namespace
+		j       *job
+		systems []string
+	}
+	type failure struct {
+		ns  *namespace
+		j   *job
+		msg string
+	}
+	var starts []start
+	var failures []failure
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for _, name := range s.nsOrder {
+		ns := s.namespaces[name]
+		pend := ns.pending
+		ns.pending = ns.pending[:0]
+		for _, j := range pend {
+			doc := j.snapshot()
+			if doc.State != StateQueued {
+				continue // cancelled while queued: drop from the queue
+			}
+			// DAG edges first: a job never claims systems while a
+			// dependency is unfinished.
+			blocked, failMsg := false, ""
+			for _, need := range doc.Spec.Needs {
+				dep := ns.jobs[need]
+				if dep == nil {
+					failMsg = fmt.Sprintf("needs unknown job %q", need)
+					break
+				}
+				switch depState := dep.snapshot().State; depState {
+				case StateDone:
+				case StateFailed, StateCancelled:
+					failMsg = fmt.Sprintf("dependency %s %s", need, depState)
+				default:
+					blocked = true
+				}
+				if failMsg != "" {
+					break
+				}
+			}
+			if failMsg != "" {
+				failures = append(failures, failure{ns, j, failMsg})
+				continue
+			}
+			if blocked || ns.exclusive || ns.running >= maxConcurrent {
+				ns.pending = append(ns.pending, j)
+				continue
+			}
+			// A coordinate job owns its namespace outright: its workers
+			// share the namespace's coord/ and shardN/ directories, which
+			// have no per-job isolation.
+			if doc.Spec.Coordinate >= 2 && ns.running > 0 {
+				ns.pending = append(ns.pending, j)
+				continue
+			}
+			systems, err := resolveSystems(doc.Spec)
+			if err != nil { // validated at submit; unreachable in practice
+				failures = append(failures, failure{ns, j, err.Error()})
+				continue
+			}
+			names := make([]string, len(systems))
+			conflict := false
+			for i, sys := range systems {
+				names[i] = sys.Name()
+				if _, held := ns.busy[names[i]]; held {
+					conflict = true
+				}
+			}
+			if conflict {
+				ns.pending = append(ns.pending, j)
+				continue
+			}
+			for _, n := range names {
+				ns.busy[n] = doc.ID
+			}
+			ns.running++
+			if doc.Spec.Coordinate >= 2 {
+				ns.exclusive = true
+			}
+			starts = append(starts, start{ns, j, names})
+		}
+		mQueueDepth.With(ns.name).Set(float64(len(ns.pending)))
+		mJobsRunning.With(ns.name).Set(float64(ns.running))
+	}
+	s.mu.Unlock()
+	for _, f := range failures {
+		s.finishJob(f.ns, f.j, StateFailed, f.msg)
+	}
+	for _, st := range starts {
+		s.jobsWG.Add(1)
+		go func(st start) {
+			defer s.jobsWG.Done()
+			s.runJob(st.ns, st.j, st.systems)
+			s.releaseReservation(st.ns, st.j, st.systems)
+			s.kickScheduler()
+		}(st)
+	}
+}
+
+// releaseReservation returns a finished job's systems to the board.
+func (s *Server) releaseReservation(ns *namespace, j *job, systems []string) {
+	id := j.snapshot().ID
+	s.mu.Lock()
+	for _, name := range systems {
+		if ns.busy[name] == id {
+			delete(ns.busy, name)
+		}
+	}
+	ns.running--
+	if ns.exclusive && j.snapshot().Spec.Coordinate >= 2 {
+		ns.exclusive = false
+	}
+	mJobsRunning.With(ns.name).Set(float64(ns.running))
+	s.mu.Unlock()
+}
+
+// runJob executes one dispatched job end to end: claim the per-system
+// write locks, run the campaign, publish the lifecycle, release the
+// locks.
+func (s *Server) runJob(ns *namespace, j *job, systems []string) {
 	j.mu.Lock()
-	if j.doc.State != StateQueued { // cancelled while queued
+	if j.doc.State != StateQueued { // cancelled between dispatch and start
 		j.mu.Unlock()
 		return
 	}
@@ -367,12 +732,28 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 	defer cancel()
 
-	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-		s.logger.Error("journal write failed", "job", doc.ID, "err", err)
+	// The board says these systems are free within this daemon; the
+	// on-disk claims make that true against the world (and leave lock
+	// files a foreign observer can read). They nest under the
+	// namespace's own whole-directory lock.
+	locks, err := ns.store.LockSystems(systems...)
+	if err != nil {
+		s.finishJob(ns, j, StateFailed, fmt.Sprintf("claiming system locks: %v", err))
+		return
+	}
+	mLockWait.With(ns.name).Observe(time.Since(doc.CreatedAt).Seconds())
+	defer func() {
+		if uerr := locks.Unlock(); uerr != nil {
+			s.logger.Error("releasing system locks", "job", doc.ID, "namespace", ns.name, "err", uerr)
+		}
+	}()
+
+	if err := saveJournal(ns.dir, doc); err != nil {
+		s.logger.Error("journal write failed", "job", doc.ID, "namespace", ns.name, "err", err)
 	}
 	j.publish(Event{Kind: "state", Job: doc.ID, State: StateRunning})
-	mJobsByState.With(StateRunning).Inc()
-	s.logger.Info("job running", "job", doc.ID, "spec", describeSpec(doc.Spec))
+	mJobsByState.With(StateRunning, ns.name).Inc()
+	s.logger.Info("job running", "job", doc.ID, "namespace", ns.name, "spec", describeSpec(doc.Spec))
 
 	// The job's campaign feeds the shared progress pipeline; one
 	// forwarder moves hub events onto the SSE stream and into the
@@ -388,7 +769,7 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 
-	summaries, stats, err := s.execute(jctx, j, doc.Spec, rec)
+	summaries, stats, err := s.execute(jctx, ns, j, doc.Spec, locks, rec)
 	cancelSub()
 	<-forwarderDone
 
@@ -413,17 +794,17 @@ func (s *Server) runJob(j *job) {
 	j.doc.Systems = summaries
 	j.doc.Steals, j.doc.Spawns, j.doc.Retries = stats.steals, stats.spawns, stats.retries
 	j.mu.Unlock()
-	s.finishJob(j, state, msg)
+	s.finishJob(ns, j, state, msg)
 	tdoc := rec.finish(state, time.Now().UTC())
-	if err := campaignstore.WriteJSON(tracePath(s.cfg.StateDir, doc.ID), tdoc); err != nil {
-		s.logger.Error("trace write failed", "job", doc.ID, "err", err)
+	if err := campaignstore.WriteJSON(tracePath(ns.dir, doc.ID), tdoc); err != nil {
+		s.logger.Error("trace write failed", "job", doc.ID, "namespace", ns.name, "err", err)
 	}
-	s.logger.Info("job finished", "job", doc.ID, "state", state)
+	s.logger.Info("job finished", "job", doc.ID, "namespace", ns.name, "state", state)
 }
 
 // finishJob moves a job to a terminal state, journals it, publishes
 // the state event, and ends the SSE stream.
-func (s *Server) finishJob(j *job, state, msg string) {
+func (s *Server) finishJob(ns *namespace, j *job, state, msg string) {
 	j.mu.Lock()
 	if terminal(j.doc.State) {
 		j.mu.Unlock()
@@ -438,15 +819,15 @@ func (s *Server) finishJob(j *job, state, msg string) {
 	}
 	doc := j.docLocked()
 	j.mu.Unlock()
-	mJobsByState.With(state).Inc()
-	if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-		s.logger.Error("journal write failed", "job", doc.ID, "err", err)
+	mJobsByState.With(state, ns.name).Inc()
+	if err := saveJournal(ns.dir, doc); err != nil {
+		s.logger.Error("journal write failed", "job", doc.ID, "namespace", ns.name, "err", err)
 	}
 	// The job may have rewritten snapshots: drop the memoized table
 	// analysis.
-	s.tablesMu.Lock()
-	s.tablesCache = nil
-	s.tablesMu.Unlock()
+	ns.tablesMu.Lock()
+	ns.tablesCache = nil
+	ns.tablesMu.Unlock()
 	j.publish(Event{Kind: "state", Job: doc.ID, State: state, Error: msg})
 	j.closeStream()
 }
@@ -454,9 +835,10 @@ func (s *Server) finishJob(j *job, state, msg string) {
 // coordStats carries a coordinate job's rebalance counters.
 type coordStats struct{ steals, spawns, retries int }
 
-// execute runs the campaign itself: the plain global scheduler, or the
-// embedded coordinator for coordinate jobs.
-func (s *Server) execute(ctx context.Context, j *job, spec JobSpec, rec *traceRecorder) ([]SystemSummary, coordStats, error) {
+// execute runs the campaign itself: the plain global scheduler, the
+// per-system staged pipeline, or the embedded coordinator for
+// coordinate jobs.
+func (s *Server) execute(ctx context.Context, ns *namespace, j *job, spec JobSpec, locks *campaignstore.LockSet, rec *traceRecorder) ([]SystemSummary, coordStats, error) {
 	systems, err := resolveSystems(spec)
 	if err != nil {
 		return nil, coordStats{}, err
@@ -474,7 +856,11 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec, rec *traceRe
 		opts.SimCostDelay = d
 	}
 	if spec.Coordinate >= 2 {
-		return s.executeCoordinate(ctx, j, spec, systems, opts, workers, rec)
+		return s.executeCoordinate(ctx, ns, j, spec, systems, opts, workers, locks, rec)
+	}
+	if len(spec.Stages) > 0 {
+		summaries, err := s.executeStaged(ctx, ns, j, spec, systems, opts, workers, locks)
+		return summaries, coordStats{}, err
 	}
 
 	results, err := spex.InferAll(ctx, systems, workers)
@@ -486,7 +872,7 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec, rec *traceRe
 		return nil, coordStats{}, err
 	}
 	gopts := shard.Options{Workers: workers, Inject: opts, OnProgress: j.hub.Emit}
-	runs, runErr := shard.CampaignAll(ctx, s.lock, ws, gopts)
+	runs, runErr := shard.CampaignAll(ctx, locks, ws, gopts)
 
 	var summaries []SystemSummary
 	var saveErr error
@@ -508,7 +894,7 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec, rec *traceRe
 		if run.Status.Saved {
 			// The save just wrote the index sidecar, so this is a stat
 			// plus one small JSON read — not a snapshot re-parse.
-			if idx, err := s.index(run.Sys.Name()); err == nil {
+			if idx, err := ns.index(run.Sys.Name()); err == nil {
 				sum.Fingerprint = idx.Fingerprint
 			}
 		}
@@ -520,12 +906,127 @@ func (s *Server) execute(ctx context.Context, j *job, spec JobSpec, rec *traceRe
 	return summaries, coordStats{}, saveErr
 }
 
+// executeStaged runs a stages: [...] job as one pipeline per system:
+// each system advances infer → inject → eval on its own goroutine, so
+// a fast system reaches eval while a slow one is still injecting —
+// stage pipelining, not stage barriers. Each transition is published
+// as a "stage" SSE event. The per-system campaigns still write through
+// the job's per-system locks; systems outside the job's claim cannot
+// be reached by construction.
+func (s *Server) executeStaged(ctx context.Context, ns *namespace, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int, locks *campaignstore.LockSet) ([]SystemSummary, error) {
+	jobID := j.snapshot().ID
+	has := make(map[string]bool, len(spec.Stages))
+	for _, st := range spec.Stages {
+		has[st] = true
+	}
+	var (
+		mu        sync.Mutex
+		summaries []SystemSummary
+		firstErr  error
+	)
+	record := func(sum *SystemSummary, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if sum != nil {
+			summaries = append(summaries, *sum)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	var wg sync.WaitGroup
+	for _, sys := range systems {
+		wg.Add(1)
+		go func(sys sim.System) {
+			defer wg.Done()
+			name := sys.Name()
+			emit := func(stage, state, errMsg string) {
+				j.publish(Event{Kind: "stage", Job: jobID,
+					Stage: &StageEvent{System: name, Stage: stage, State: state, Error: errMsg}})
+			}
+			// Inference feeds injection, so it runs whenever either
+			// stage is requested; it is only *reported* when listed.
+			var res *spex.Result
+			if has[StageInfer] || has[StageInject] {
+				if has[StageInfer] {
+					emit(StageInfer, "running", "")
+				}
+				results, err := spex.InferAll(ctx, []sim.System{sys}, 1)
+				if err != nil {
+					if has[StageInfer] {
+						emit(StageInfer, "failed", err.Error())
+					}
+					record(nil, err)
+					return
+				}
+				res = results[0]
+				if has[StageInfer] {
+					emit(StageInfer, "done", "")
+				}
+			}
+			sum := SystemSummary{System: name}
+			if has[StageInject] {
+				emit(StageInject, "running", "")
+				ws, _, err := shard.BuildWorkloads([]sim.System{sys}, []*spex.Result{res}, shard.Plan{})
+				if err != nil {
+					emit(StageInject, "failed", err.Error())
+					record(nil, err)
+					return
+				}
+				gopts := shard.Options{Workers: workers, Inject: opts, OnProgress: j.hub.Emit}
+				runs, runErr := shard.CampaignAll(ctx, locks, ws, gopts)
+				if runErr != nil {
+					emit(StageInject, "failed", runErr.Error())
+					record(nil, runErr)
+					return
+				}
+				run := runs[0]
+				if run.Err != nil {
+					emit(StageInject, "failed", run.Err.Error())
+					record(nil, fmt.Errorf("%s: snapshot not saved: %w", name, run.Err))
+					return
+				}
+				rep := run.Report
+				sum.Outcomes = len(rep.Outcomes)
+				sum.Vulnerabilities = len(rep.Vulnerabilities())
+				sum.UniqueLocations = rep.UniqueLocations()
+				sum.Replayed = rep.Replayed
+				sum.Executed = rep.Finished() - rep.Replayed
+				sum.SimCost = rep.TotalSimCost
+				sum.Skipped = rep.Skipped
+				emit(StageInject, "done", "")
+			}
+			if has[StageEval] {
+				emit(StageEval, "running", "")
+				idx, err := ns.index(name)
+				if err != nil {
+					emit(StageEval, "failed", err.Error())
+					record(&sum, fmt.Errorf("%s: eval: %w", name, err))
+					return
+				}
+				sum.Fingerprint = idx.Fingerprint
+				sum.Outcomes = idx.Agg.Outcomes
+				sum.Vulnerabilities = idx.Agg.Vulnerabilities
+				emit(StageEval, "done", "")
+			}
+			record(&sum, nil)
+		}(sys)
+	}
+	wg.Wait()
+	sort.Slice(summaries, func(i, k int) bool { return summaries[i].System < summaries[k].System })
+	if ctx.Err() != nil && firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return summaries, firstErr
+}
+
 // executeCoordinate embeds the shard coordinator: N workers on lease
-// files under the daemon's state directory, work-stealing rebalance,
-// bounded worker retries, and the final merge into the canonical
-// store. The daemon hands coord.Run its own writer-lock handle, so the
-// final merge writes under the lock the daemon already holds.
-func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int, rec *traceRecorder) ([]SystemSummary, coordStats, error) {
+// files under the namespace's state directory, work-stealing
+// rebalance, bounded worker retries, and the final merge into the
+// canonical store. The daemon hands coord.Run the job's per-system
+// lock set, so the final merge writes under the claims the scheduler
+// already holds for this job.
+func (s *Server) executeCoordinate(ctx context.Context, ns *namespace, j *job, spec JobSpec, systems []sim.System, opts inject.Options, workers int, locks *campaignstore.LockSet, rec *traceRecorder) ([]SystemSummary, coordStats, error) {
 	jobID := j.snapshot().ID
 	stealMin := coord.DefaultStealMin
 	if spec.StealMin != nil {
@@ -537,14 +1038,14 @@ func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, sy
 		spawn = coord.ExecSpawner(s.cfg.SpawnArgv)
 	}
 	cfg := coord.Config{
-		StateDir:      s.cfg.StateDir,
+		StateDir:      ns.dir,
 		Workers:       spec.Coordinate,
 		Systems:       systems,
 		Inject:        opts,
 		PoolWorkers:   workers,
 		StealMin:      stealMin,
 		WorkerRetries: coord.DefaultWorkerRetries,
-		Lock:          s.lock,
+		Locks:         locks,
 		Spawn:         spawn,
 		OnEvent: func(e coord.Event) {
 			rec.observeCoord(e, time.Now().UTC())
@@ -562,7 +1063,7 @@ func (s *Server) executeCoordinate(ctx context.Context, j *job, spec JobSpec, sy
 	var summaries []SystemSummary
 	for _, st := range res.Stats {
 		sum := SystemSummary{System: st.System, Outcomes: st.Outcomes, Fingerprint: st.Fingerprint}
-		if idx, err := s.index(st.System); err == nil {
+		if idx, err := ns.index(st.System); err == nil {
 			sum.Vulnerabilities = idx.Agg.Vulnerabilities
 		}
 		summaries = append(summaries, sum)
@@ -602,6 +1103,9 @@ func describeSpec(spec JobSpec) string {
 	if spec.Coordinate >= 2 {
 		return fmt.Sprintf("%s, coordinate %d", target, spec.Coordinate)
 	}
+	if len(spec.Stages) > 0 {
+		return fmt.Sprintf("%s, stages %v", target, spec.Stages)
+	}
 	return target
 }
 
@@ -611,41 +1115,41 @@ func describeSpec(spec JobSpec) string {
 // while the snapshot file on disk still matches the (path, size, mtime)
 // identity the copy was built from, and falling through to
 // store.LoadIndex (sidecar, or full rebuild) otherwise.
-func (s *Server) index(name string) (*outcomeindex.System, error) {
-	path, fi, err := s.store.SnapshotInfo(name)
+func (ns *namespace) index(name string) (*outcomeindex.System, error) {
+	path, fi, err := ns.store.SnapshotInfo(name)
 	if err != nil {
 		return nil, err
 	}
-	s.idxMu.Lock()
-	if c := s.idxCache[name]; c != nil &&
+	ns.idxMu.Lock()
+	if c := ns.idxCache[name]; c != nil &&
 		c.path == path && c.size == fi.Size() && c.mtime == fi.ModTime().UnixNano() {
 		sys := c.sys
-		s.idxMu.Unlock()
+		ns.idxMu.Unlock()
 		mIndexHits.Inc()
 		return sys, nil
 	}
-	s.idxMu.Unlock()
-	sys, err := s.store.LoadIndex(name)
+	ns.idxMu.Unlock()
+	sys, err := ns.store.LoadIndex(name)
 	if err != nil {
 		return nil, err
 	}
 	mIndexRebuilds.Inc()
-	s.idxMu.Lock()
-	s.idxCache[name] = &cachedIndex{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano(), sys: sys}
-	s.idxMu.Unlock()
+	ns.idxMu.Lock()
+	ns.idxCache[name] = &cachedIndex{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano(), sys: sys}
+	ns.idxMu.Unlock()
 	return sys, nil
 }
 
 // indexAll returns every stored system's index, sorted by system name.
-func (s *Server) indexAll() ([]*outcomeindex.System, error) {
-	names, err := s.store.List()
+func (ns *namespace) indexAll() ([]*outcomeindex.System, error) {
+	names, err := ns.store.List()
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(names)
 	out := make([]*outcomeindex.System, 0, len(names))
 	for _, name := range names {
-		sys, err := s.index(name)
+		sys, err := ns.index(name)
 		if err != nil {
 			return nil, err
 		}
@@ -719,7 +1223,8 @@ func (w *statusWriter) Flush() {
 // handle registers one instrumented route: the wrapper times every
 // request and counts it by endpoint name and status code. The endpoint
 // name is a fixed label (never the raw path — paths carry unbounded
-// job IDs and system names, which would explode the series space).
+// job IDs, system names, and namespaces, which would explode the
+// series space).
 func handle(mux *http.ServeMux, pattern, endpoint string, h http.HandlerFunc) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
@@ -730,20 +1235,50 @@ func handle(mux *http.ServeMux, pattern, endpoint string, h http.HandlerFunc) {
 	})
 }
 
-// Handler returns the daemon's HTTP API.
+// nsHandler adapts a namespace-scoped handler to http.HandlerFunc:
+// the un-prefixed route serves the default namespace, the /v1/ns/{ns}
+// variant resolves (and, when create is set, lazily opens) the named
+// one.
+func (s *Server) nsHandler(create bool, h func(ns *namespace, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ns, err := s.namespaceFor(r.PathValue("ns"), create)
+		if err != nil {
+			code := http.StatusNotFound
+			switch {
+			case errors.Is(err, errUnavailable):
+				code = http.StatusServiceUnavailable
+			case strings.Contains(err.Error(), "bad namespace") || strings.Contains(err.Error(), "reserved"):
+				code = http.StatusBadRequest
+			}
+			writeError(w, code, err)
+			return
+		}
+		h(ns, w, r)
+	}
+}
+
+// Handler returns the daemon's HTTP API. Every namespace-scoped route
+// is registered twice: bare under /v1 (default namespace, today's
+// URLs) and under /v1/ns/{ns} for named tenants.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	handle(mux, "GET /v1/status", "status", s.handleStatus)
-	handle(mux, "GET /v1/jobs", "jobs_list", s.handleJobsList)
-	handle(mux, "POST /v1/jobs", "jobs_create", s.handleJobsCreate)
-	handle(mux, "GET /v1/jobs/{id}", "job_get", s.handleJobGet)
-	handle(mux, "DELETE /v1/jobs/{id}", "job_delete", s.handleJobDelete)
-	handle(mux, "GET /v1/jobs/{id}/events", "job_events", s.handleJobEvents)
-	handle(mux, "GET /v1/jobs/{id}/trace", "job_trace", s.handleJobTrace)
-	handle(mux, "GET /v1/systems", "systems", s.handleSystems)
-	handle(mux, "GET /v1/systems/{name}/outcomes", "outcomes", s.handleOutcomes)
-	handle(mux, "GET /v1/tables/{n}", "table", s.handleTable)
-	handle(mux, "GET /v1/query", "query", s.handleQuery)
+	scoped := func(suffix, endpoint string, create bool, h func(*namespace, http.ResponseWriter, *http.Request)) {
+		method, path, _ := strings.Cut(suffix, " ")
+		handle(mux, method+" /v1"+path, endpoint, s.nsHandler(create, h))
+		handle(mux, method+" /v1/ns/{ns}"+path, endpoint, s.nsHandler(create, h))
+	}
+	scoped("GET /status", "status", false, s.handleStatus)
+	scoped("GET /jobs", "jobs_list", false, s.handleJobsList)
+	scoped("POST /jobs", "jobs_create", true, s.handleJobsCreate)
+	scoped("GET /jobs/{id}", "job_get", false, s.handleJobGet)
+	scoped("DELETE /jobs/{id}", "job_delete", false, s.handleJobDelete)
+	scoped("GET /jobs/{id}/events", "job_events", false, s.handleJobEvents)
+	scoped("GET /jobs/{id}/trace", "job_trace", false, s.handleJobTrace)
+	scoped("GET /systems", "systems", false, s.handleSystems)
+	scoped("GET /systems/{name}/outcomes", "outcomes", false, s.handleOutcomes)
+	scoped("GET /tables/{n}", "table", false, s.handleTable)
+	scoped("GET /query", "query", false, s.handleQuery)
+	handle(mux, "GET /v1/ns", "ns_list", s.handleNamespaces)
 	// The scrape endpoint itself stays outside the instrumented wrapper
 	// so scraping never perturbs the request counters it reports.
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -765,12 +1300,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = obs.Default().WritePrometheus(w)
 }
 
+// handleNamespaces lists every open namespace with its queue shape.
+func (s *Server) handleNamespaces(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]map[string]any, 0, len(s.nsOrder))
+	for _, name := range s.nsOrder {
+		ns := s.namespaces[name]
+		out = append(out, map[string]any{
+			"name":    name,
+			"dir":     ns.dir,
+			"jobs":    len(ns.order),
+			"queued":  len(ns.pending),
+			"running": ns.running,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"namespaces": out})
+}
+
 // handleJobTrace serves a job's span tree: live from the recorder for
 // jobs run by this daemon, from the persisted trace document for
 // journaled history. ?format=text renders the indented tree.
-func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobTrace(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j := s.lookup(id)
+	j := s.lookup(ns, id)
 	if j == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
 		return
@@ -782,7 +1335,7 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	if rec != nil {
 		doc = rec.doc()
 	} else {
-		data, err := os.ReadFile(tracePath(s.cfg.StateDir, id))
+		data, err := os.ReadFile(tracePath(ns.dir, id))
 		if err != nil {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no trace for job %q (the job never started under this daemon)", id))
 			return
@@ -812,28 +1365,36 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatus(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counts := map[string]int{}
 	running := ""
-	for _, id := range s.order {
-		doc := s.jobs[id].snapshot()
+	var runningJobs []string
+	for _, id := range ns.order {
+		doc := ns.jobs[id].snapshot()
 		counts[doc.State]++
 		if doc.State == StateRunning {
-			running = doc.ID
+			if running == "" {
+				running = doc.ID
+			}
+			runningJobs = append(runningJobs, doc.ID)
 		}
 	}
+	nsCount := len(s.nsOrder)
 	s.mu.Unlock()
-	systems, _ := s.store.List()
+	systems, _ := ns.store.List()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"state_dir": s.cfg.StateDir,
-		"jobs":      counts,
-		"running":   running,
-		"systems":   systems,
+		"namespace":    ns.name,
+		"namespaces":   nsCount,
+		"state_dir":    ns.dir,
+		"jobs":         counts,
+		"running":      running,
+		"running_jobs": runningJobs,
+		"systems":      systems,
 	})
 }
 
-func (s *Server) handleJobsCreate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobsCreate(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -841,7 +1402,7 @@ func (s *Server) handleJobsCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
 		return
 	}
-	doc, err := s.submit(spec)
+	doc, err := s.submit(ns, spec)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, errUnavailable) {
@@ -853,18 +1414,18 @@ func (s *Server) handleJobsCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, doc)
 }
 
-func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJobsList(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	docs := make([]Job, 0, len(s.order))
-	for _, id := range s.order {
-		docs = append(docs, s.jobs[id].snapshot())
+	docs := make([]Job, 0, len(ns.order))
+	for _, id := range ns.order {
+		docs = append(docs, ns.jobs[id].snapshot())
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": docs})
 }
 
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+func (s *Server) handleJobGet(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(ns, r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
@@ -872,33 +1433,34 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
-func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+func (s *Server) handleJobDelete(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(ns, r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
 	}
 	// The whole decision runs under the job lock, so it cannot race the
-	// runner's queued→running transition: either the cancellation wins
-	// (the runner sees a terminal state and skips the job) or the start
-	// wins (the DELETE lands on the running branch and cancels the
-	// context).
+	// scheduler's queued→running transition: either the cancellation
+	// wins (the job goroutine sees a terminal state and skips the job)
+	// or the start wins (the DELETE lands on the running branch and
+	// cancels the context).
 	j.mu.Lock()
 	switch j.doc.State {
 	case StateQueued:
-		// Never started: terminal immediately; the runner skips it.
+		// Never started: terminal immediately; the dispatcher drops it.
 		now := time.Now().UTC()
 		j.doc.State = StateCancelled
 		j.doc.DoneAt = &now
 		j.doc.Error = "cancelled while queued"
 		doc := j.docLocked()
 		j.mu.Unlock()
-		mJobsByState.With(StateCancelled).Inc()
-		if err := saveJournal(s.cfg.StateDir, doc); err != nil {
-			s.logger.Error("journal write failed", "job", doc.ID, "err", err)
+		mJobsByState.With(StateCancelled, ns.name).Inc()
+		if err := saveJournal(ns.dir, doc); err != nil {
+			s.logger.Error("journal write failed", "job", doc.ID, "namespace", ns.name, "err", err)
 		}
 		j.publish(Event{Kind: "state", Job: doc.ID, State: StateCancelled, Error: doc.Error})
 		j.closeStream()
+		s.kickScheduler()
 		writeJSON(w, http.StatusOK, doc)
 	case StateRunning:
 		j.doc.CancelRequested = true
@@ -915,8 +1477,8 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+func (s *Server) handleJobEvents(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(ns, r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
@@ -987,8 +1549,8 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
-	idxs, err := s.indexAll()
+func (s *Server) handleSystems(ns *namespace, w http.ResponseWriter, r *http.Request) {
+	idxs, err := ns.indexAll()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -1061,14 +1623,14 @@ func storeErrCode(err error) int {
 	}
 }
 
-func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOutcomes(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	limit, offset, err := pageParams(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	idx, err := s.index(name)
+	idx, err := ns.index(name)
 	if err != nil {
 		writeError(w, storeErrCode(err), err)
 		return
@@ -1119,7 +1681,7 @@ func (s *Server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
 // outcome indexes alone: which (parameter, rule) families match the
 // filters, in how many systems, with what reactions. No snapshot is
 // parsed — the posting lists narrow the scan per system.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	q := outcomeindex.Query{
 		Param:    r.URL.Query().Get("param"),
 		Kind:     r.URL.Query().Get("kind"),
@@ -1141,7 +1703,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad all %q (want 1 or 0)", v))
 		return
 	}
-	idxs, err := s.indexAll()
+	idxs, err := ns.indexAll()
 	if err != nil {
 		writeError(w, storeErrCode(err), err)
 		return
@@ -1168,35 +1730,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // replays (incomplete state) are never cached; the next request
 // retries. The returned etag identifies the store state the analysis
 // was computed from.
-func (s *Server) replayResults(ctx context.Context) ([]*report.SystemResult, string, error) {
-	idxs, err := s.indexAll()
+func (ns *namespace) replayResults(ctx context.Context) ([]*report.SystemResult, string, error) {
+	idxs, err := ns.indexAll()
 	if err != nil {
 		return nil, "", err
 	}
 	etag := combinedEtag(idxs)
-	s.tablesMu.Lock()
-	defer s.tablesMu.Unlock()
-	if s.tablesCache != nil && s.tablesKey == etag {
+	ns.tablesMu.Lock()
+	defer ns.tablesMu.Unlock()
+	if ns.tablesCache != nil && ns.tablesKey == etag {
 		mTablesHits.Inc()
-		return s.tablesCache, etag, nil
+		return ns.tablesCache, etag, nil
 	}
-	results, err := report.ReplayFromIndex(ctx, s.store)
+	results, err := report.ReplayFromIndex(ctx, ns.store)
 	if err != nil {
 		return nil, "", err
 	}
 	mTablesRebuilds.Inc()
-	s.tablesCache = results
-	s.tablesKey = etag
+	ns.tablesCache = results
+	ns.tablesKey = etag
 	return results, etag, nil
 }
 
-func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTable(ns *namespace, w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil || n < 1 || n > report.MaxTable {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no table %q (want 1-%d)", r.PathValue("n"), report.MaxTable))
 		return
 	}
-	results, etag, err := s.replayResults(r.Context())
+	results, etag, err := ns.replayResults(r.Context())
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, report.ErrStateIncomplete) || errors.Is(err, campaignstore.ErrStale) ||

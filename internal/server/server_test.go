@@ -316,7 +316,9 @@ func TestDaemonEndToEnd(t *testing.T) {
 // the persisted prefix instead of restarting the campaign.
 func TestDaemonCancellationLeavesResumableStore(t *testing.T) {
 	dir := t.TempDir()
-	_, ts := daemon(t, server.Config{StateDir: dir})
+	// One job slot, so the ldapd job below stays queued behind the
+	// running proxyd job instead of dispatching concurrently.
+	_, ts := daemon(t, server.Config{StateDir: dir, MaxConcurrentJobs: 1})
 
 	// One worker and a per-unit delay keep the campaign running long
 	// enough to cancel deterministically after the first outcome.

@@ -317,19 +317,21 @@ type SystemRun struct {
 // updated snapshot — even after cancellation, so the next run resumes
 // with exactly the unfinished misconfigurations.
 //
-// The store is addressed through its held writer lock: the campaign
-// ends in snapshot saves, and the *campaignstore.Lock handle is the
-// only capability for those, so a caller must have acquired the lock
-// before it can even name this function's persistent mode. A nil lock
-// runs the campaign unpersisted.
-func CampaignAll(ctx context.Context, lock *campaignstore.Lock, ws []Workload, opts Options) ([]SystemRun, error) {
+// The store is addressed through held per-system writer locks: the
+// campaign ends in snapshot saves, and the campaignstore lock handles
+// are the only capability for those, so a caller must have acquired
+// each workload system's lock (or a whole-directory lock viewed
+// through Lock.Set) before it can even name this function's persistent
+// mode. A nil set runs the campaign unpersisted; a restricted set
+// missing a workload's system fails that system's save loudly.
+func CampaignAll(ctx context.Context, locks *campaignstore.LockSet, ws []Workload, opts Options) ([]SystemRun, error) {
 	runs := make([]SystemRun, len(ws))
 	for i := range ws {
 		runs[i].Sys = ws[i].Sys
 	}
 	prevStamps := make([]map[string]time.Time, len(ws))
-	if lock != nil {
-		store := lock.Store()
+	if locks != nil {
+		store := locks.Store()
 		for i := range ws {
 			w := &ws[i]
 			cache := inject.NewResultCache()
@@ -342,7 +344,7 @@ func CampaignAll(ctx context.Context, lock *campaignstore.Lock, ws []Workload, o
 	for i := range ws {
 		runs[i].Report = reps[i]
 	}
-	if lock != nil {
+	if locks != nil {
 		for i := range ws {
 			snap := campaignstore.New(ws[i].Sys.Name(), ws[i].Set, opts.Inject, ws[i].Cache.Snapshot())
 			// Keys this run executed or re-validated (everything in Ms)
@@ -363,7 +365,7 @@ func CampaignAll(ctx context.Context, lock *campaignstore.Lock, ws []Workload, o
 					}
 				}
 			}
-			if err := lock.Save(snap); err != nil {
+			if err := locks.Save(snap); err != nil {
 				runs[i].Err = err
 				continue
 			}

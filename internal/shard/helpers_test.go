@@ -20,7 +20,7 @@ func lockedCampaign(t testing.TB, ctx context.Context, store *campaignstore.Stor
 			t.Error(uerr)
 		}
 	}()
-	return CampaignAll(ctx, lk, ws, opts)
+	return CampaignAll(ctx, lk.Set(), ws, opts)
 }
 
 // saveLocked saves one snapshot under the store's writer lock.
@@ -55,5 +55,5 @@ func mergeInto(t testing.TB, dstDir string, srcs []string) ([]MergeStat, error) 
 			t.Error(uerr)
 		}
 	}()
-	return Merge(lk, srcs)
+	return Merge(lk.Set(), srcs)
 }

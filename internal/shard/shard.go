@@ -248,9 +248,9 @@ func (c *mergeCursor) advance() error {
 // listed in), and the merged snapshot replays exactly like an unsharded
 // run's — its fingerprint, folded record-by-record during the write, is
 // identical to an unsharded run's store fingerprint.
-func Merge(dst *campaignstore.Lock, srcDirs []string) ([]MergeStat, error) {
+func Merge(dst *campaignstore.LockSet, srcDirs []string) ([]MergeStat, error) {
 	if dst == nil {
-		return nil, errors.New("shard: merge needs the destination store's writer lock")
+		return nil, errors.New("shard: merge needs the destination store's writer locks")
 	}
 	if len(srcDirs) == 0 {
 		return nil, errors.New("shard: no shard directories to merge")
@@ -296,8 +296,8 @@ func Merge(dst *campaignstore.Lock, srcDirs []string) ([]MergeStat, error) {
 }
 
 // mergeSystem streams one system's shard files into the destination
-// store through its held writer lock.
-func mergeSystem(dst *campaignstore.Lock, system string, srcs []source) (MergeStat, error) {
+// store through its held per-system writer lock.
+func mergeSystem(dst *campaignstore.LockSet, system string, srcs []source) (MergeStat, error) {
 	cursors := make([]*mergeCursor, 0, len(srcs))
 	defer func() {
 		for _, c := range cursors {
