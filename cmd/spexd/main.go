@@ -33,6 +33,12 @@
 //	# watch live progress (SSE: per-system done/total, steals, yields)
 //	curl -N localhost:8476/v1/jobs/job-000001/events
 //
+//	# or watch the whole daemon: the embedded dashboard at
+//	# http://localhost:8476/ui/, the daemon-wide event bus
+//	# (curl -N localhost:8476/v1/events — every namespace's lifecycle,
+//	# scheduler, and progress events), or a remote terminal attach
+//	# (spexwatch -addr localhost:8476)
+//
 //	# poll status; then fetch results
 //	curl -s localhost:8476/v1/jobs/job-000001
 //	curl -s localhost:8476/v1/systems/proxyd/outcomes
@@ -100,6 +106,7 @@ import (
 	"strings"
 	"syscall"
 
+	"spex/internal/obs"
 	"spex/internal/server"
 )
 
@@ -107,16 +114,25 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		state    = flag.String("state", "", "campaign state directory the daemon takes ownership of (required)")
-		addr     = flag.String("addr", "127.0.0.1:8476", "HTTP listen address")
-		workers  = flag.Int("workers", 0, "default campaign pool width for jobs that don't set one (0 = one per CPU)")
-		spawn    = flag.String("spawn", "", "coordinate jobs: worker command template with {lease}/{state}/{worker} placeholders (default: in-process workers)")
-		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
-		pprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator profiling surface)")
-		maxJobs  = flag.Int("max-jobs", 0, "max concurrently running jobs per namespace (0 = 4)")
-		maxQueue = flag.Int("max-queued", 0, "max queued jobs per namespace before submits answer 503 (0 = 256)")
+		state      = flag.String("state", "", "campaign state directory the daemon takes ownership of (required)")
+		addr       = flag.String("addr", "127.0.0.1:8476", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "default campaign pool width for jobs that don't set one (0 = one per CPU)")
+		spawn      = flag.String("spawn", "", "coordinate jobs: worker command template with {lease}/{state}/{worker} placeholders (default: in-process workers)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		pprof      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator profiling surface)")
+		maxJobs    = flag.Int("max-jobs", 0, "max concurrently running jobs per namespace (0 = 4)")
+		maxQueue   = flag.Int("max-queued", 0, "max queued jobs per namespace before submits answer 503 (0 = 256)")
+		metricsOut = flag.String("metrics-out", "", "on graceful shutdown, dump the process metrics registry as JSON to this file (server, engine, store, and dashboard bus series)")
 	)
 	flag.Parse()
+	defer func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.Default().WriteJSONFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spexd: metrics-out: %v\n", err)
+		}
+	}()
 	if *state == "" {
 		fmt.Fprintln(os.Stderr, "spexd: -state is required (the daemon owns a campaign state directory)")
 		return 2

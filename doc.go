@@ -367,6 +367,41 @@
 // package-level name constants; the spexlint obsmetric analyzer
 // enforces that discipline statically.
 //
+// # Dashboard and event bus
+//
+// internal/dash aggregates every namespace's activity onto one
+// daemon-wide event bus: job lifecycle transitions, scheduler
+// reservations and releases (with queue depth and running counts),
+// per-system stage transitions, coordinator lifecycle events, and
+// per-system progress folded from each job's shard.Hub stream —
+// throttled to at most one event per (namespace, job, system) per
+// 200ms so a hot campaign cannot flood subscribers, with first samples
+// and completions always published. Events are typed and versioned
+// (dash.Event stamps SchemaVersion plus a monotonic bus sequence
+// number) and fan out with the same drop-oldest discipline as
+// shard.Hub: each subscriber owns a bounded buffer, a slow consumer
+// sheds its own oldest events (counted in spex_dash_dropped_total),
+// and no consumer can stall a publisher — the hubsend spexlint
+// analyzer rejects raw channel sends of dash.Event outside the
+// package, exactly as it does shard.Progress outside shard.
+//
+// The daemon serves the bus at GET /v1/events (every namespace, SSE)
+// and GET /v1/ns/{name}/events (one tenant's slice); frames carry the
+// bus sequence as their SSE id, so a reconnecting client sends
+// Last-Event-ID and replays only what it missed from the bus's ring
+// (a comment frame flags the resume as truncated when the ring has
+// moved past the requested id). Per-job streams
+// (GET /v1/jobs/{id}/events) carry per-job event ids with the same
+// resume semantics, and subscribing to an already-terminal job replays
+// its backlog through the final state event and closes cleanly. Three
+// consumers ship with the daemon: the embedded dashboard at GET /ui/
+// (go:embed static assets, vanilla JS, zero external dependencies —
+// live namespace and job tables, progress bars, /metrics gauges, and
+// outcome drill-down over the ETag read path), the remote-attach TUI
+// cmd/spexwatch (the internal/progressui renderer fed from a remote
+// SSE stream, reconnecting with backoff and Last-Event-ID resume),
+// and anything that can parse SSE — `curl -N host:port/v1/events`.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 package spex

@@ -7,6 +7,10 @@
 //   - a raw channel send of shard.Progress outside package shard
 //     bypasses the Hub's drop-oldest policy — one full channel then
 //     blocks the scheduler's emit path;
+//   - likewise a raw channel send of dash.Event outside package dash:
+//     the daemon-wide bus owns the only subscriber buffers and sheds
+//     load per subscriber; a hand-rolled channel of bus events stalls
+//     every publisher on its slowest consumer;
 //   - time.Tick leaks its ticker by construction; a time.NewTicker
 //     whose handle is neither stopped nor escapes leaks it too;
 //   - <-time.After inside a loop allocates a timer per iteration that
@@ -30,10 +34,14 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-const shardPkg = "spex/internal/shard"
+const (
+	shardPkg = "spex/internal/shard"
+	dashPkg  = "spex/internal/dash"
+)
 
 func run(pass *analysis.Pass) error {
 	inShard := pass.Pkg != nil && pass.Pkg.Path() == shardPkg
+	inDash := pass.Pkg != nil && pass.Pkg.Path() == dashPkg
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file.Pos()) {
 			continue
@@ -43,10 +51,12 @@ func run(pass *analysis.Pass) error {
 			case *ast.CallExpr:
 				checkTimeCall(pass, n, path)
 			case *ast.SendStmt:
-				if !inShard {
-					if t := pass.TypeOf(n.Value); analysis.NamedType(t, shardPkg, "Progress") {
-						pass.Reportf(n.Pos(), "raw channel send of shard.Progress bypasses the Hub's drop-oldest policy and can block the emit path; publish via (*shard.Hub).Emit")
-					}
+				t := pass.TypeOf(n.Value)
+				if !inShard && analysis.NamedType(t, shardPkg, "Progress") {
+					pass.Reportf(n.Pos(), "raw channel send of shard.Progress bypasses the Hub's drop-oldest policy and can block the emit path; publish via (*shard.Hub).Emit")
+				}
+				if !inDash && analysis.NamedType(t, dashPkg, "Event") {
+					pass.Reportf(n.Pos(), "raw channel send of dash.Event bypasses the bus's per-subscriber drop-oldest policy and can block the publisher; publish via (*dash.Bus).Publish")
 				}
 			case *ast.GoStmt:
 				checkHandlerGoroutine(pass, n, path)

@@ -5,11 +5,16 @@ import (
 	"net/http"
 	"time"
 
+	"spex/internal/dash"
 	"spex/internal/shard"
 )
 
 func rawSend(ch chan shard.Progress, p shard.Progress) {
 	ch <- p // want `bypasses the Hub`
+}
+
+func rawBusSend(ch chan dash.Event, e dash.Event) {
+	ch <- e // want `bypasses the bus`
 }
 
 func ticks() <-chan time.Time {

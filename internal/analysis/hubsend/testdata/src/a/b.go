@@ -6,12 +6,19 @@ import (
 	"net/http"
 	"time"
 
+	"spex/internal/dash"
 	"spex/internal/shard"
 )
 
 // Progress published through the Hub keeps the drop-oldest policy.
 func publishes(hub *shard.Hub, p shard.Progress) {
 	hub.Emit(p)
+}
+
+// Bus events published through the bus keep its per-subscriber
+// drop-oldest policy.
+func publishesBus(bus *dash.Bus, e dash.Event) {
+	bus.Publish(e)
 }
 
 func stopsTicker(done chan struct{}) {

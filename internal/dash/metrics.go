@@ -1,0 +1,21 @@
+// Bus metrics: event volume and drop accounting per namespace, plus
+// the live subscriber gauge per subscription filter — the
+// observability of the observability surface itself.
+package dash
+
+import "spex/internal/obs"
+
+const (
+	metricDashEvents      = "spex_dash_events_total"
+	metricDashSubscribers = "spex_dash_subscribers"
+	metricDashDropped     = "spex_dash_dropped_total"
+)
+
+var (
+	mDashEvents = obs.Default().CounterVec(metricDashEvents,
+		"events published on the daemon-wide dashboard bus, by namespace", "namespace")
+	mDashSubscribers = obs.Default().GaugeVec(metricDashSubscribers,
+		"live dashboard bus subscribers, by namespace filter (\"all\" = unfiltered)", "namespace")
+	mDashDropped = obs.Default().CounterVec(metricDashDropped,
+		"bus events dropped for lagging subscribers (drop-oldest), by the dropped event's namespace", "namespace")
+)

@@ -1,0 +1,103 @@
+// The embedded web UI: three static assets (one HTML page, one JS
+// file, one stylesheet) compiled into the daemon with go:embed — no
+// external dependency, no CDN, no network fetch beyond the daemon's
+// own API. The handler serves them with strong ETags (content hashes
+// computed once at startup) and answers If-None-Match with 304, the
+// same conditional-read discipline as the data endpoints the page
+// calls.
+package dash
+
+import (
+	"crypto/sha256"
+	"embed"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"path"
+	"strings"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+// asset is one embedded file with its precomputed entity tag.
+type asset struct {
+	body        []byte
+	etag        string
+	contentType string
+}
+
+// uiAssets maps request paths (relative to /ui/) to embedded assets;
+// built once at init so every request is a map lookup.
+var uiAssets = loadAssets()
+
+func loadAssets() map[string]asset {
+	assets := make(map[string]asset)
+	entries, err := fs.ReadDir(staticFS, "static")
+	if err != nil {
+		panic(fmt.Sprintf("dash: embedded UI assets missing: %v", err))
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		body, err := staticFS.ReadFile(path.Join("static", e.Name()))
+		if err != nil {
+			panic(fmt.Sprintf("dash: embedded UI asset %s: %v", e.Name(), err))
+		}
+		sum := sha256.Sum256(body)
+		assets[e.Name()] = asset{
+			body:        body,
+			etag:        `"` + hex.EncodeToString(sum[:])[:32] + `"`,
+			contentType: contentType(e.Name()),
+		}
+	}
+	if _, ok := assets["index.html"]; !ok {
+		panic("dash: embedded UI has no index.html")
+	}
+	return assets
+}
+
+func contentType(name string) string {
+	switch path.Ext(name) {
+	case ".html":
+		return "text/html; charset=utf-8"
+	case ".js":
+		return "text/javascript; charset=utf-8"
+	case ".css":
+		return "text/css; charset=utf-8"
+	case ".svg":
+		return "image/svg+xml"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// UI returns the handler for the embedded dashboard, to be mounted at
+// GET /ui/. "/ui/" and "/ui/index.html" serve the page; "/ui/app.js"
+// and "/ui/style.css" serve the assets; anything else 404s.
+func UI() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/ui/")
+		if name == "" {
+			name = "index.html"
+		}
+		a, ok := uiAssets[name]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("ETag", a.etag)
+		w.Header().Set("Cache-Control", "no-cache") // revalidate every time
+		for _, cand := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+			cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
+			if cand == a.etag || cand == "*" {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", a.contentType)
+		_, _ = w.Write(a.body)
+	})
+}

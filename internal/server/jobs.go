@@ -139,6 +139,12 @@ type Job struct {
 
 // Event is one entry of a job's SSE stream (GET /v1/jobs/{id}/events).
 type Event struct {
+	// ID is the job-local event sequence number, assigned by publish —
+	// the SSE frame's id:, which a reconnecting subscriber sends back
+	// as Last-Event-ID to resume after the last event it saw. IDs stay
+	// stable across the terminal backlog compaction, so a resume point
+	// remains meaningful after the job finishes.
+	ID uint64 `json:"event_id,omitempty"`
 	// Kind is "state", "progress", "coord", or "stage".
 	Kind string `json:"kind"`
 	Job  string `json:"job"`
@@ -196,11 +202,13 @@ type job struct {
 	// events a CLI renderer would consume.
 	hub *shard.Hub
 	// events is the bounded backlog replayed to late subscribers;
-	// dropped counts entries the cap evicted.
-	events  []Event
-	dropped int
-	subs    map[int]chan Event
-	nextSub int
+	// dropped counts entries the cap evicted; eventSeq numbers every
+	// published event (Event.ID) for SSE id/Last-Event-ID resume.
+	events   []Event
+	dropped  int
+	eventSeq uint64
+	subs     map[int]chan Event
+	nextSub  int
 	// closed marks the stream ended (terminal state published).
 	closed bool
 	// trace is the job's span recorder, set when the job starts
@@ -234,6 +242,8 @@ func (j *job) publish(e Event) {
 	if j.closed {
 		return
 	}
+	j.eventSeq++
+	e.ID = j.eventSeq
 	if len(j.events) >= eventBacklog {
 		j.events = j.events[1:]
 		j.dropped++
@@ -293,11 +303,18 @@ func (j *job) closeStream() {
 // backlog cap has evicted — a late subscriber can tell its history is
 // truncated) and a live channel; cancel detaches. Backlog and channel
 // are consistent: no event is both in the backlog and delivered on the
-// channel, and none is lost in between.
-func (j *job) subscribe() (backlog []Event, dropped int, ch <-chan Event, cancel func()) {
+// channel, and none is lost in between. afterID resumes a reconnecting
+// subscriber (SSE Last-Event-ID): only events with ID > afterID replay
+// — on a terminal job that can be nothing but the final state event,
+// and the closed channel then ends the stream cleanly.
+func (j *job) subscribe(afterID uint64) (backlog []Event, dropped int, ch <-chan Event, cancel func()) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	backlog = append([]Event(nil), j.events...)
+	for _, e := range j.events {
+		if e.ID > afterID {
+			backlog = append(backlog, e)
+		}
+	}
 	live := make(chan Event, 256)
 	if j.closed {
 		close(live)

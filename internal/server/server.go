@@ -24,8 +24,17 @@
 //	                                 ?min-systems=N, ?all=1)
 //	GET    /v1/status                daemon status
 //	GET    /v1/ns                    list namespaces
+//	GET    /v1/events                daemon-wide event bus (SSE): job
+//	                                 lifecycle, scheduler reservations,
+//	                                 queue depth, stage transitions, and
+//	                                 throttled progress across EVERY
+//	                                 namespace (internal/dash)
+//	GET    /ui/                      embedded live dashboard (go:embed,
+//	                                 no external dependency)
 //	*      /v1/ns/{ns}/...           any route above, scoped to a
-//	                                 namespace (POST creates it)
+//	                                 namespace (POST creates it;
+//	                                 /v1/ns/{ns}/events filters the bus
+//	                                 to that namespace)
 //
 // Every /v1 route above addresses the default namespace — the root
 // state directory itself, so a single-tenant daemon keeps today's URLs
@@ -90,6 +99,7 @@ import (
 
 	"spex/internal/campaignstore"
 	"spex/internal/coord"
+	"spex/internal/dash"
 	"spex/internal/inject"
 	"spex/internal/obs"
 	"spex/internal/outcomeindex"
@@ -205,6 +215,11 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// bus is the daemon-wide dashboard event bus (internal/dash):
+	// every lifecycle site publishes into it, and GET /v1/events, the
+	// /ui/ dashboard, and remote spexwatch clients subscribe.
+	bus *dash.Bus
+
 	mu         sync.Mutex
 	namespaces map[string]*namespace
 	nsOrder    []string
@@ -269,6 +284,7 @@ func New(cfg Config) (*Server, error) {
 		logger:     logger,
 		ctx:        ctx,
 		cancel:     cancel,
+		bus:        dash.NewBus(dash.Options{}),
 		namespaces: make(map[string]*namespace),
 		kick:       make(chan struct{}, 1),
 		schedDone:  make(chan struct{}),
@@ -344,6 +360,7 @@ func (s *Server) openNamespace(name string) (*namespace, error) {
 			// The job never started under the dead daemon: re-queue it
 			// live instead of burying it as failed history.
 			j.publish(Event{Kind: "state", Job: doc.ID, State: StateQueued})
+			s.bus.Publish(dash.Event{Namespace: name, Kind: dash.KindJob, Job: doc.ID, State: StateQueued})
 			ns.pending = append(ns.pending, j)
 			continue
 		}
@@ -438,6 +455,8 @@ func (s *Server) Close() error {
 		// documents, and release their per-system claims before the
 		// namespace locks go.
 		s.jobsWG.Wait()
+		// Every publisher has drained; end the dashboard streams.
+		s.bus.Close()
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.closeErr = s.closeNamespaces()
@@ -544,7 +563,11 @@ func (s *Server) submit(ns *namespace, spec JobSpec) (Job, error) {
 	}
 	j.publish(Event{Kind: "state", Job: doc.ID, State: StateQueued})
 	mJobsByState.With(StateQueued, ns.name).Inc()
+	depth, running := len(ns.pending), ns.running
 	s.mu.Unlock()
+	s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindJob, Job: doc.ID, State: StateQueued})
+	s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindSched, Job: doc.ID,
+		Sched: &dash.Sched{Op: "queue", QueueDepth: depth, Running: running}})
 	s.kickScheduler()
 	return doc, nil
 }
@@ -594,6 +617,9 @@ func (s *Server) dispatch() {
 		ns      *namespace
 		j       *job
 		systems []string
+		// depth/running snapshot the namespace's queue shape after this
+		// pass, captured under s.mu for the reserve event.
+		depth, running int
 	}
 	type failure struct {
 		ns  *namespace
@@ -675,16 +701,23 @@ func (s *Server) dispatch() {
 			if doc.Spec.Coordinate >= 2 {
 				ns.exclusive = true
 			}
-			starts = append(starts, start{ns, j, names})
+			starts = append(starts, start{ns: ns, j: j, systems: names})
 		}
 		mQueueDepth.With(ns.name).Set(float64(len(ns.pending)))
 		mJobsRunning.With(ns.name).Set(float64(ns.running))
+		for i := range starts {
+			if starts[i].ns == ns {
+				starts[i].depth, starts[i].running = len(ns.pending), ns.running
+			}
+		}
 	}
 	s.mu.Unlock()
 	for _, f := range failures {
 		s.finishJob(f.ns, f.j, StateFailed, f.msg)
 	}
 	for _, st := range starts {
+		s.bus.Publish(dash.Event{Namespace: st.ns.name, Kind: dash.KindSched, Job: st.j.snapshot().ID,
+			Sched: &dash.Sched{Op: "reserve", Systems: st.systems, QueueDepth: st.depth, Running: st.running}})
 		s.jobsWG.Add(1)
 		go func(st start) {
 			defer s.jobsWG.Done()
@@ -709,7 +742,10 @@ func (s *Server) releaseReservation(ns *namespace, j *job, systems []string) {
 		ns.exclusive = false
 	}
 	mJobsRunning.With(ns.name).Set(float64(ns.running))
+	depth, running := len(ns.pending), ns.running
 	s.mu.Unlock()
+	s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindSched, Job: id,
+		Sched: &dash.Sched{Op: "release", Systems: systems, QueueDepth: depth, Running: running}})
 }
 
 // runJob executes one dispatched job end to end: claim the per-system
@@ -752,6 +788,7 @@ func (s *Server) runJob(ns *namespace, j *job, systems []string) {
 		s.logger.Error("journal write failed", "job", doc.ID, "namespace", ns.name, "err", err)
 	}
 	j.publish(Event{Kind: "state", Job: doc.ID, State: StateRunning})
+	s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindJob, Job: doc.ID, State: StateRunning})
 	mJobsByState.With(StateRunning, ns.name).Inc()
 	s.logger.Info("job running", "job", doc.ID, "namespace", ns.name, "spec", describeSpec(doc.Spec))
 
@@ -766,6 +803,9 @@ func (s *Server) runJob(ns *namespace, j *job, systems []string) {
 			p := p
 			rec.observeProgress(p, time.Now().UTC())
 			j.publish(Event{Kind: "progress", Job: doc.ID, Progress: &p})
+			// The daemon-wide stream gets the same samples, throttled per
+			// (namespace, job, system) by the bus.
+			s.bus.FoldProgress(ns.name, doc.ID, p)
 		}
 	}()
 
@@ -830,6 +870,8 @@ func (s *Server) finishJob(ns *namespace, j *job, state, msg string) {
 	ns.tablesMu.Unlock()
 	j.publish(Event{Kind: "state", Job: doc.ID, State: state, Error: msg})
 	j.closeStream()
+	s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindJob, Job: doc.ID, State: state, Error: msg})
+	s.bus.ForgetJob(ns.name, doc.ID)
 }
 
 // coordStats carries a coordinate job's rebalance counters.
@@ -943,6 +985,8 @@ func (s *Server) executeStaged(ctx context.Context, ns *namespace, j *job, spec 
 			emit := func(stage, state, errMsg string) {
 				j.publish(Event{Kind: "stage", Job: jobID,
 					Stage: &StageEvent{System: name, Stage: stage, State: state, Error: errMsg}})
+				s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindStage, Job: jobID,
+					Stage: &dash.Stage{System: name, Stage: stage, State: state, Error: errMsg}})
 			}
 			// Inference feeds injection, so it runs whenever either
 			// stage is requested; it is only *reported* when listed.
@@ -1054,6 +1098,9 @@ func (s *Server) executeCoordinate(ctx context.Context, ns *namespace, j *job, s
 				ce.Error = e.Err.Error()
 			}
 			j.publish(Event{Kind: "coord", Job: jobID, Coord: ce})
+			s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindCoord, Job: jobID,
+				Coord: &dash.Coord{Kind: ce.Kind, Worker: ce.Worker, From: ce.From,
+					Keys: ce.Keys, Attempt: ce.Attempt, Error: ce.Error}})
 		},
 	}
 	res, err := coord.Run(ctx, cfg)
@@ -1279,6 +1326,18 @@ func (s *Server) Handler() http.Handler {
 	scoped("GET /tables/{n}", "table", false, s.handleTable)
 	scoped("GET /query", "query", false, s.handleQuery)
 	handle(mux, "GET /v1/ns", "ns_list", s.handleNamespaces)
+	// The aggregate stream is deliberately NOT a scoped() route: bare
+	// /v1/events carries every namespace's events, not the default
+	// namespace's — only the /v1/ns/{ns}/ variant filters.
+	handle(mux, "GET /v1/events", "events", func(w http.ResponseWriter, r *http.Request) {
+		s.serveBus(w, r, "")
+	})
+	handle(mux, "GET /v1/ns/{ns}/events", "events", s.nsHandler(false,
+		func(ns *namespace, w http.ResponseWriter, r *http.Request) {
+			s.serveBus(w, r, ns.name)
+		}))
+	handle(mux, "GET /ui/", "ui", dash.UI().ServeHTTP)
+	mux.Handle("GET /ui", http.RedirectHandler("/ui/", http.StatusMovedPermanently))
 	// The scrape endpoint itself stays outside the instrumented wrapper
 	// so scraping never perturbs the request counters it reports.
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -1460,6 +1519,9 @@ func (s *Server) handleJobDelete(ns *namespace, w http.ResponseWriter, r *http.R
 		}
 		j.publish(Event{Kind: "state", Job: doc.ID, State: StateCancelled, Error: doc.Error})
 		j.closeStream()
+		s.bus.Publish(dash.Event{Namespace: ns.name, Kind: dash.KindJob, Job: doc.ID,
+			State: StateCancelled, Error: doc.Error})
+		s.bus.ForgetJob(ns.name, doc.ID)
 		s.kickScheduler()
 		writeJSON(w, http.StatusOK, doc)
 	case StateRunning:
@@ -1498,13 +1560,13 @@ func (s *Server) handleJobEvents(ns *namespace, w http.ResponseWriter, r *http.R
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.ID, e.Kind, data); err != nil {
 			return false
 		}
 		return true
 	}
 
-	backlog, dropped, ch, cancelSub := j.subscribe()
+	backlog, dropped, ch, cancelSub := j.subscribe(lastEventID(r))
 	defer cancelSub()
 	if dropped > 0 {
 		// SSE comment: the backlog cap evicted early events, so this
@@ -1536,6 +1598,91 @@ func (s *Server) handleJobEvents(ns *namespace, w http.ResponseWriter, r *http.R
 		case <-keepalive.C:
 			// SSE comment frame: keeps proxies and load balancers from
 			// idling out a quiet stream; clients ignore comments.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			mSSEKeepalives.Inc()
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// lastEventID parses the SSE Last-Event-ID request header a
+// reconnecting EventSource (or spexwatch) sends: the id of the last
+// frame it saw. Absent or malformed means "from the start".
+func lastEventID(r *http.Request) uint64 {
+	v := strings.TrimSpace(r.Header.Get("Last-Event-ID"))
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// serveBus streams the daemon-wide dashboard bus as SSE — the handler
+// behind GET /v1/events (namespace "" = every tenant) and
+// GET /v1/ns/{ns}/events (one tenant). Each frame's id: is the bus
+// sequence number, so a dropped connection resumes with Last-Event-ID
+// from the bus's ring; when the ring has already moved past the
+// requested id the replay starts mid-stream after a comment frame says
+// so.
+func (s *Server) serveBus(w http.ResponseWriter, r *http.Request, namespace string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(e dash.Event) bool {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data); err != nil {
+			return false
+		}
+		return true
+	}
+
+	sub := s.bus.Subscribe(dash.SubOptions{Namespace: namespace, AfterSeq: lastEventID(r)})
+	defer sub.Cancel()
+	if sub.Truncated {
+		fmt.Fprint(w, ": resume truncated, the ring moved past the requested id\n\n")
+	}
+	for _, e := range sub.Backlog {
+		if !writeEvent(e) {
+			return
+		}
+	}
+	flusher.Flush()
+	interval := s.cfg.KeepaliveInterval
+	if interval <= 0 {
+		interval = defaultKeepalive
+	}
+	keepalive := time.NewTicker(interval)
+	defer keepalive.Stop()
+	for {
+		select {
+		case e, open := <-sub.Ch:
+			if !open {
+				return // daemon shutting down; bus closed
+			}
+			if !writeEvent(e) {
+				return
+			}
+			flusher.Flush()
+		case <-keepalive.C:
 			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
 				return
 			}
